@@ -1,0 +1,213 @@
+// Command figures regenerates the evaluation exhibits of "Optimal
+// Concurrency for List-Based Sets" (PACT 2021):
+//
+//	-fig 1     Figure 1  — Lazy vs VBL, 20% updates, 25-node list
+//	-fig 4     Figure 4  — 3 update ratios × 4 key ranges, all lists
+//	-fig rtti  §4 ablation — Harris AMR vs RTTI-style marker variant
+//	-fig all   everything
+//
+// Default durations are scaled down so the full grid finishes in
+// minutes; pass -paper for the paper's protocol (5 s runs × 5 after a
+// 5 s warm-up). Absolute numbers depend on the machine; the shapes —
+// who wins, where Lazy collapses, what the Harris indirection costs —
+// are the reproduction target (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"listset"
+	"listset/internal/harness"
+	"listset/internal/workload"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "which figure to regenerate: 1, 4, rtti, all")
+		paper    = flag.Bool("paper", false, "use the paper's full protocol (5s x5 after 5s warm-up)")
+		duration = flag.Duration("duration", 300*time.Millisecond, "measured duration per run")
+		warmup   = flag.Duration("warmup", 150*time.Millisecond, "warm-up before each run")
+		runs     = flag.Int("runs", 3, "repetitions per cell")
+		threads  = flag.String("threads", "", "comma-separated thread counts (default: powers of two up to 2x cores)")
+		seed     = flag.Int64("seed", 42, "base RNG seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of tables")
+	)
+	flag.Parse()
+
+	if *paper {
+		*duration = 5 * time.Second
+		*warmup = 5 * time.Second
+		*runs = 5
+	}
+	threadList, err := parseThreads(*threads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	proto := protocol{duration: *duration, warmup: *warmup, runs: *runs, seed: *seed, threads: threadList, csv: *csv}
+	switch *fig {
+	case "1":
+		figure1(proto)
+	case "4":
+		figure4(proto)
+	case "rtti":
+		figureRTTI(proto)
+	case "survey":
+		figureSurvey(proto)
+	case "skiplist":
+		figureSkipList(proto)
+	case "all":
+		figure1(proto)
+		figure4(proto)
+		figureRTTI(proto)
+		figureSurvey(proto)
+		figureSkipList(proto)
+	default:
+		fmt.Fprintf(os.Stderr, "figures: unknown -fig %q (have: 1, 4, rtti, survey, skiplist, all)\n", *fig)
+		os.Exit(2)
+	}
+}
+
+type protocol struct {
+	duration time.Duration
+	warmup   time.Duration
+	runs     int
+	seed     int64
+	threads  []int
+	csv      bool
+}
+
+func parseThreads(s string) ([]int, error) {
+	if s == "" {
+		var out []int
+		max := 2 * runtime.NumCPU()
+		for t := 1; t <= max; t *= 2 {
+			out = append(out, t)
+		}
+		return out, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("figures: bad thread count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func candidates(names ...string) []harness.Candidate {
+	var out []harness.Candidate
+	for _, name := range names {
+		im, err := listset.Lookup(name)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, harness.Candidate{Name: im.Name, New: func() harness.Set { return im.New() }})
+	}
+	return out
+}
+
+func runAndReport(p protocol, title string, cands []harness.Candidate, wl workload.Config, reference string) {
+	sweep := harness.Sweep{
+		Title:      title,
+		Candidates: cands,
+		Threads:    p.threads,
+		Workload:   wl,
+		Duration:   p.duration,
+		Warmup:     p.warmup,
+		Runs:       p.runs,
+		Seed:       p.seed,
+	}
+	res, err := harness.RunSweep(sweep)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if p.csv {
+		res.WriteCSV(os.Stdout)
+		return
+	}
+	res.WriteTable(os.Stdout)
+	if reference != "" {
+		res.WriteSpeedups(os.Stdout, reference)
+	}
+	fmt.Println()
+}
+
+// figure1 reproduces Figure 1: a ~25-node list (key range 50) under 20%
+// updates; the paper shows Lazy collapsing past ~40 threads while VBL
+// keeps scaling, reaching ~1.6x at 72 threads.
+func figure1(p protocol) {
+	fmt.Println("=== Figure 1: Lazy vs VBL, 20% updates, key range 50 (~25 nodes) ===")
+	runAndReport(p, "figure-1", candidates("vbl", "lazy"),
+		workload.Config{UpdatePercent: 20, Range: 50}, "vbl")
+}
+
+// figure4 reproduces the Figure 4 grid: update ratios {0, 20, 100} ×
+// key ranges {50, 200, 2000, 20000} for VBL, Lazy and both
+// Harris-Michael variants.
+func figure4(p protocol) {
+	fmt.Println("=== Figure 4: throughput grid, Intel protocol ===")
+	cands := candidates("vbl", "lazy", "harris", "harris-amr")
+	for _, update := range []int{0, 20, 100} {
+		for _, keyRange := range []int64{50, 200, 2000, 20000} {
+			title := fmt.Sprintf("figure-4 panel u=%d%% r=%d", update, keyRange)
+			runAndReport(p, title, cands,
+				workload.Config{UpdatePercent: update, Range: keyRange}, "vbl")
+		}
+	}
+}
+
+// figureSurvey goes beyond the paper's trio: every registered
+// thread-safe implementation — including the §5 related-work
+// algorithms (Fomitchev-Ruppert, Optimistic) and the ablation variants
+// — on the paper's standard 20%-update workload.
+func figureSurvey(p protocol) {
+	fmt.Println("=== Survey: all implementations, 20% updates, key range 200 ===")
+	var names []string
+	for _, im := range listset.Implementations() {
+		if im.ThreadSafe {
+			names = append(names, im.Name)
+		}
+	}
+	runAndReport(p, "survey", candidates(names...),
+		workload.Config{UpdatePercent: 20, Range: 200}, "vbl")
+}
+
+// figureSkipList evaluates the §5 conjecture: the value-aware skip
+// list against the LazySkipList baseline on a range where the index
+// dominates, with the flat VBL for scale.
+func figureSkipList(p protocol) {
+	fmt.Println("=== §5 conjecture: value-aware skip list vs LazySkipList ===")
+	for _, keyRange := range []int64{20000, 200000} {
+		names := []string{"vbskip", "lazyskip"}
+		if keyRange <= 20000 {
+			names = append(names, "vbl")
+		}
+		title := fmt.Sprintf("skiplist r=%d", keyRange)
+		runAndReport(p, title, candidates(names...),
+			workload.Config{UpdatePercent: 20, Range: keyRange}, "vbskip")
+	}
+}
+
+// figureRTTI isolates the §4 observation that the AMR variant's extra
+// indirection costs traversal-heavy workloads dearly, which the
+// RTTI/marker variant repairs.
+func figureRTTI(p protocol) {
+	fmt.Println("=== RTTI ablation: Harris-Michael AMR vs marker, read-only ===")
+	cands := candidates("harris", "harris-amr")
+	for _, keyRange := range []int64{200, 20000} {
+		title := fmt.Sprintf("rtti ablation r=%d", keyRange)
+		runAndReport(p, title, cands,
+			workload.Config{UpdatePercent: 0, Range: keyRange}, "harris")
+	}
+}

@@ -1,0 +1,109 @@
+// Command synchrobench is the Go counterpart of the Synchrobench
+// micro-benchmark the paper uses for its evaluation: it drives one
+// list-based set implementation with a configurable mix of contains,
+// insert and remove operations from N goroutines for a fixed duration
+// and reports throughput.
+//
+// Example (the paper's Figure 1 cell at 8 threads):
+//
+//	synchrobench -impl vbl -threads 8 -update-ratio 20 -range 50 \
+//	    -duration 5s -warmup 5s -runs 5
+//
+// Use -list to see the available implementations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/pprof"
+	"time"
+
+	"listset"
+	"listset/internal/harness"
+	"listset/internal/stats"
+	"listset/internal/workload"
+)
+
+func main() {
+	var (
+		implName    = flag.String("impl", "vbl", "implementation to benchmark (see -list)")
+		threads     = flag.Int("threads", 4, "number of worker goroutines")
+		updateRatio = flag.Int("update-ratio", 20, "percent of update operations (x/2% inserts, x/2% removes)")
+		keyRange    = flag.Int64("range", 2048, "key range; steady-state set size is about range/2")
+		duration    = flag.Duration("duration", 1*time.Second, "measured duration per run")
+		warmup      = flag.Duration("warmup", 1*time.Second, "warm-up before each run")
+		runs        = flag.Int("runs", 3, "number of (warmup, measure) repetitions")
+		seed        = flag.Int64("seed", 42, "base RNG seed")
+		list        = flag.Bool("list", false, "list available implementations and exit")
+		quiet       = flag.Bool("quiet", false, "print only the mean throughput (ops/sec)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the measured runs to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, im := range listset.Implementations() {
+			safe := "concurrent"
+			if !im.ThreadSafe {
+				safe = "SINGLE-THREADED"
+			}
+			fmt.Printf("  %-12s %-15s %s\n", im.Name, safe, im.Desc)
+		}
+		return
+	}
+
+	im, err := listset.Lookup(*implName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if !im.ThreadSafe && *threads > 1 {
+		fmt.Fprintf(os.Stderr, "synchrobench: %s is not thread safe; use -threads 1\n", im.Name)
+		os.Exit(2)
+	}
+
+	cfg := harness.Config{
+		Name:     im.Name,
+		New:      func() harness.Set { return im.New() },
+		Threads:  *threads,
+		Workload: workload.Config{UpdatePercent: *updateRatio, Range: *keyRange},
+		Duration: *duration,
+		Warmup:   *warmup,
+		Runs:     *runs,
+		Seed:     *seed,
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	res, err := harness.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *quiet {
+		fmt.Printf("%.0f\n", res.Summary.Mean)
+		return
+	}
+	fmt.Printf("impl          %s\n", im.Name)
+	fmt.Printf("threads       %d\n", cfg.Threads)
+	fmt.Printf("workload      %s\n", cfg.Workload)
+	fmt.Printf("protocol      %v measured after %v warm-up, %d runs\n", cfg.Duration, cfg.Warmup, cfg.Runs)
+	fmt.Printf("initial size  %d\n", res.InitialSize)
+	fmt.Printf("throughput    %s ops/sec (mean), %s (median), ±%.1f%% rel. stddev\n",
+		stats.HumanCount(res.Summary.Mean), stats.HumanCount(res.Summary.Median), 100*res.Summary.RelStdDev())
+	c := res.Counts
+	fmt.Printf("operations    %d total: %d/%d contains hit/miss, %d/%d insert ok/fail, %d/%d remove ok/fail\n",
+		c.Total(), c.ContainsHit, c.ContainsMiss, c.InsertOK, c.InsertFail, c.RemoveOK, c.RemoveFail)
+	fmt.Printf("effective     %.2f%% of operations modified the structure\n", 100*c.EffectiveUpdateRatio())
+}

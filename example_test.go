@@ -1,0 +1,79 @@
+package listset_test
+
+import (
+	"fmt"
+	"sync"
+
+	"listset"
+)
+
+func ExampleNewVBL() {
+	s := listset.NewVBL()
+	fmt.Println(s.Insert(3))   // true: 3 was absent
+	fmt.Println(s.Insert(3))   // false: already present
+	fmt.Println(s.Contains(3)) // true
+	fmt.Println(s.Remove(3))   // true: 3 was present
+	fmt.Println(s.Remove(3))   // false: already gone
+	// Output:
+	// true
+	// false
+	// true
+	// true
+	// false
+}
+
+func ExampleSet_Snapshot() {
+	s := listset.NewVBL()
+	for _, v := range []int64{5, -2, 9, 0} {
+		s.Insert(v)
+	}
+	fmt.Println(s.Snapshot())
+	fmt.Println(s.Len())
+	// Output:
+	// [-2 0 5 9]
+	// 4
+}
+
+func ExampleNewVBL_concurrent() {
+	s := listset.NewVBL()
+	var wg sync.WaitGroup
+	// Four goroutines insert disjoint stripes concurrently.
+	for g := int64(0); g < 4; g++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for k := base; k < base+25; k++ {
+				s.Insert(k)
+			}
+		}(g * 25)
+	}
+	wg.Wait()
+	fmt.Println(s.Len())
+	// Output:
+	// 100
+}
+
+func ExampleLookup() {
+	im, err := listset.Lookup("harris")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(im.Name, im.LockFree)
+	s := im.New()
+	fmt.Println(s.Insert(1))
+	// Output:
+	// harris true
+	// true
+}
+
+func ExampleImplementations() {
+	for _, im := range listset.Implementations() {
+		if im.ThreadSafe && im.LockFree {
+			fmt.Println(im.Name)
+		}
+	}
+	// Output:
+	// harris
+	// harris-amr
+	// fomitchev
+}

@@ -1,0 +1,110 @@
+// Membership: a concurrent deduplication service built on the VBL list —
+// the kind of small hot set (session IDs, recently-seen message IDs)
+// the paper's workloads model with their 20%-update mix.
+//
+// A pool of producer goroutines emits events with IDs drawn from a
+// Zipf-ish hot range; each event must be processed exactly once, so
+// producers claim an ID by Insert (first insert wins) and a janitor
+// expires old IDs with Remove to keep the set small. A pool of auditors
+// runs wait-free Contains probes throughout.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"listset"
+)
+
+const (
+	producers = 6
+	auditors  = 2
+	events    = 5000 // per producer
+	idRange   = 512
+)
+
+func main() {
+	seen := listset.NewVBL()
+
+	var (
+		processed  atomic.Int64 // events claimed and handled
+		duplicates atomic.Int64 // events skipped as already claimed
+		expired    atomic.Int64 // ids expired by the janitor
+		probes     atomic.Int64
+		producerWG sync.WaitGroup
+		bgWG       sync.WaitGroup
+		done       atomic.Bool
+	)
+
+	// Producers: claim-by-insert gives exactly-once processing without
+	// any coordination beyond the set itself.
+	for p := 0; p < producers; p++ {
+		producerWG.Add(1)
+		go func(seed int64) {
+			defer producerWG.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < events; i++ {
+				id := int64(rng.Intn(idRange))
+				if seen.Insert(id) {
+					processed.Add(1) // we own this event
+				} else {
+					duplicates.Add(1) // someone else was first
+				}
+				if i%64 == 0 {
+					// Keep the run fair on single-core hosts so the
+					// janitor and auditors interleave visibly.
+					runtime.Gosched()
+				}
+			}
+		}(int64(p) + 1)
+	}
+
+	// Janitor: expire random IDs so the hot set stays small; every
+	// successful Remove re-opens that ID for processing.
+	bgWG.Add(1)
+	go func() {
+		defer bgWG.Done()
+		rng := rand.New(rand.NewSource(99))
+		for !done.Load() {
+			if seen.Remove(int64(rng.Intn(idRange))) {
+				expired.Add(1)
+			}
+		}
+	}()
+
+	// Auditors: wait-free reads all along.
+	for a := 0; a < auditors; a++ {
+		bgWG.Add(1)
+		go func(seed int64) {
+			defer bgWG.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !done.Load() {
+				seen.Contains(int64(rng.Intn(idRange)))
+				probes.Add(1)
+			}
+		}(int64(a) + 500)
+	}
+
+	// Wait for the producers, then stop the unbounded goroutines.
+	producerWG.Wait()
+	done.Store(true)
+	bgWG.Wait()
+
+	// Accounting invariant: every claimed ID is either still in the set
+	// or was expired. (processed - expired == current size)
+	size := int64(seen.Len())
+	fmt.Printf("events emitted:      %d\n", producers*events)
+	fmt.Printf("processed (claims):  %d\n", processed.Load())
+	fmt.Printf("duplicates skipped:  %d\n", duplicates.Load())
+	fmt.Printf("ids expired:         %d\n", expired.Load())
+	fmt.Printf("audit probes:        %d\n", probes.Load())
+	fmt.Printf("current set size:    %d\n", size)
+	if processed.Load()-expired.Load() == size {
+		fmt.Println("balance: processed - expired == size ✓")
+	} else {
+		fmt.Printf("balance VIOLATED: %d - %d != %d\n", processed.Load(), expired.Load(), size)
+	}
+}

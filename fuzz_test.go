@@ -1,0 +1,145 @@
+package listset
+
+import (
+	"testing"
+)
+
+// Fuzz targets interpret a byte string as a program of set operations
+// and cross-check every implementation against a map oracle (sequential
+// fuzzing) and against each other. They run over the seed corpus in
+// ordinary `go test` runs and explore further with `go test -fuzz`.
+
+// decodeOp maps two bytes to (operation, key).
+func decodeOp(op, key byte) (kind int, k int64) {
+	return int(op % 3), int64(key % 32)
+}
+
+func seedCorpus(f *testing.F) {
+	f.Helper()
+	f.Add([]byte{})
+	f.Add([]byte{0, 1})
+	f.Add([]byte{0, 5, 2, 5, 1, 5, 1, 5})
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 1, 2, 2, 2, 2, 1, 2, 3})
+	// Insert/remove churn on one key.
+	churn := make([]byte, 0, 64)
+	for i := 0; i < 16; i++ {
+		churn = append(churn, 0, 7, 1, 7)
+	}
+	f.Add(churn)
+	// Ascending then descending inserts.
+	var sweep []byte
+	for i := byte(0); i < 30; i++ {
+		sweep = append(sweep, 0, i)
+	}
+	for i := byte(30); i > 0; i-- {
+		sweep = append(sweep, 1, i-1)
+	}
+	f.Add(sweep)
+}
+
+// FuzzSequentialVsOracle runs the program on every implementation and
+// requires the result stream to match the map oracle exactly.
+func FuzzSequentialVsOracle(f *testing.F) {
+	seedCorpus(f)
+	impls := Implementations()
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		if len(prog) > 4096 {
+			t.Skip()
+		}
+		for _, im := range impls {
+			s := im.New()
+			oracle := map[int64]bool{}
+			for i := 0; i+1 < len(prog); i += 2 {
+				kind, k := decodeOp(prog[i], prog[i+1])
+				switch kind {
+				case 0:
+					want := !oracle[k]
+					if got := s.Insert(k); got != want {
+						t.Fatalf("%s: step %d Insert(%d) = %v, want %v", im.Name, i/2, k, got, want)
+					}
+					oracle[k] = true
+				case 1:
+					want := oracle[k]
+					if got := s.Remove(k); got != want {
+						t.Fatalf("%s: step %d Remove(%d) = %v, want %v", im.Name, i/2, k, got, want)
+					}
+					delete(oracle, k)
+				default:
+					if got := s.Contains(k); got != oracle[k] {
+						t.Fatalf("%s: step %d Contains(%d) = %v, want %v", im.Name, i/2, k, got, oracle[k])
+					}
+				}
+			}
+			if s.Len() != len(oracle) {
+				t.Fatalf("%s: final Len = %d, want %d", im.Name, s.Len(), len(oracle))
+			}
+			snap := s.Snapshot()
+			if len(snap) != len(oracle) {
+				t.Fatalf("%s: final Snapshot size %d, want %d", im.Name, len(snap), len(oracle))
+			}
+			for i, v := range snap {
+				if !oracle[v] {
+					t.Fatalf("%s: Snapshot holds %d which the oracle lacks", im.Name, v)
+				}
+				if i > 0 && snap[i-1] >= v {
+					t.Fatalf("%s: Snapshot not strictly ascending: %v", im.Name, snap)
+				}
+			}
+		}
+	})
+}
+
+// FuzzImplementationsAgree splits the program into two goroutine-bound
+// halves operating on DISJOINT key halves concurrently, then checks all
+// implementations converge to the same final contents.
+func FuzzImplementationsAgree(f *testing.F) {
+	seedCorpus(f)
+	impls := Implementations()
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		if len(prog) > 2048 {
+			t.Skip()
+		}
+		var finals [][]int64
+		for _, im := range impls {
+			if !im.ThreadSafe {
+				continue
+			}
+			s := im.New()
+			done := make(chan struct{}, 2)
+			// Two workers, keys partitioned by parity so the outcome is
+			// deterministic regardless of interleaving.
+			for w := 0; w < 2; w++ {
+				go func(w int) {
+					defer func() { done <- struct{}{} }()
+					for i := 0; i+1 < len(prog); i += 2 {
+						kind, k := decodeOp(prog[i], prog[i+1])
+						if int(k%2) != w {
+							continue
+						}
+						switch kind {
+						case 0:
+							s.Insert(k)
+						case 1:
+							s.Remove(k)
+						default:
+							s.Contains(k)
+						}
+					}
+				}(w)
+			}
+			<-done
+			<-done
+			finals = append(finals, s.Snapshot())
+		}
+		for i := 1; i < len(finals); i++ {
+			if len(finals[i]) != len(finals[0]) {
+				t.Fatalf("final contents diverge: %v vs %v", finals[0], finals[i])
+			}
+			for j := range finals[i] {
+				if finals[i][j] != finals[0][j] {
+					t.Fatalf("final contents diverge: %v vs %v", finals[0], finals[i])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module listset
+
+go 1.22

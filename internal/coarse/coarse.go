@@ -1,0 +1,63 @@
+// Package coarse implements the coarse-grained locking list: a single
+// mutex around the sequential list of Algorithm 1. It is the sanity
+// floor of the benchmark suite — every algorithm in the paper must beat
+// it as soon as there is any parallelism to exploit.
+package coarse
+
+import (
+	"sync"
+
+	"listset/internal/seqlist"
+)
+
+// Sentinel values stored in the head and tail nodes.
+const (
+	MinSentinel = seqlist.MinSentinel
+	MaxSentinel = seqlist.MaxSentinel
+)
+
+// List is a sequential list behind one global mutex.
+type List struct {
+	mu   sync.Mutex
+	list *seqlist.List
+}
+
+// New returns an empty coarse-grained locking set.
+func New() *List {
+	return &List{list: seqlist.New()}
+}
+
+// Insert adds v to the set and reports whether v was absent.
+func (l *List) Insert(v int64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.list.Insert(v)
+}
+
+// Remove deletes v from the set and reports whether v was present.
+func (l *List) Remove(v int64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.list.Remove(v)
+}
+
+// Contains reports whether v is in the set.
+func (l *List) Contains(v int64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.list.Contains(v)
+}
+
+// Len returns the number of elements.
+func (l *List) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.list.Len()
+}
+
+// Snapshot returns the elements in ascending order.
+func (l *List) Snapshot() []int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.list.Snapshot()
+}

@@ -1,0 +1,55 @@
+package coarse
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBasics(t *testing.T) {
+	l := New()
+	if !l.Insert(2) || l.Insert(2) || !l.Contains(2) || l.Contains(3) {
+		t.Fatal("basic insert/contains semantics wrong")
+	}
+	if !l.Remove(2) || l.Remove(2) || l.Contains(2) {
+		t.Fatal("basic remove semantics wrong")
+	}
+	if l.Len() != 0 || len(l.Snapshot()) != 0 {
+		t.Fatal("empty after balanced ops expected")
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	l := New()
+	for _, v := range []int64{5, 1, 3, 2, 4} {
+		l.Insert(v)
+	}
+	snap := l.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1] >= snap[i] {
+			t.Fatalf("snapshot not ascending: %v", snap)
+		}
+	}
+	if l.Len() != 5 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+// TestMutualExclusion: exact final counts under concurrent updates.
+func TestMutualExclusion(t *testing.T) {
+	l := New()
+	const goroutines, keys = 8, 100
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for k := int64(0); k < keys; k++ {
+				l.Insert(base + k)
+			}
+		}(int64(g * keys))
+	}
+	wg.Wait()
+	if l.Len() != goroutines*keys {
+		t.Fatalf("Len = %d, want %d", l.Len(), goroutines*keys)
+	}
+}

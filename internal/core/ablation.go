@@ -1,0 +1,179 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Ablation variants of VBL, used by the benchmark suite to price the
+// design choices the paper highlights:
+//
+//   - Option-configured VBL variants: restart from head instead of prev
+//     after a failed validation, and skip the lock-free pre-validation
+//     before taking the try-lock;
+//   - MutexVBL: the identical algorithm with sync.Mutex per node instead
+//     of the CAS spin try-lock.
+
+// Option configures an ablation variant of the VBL list.
+type Option func(*VBL)
+
+// WithHeadRestart makes failed validations restart the traversal from
+// the head rather than from prev, disabling the paper's locality
+// optimization (Algorithm 2 restarts at line 24/35 with the retained
+// prev).
+func WithHeadRestart() Option {
+	return func(s *VBL) { s.headRestart = true }
+}
+
+// WithoutPreValidation removes the lock-free check performed before
+// acquiring the try-lock, so every validation pays for the lock's cache
+// line first — the Lazy list's lock-then-validate discipline grafted
+// onto VBL's locking structure.
+func WithoutPreValidation() Option {
+	return func(s *VBL) { s.noPreValidate = true }
+}
+
+// NewVariant returns a VBL configured with the given ablation options.
+// NewVariant() with no options is equivalent to New.
+func NewVariant(opts ...Option) *VBL {
+	s := New()
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// MutexVBL is the VBL algorithm with sync.Mutex node locks in place of
+// the CAS spin try-lock. Everything else — wait-free traversal,
+// value-aware validation, logical deletion before unlinking — is
+// identical, so benchmarking it against VBL isolates the lock substrate.
+type MutexVBL struct {
+	head *mnode
+	tail *mnode
+}
+
+type mnode struct {
+	val     int64
+	next    atomic.Pointer[mnode]
+	deleted atomic.Bool
+	mu      sync.Mutex
+}
+
+// NewMutex returns an empty mutex-locked VBL set.
+func NewMutex() *MutexVBL {
+	s := &MutexVBL{
+		head: &mnode{val: MinSentinel},
+		tail: &mnode{val: MaxSentinel},
+	}
+	s.head.next.Store(s.tail)
+	return s
+}
+
+func (n *mnode) lockNextAt(succ *mnode) bool {
+	if n.deleted.Load() || n.next.Load() != succ {
+		return false
+	}
+	n.mu.Lock()
+	if n.deleted.Load() || n.next.Load() != succ {
+		n.mu.Unlock()
+		return false
+	}
+	return true
+}
+
+func (n *mnode) lockNextAtValue(v int64) bool {
+	if n.deleted.Load() || n.next.Load().val != v {
+		return false
+	}
+	n.mu.Lock()
+	if n.deleted.Load() || n.next.Load().val != v {
+		n.mu.Unlock()
+		return false
+	}
+	return true
+}
+
+func (s *MutexVBL) traverse(v int64, prev *mnode) (*mnode, *mnode) {
+	if prev.deleted.Load() {
+		prev = s.head
+	}
+	curr := prev.next.Load()
+	for curr.val < v {
+		prev = curr
+		curr = curr.next.Load()
+	}
+	return prev, curr
+}
+
+// Contains reports whether v is in the set.
+func (s *MutexVBL) Contains(v int64) bool {
+	curr := s.head
+	for curr.val < v {
+		curr = curr.next.Load()
+	}
+	return curr.val == v
+}
+
+// Insert adds v to the set and reports whether v was absent.
+func (s *MutexVBL) Insert(v int64) bool {
+	prev := s.head
+	for {
+		var curr *mnode
+		prev, curr = s.traverse(v, prev)
+		if curr.val == v {
+			return false
+		}
+		n := &mnode{val: v}
+		n.next.Store(curr)
+		if !prev.lockNextAt(curr) {
+			continue
+		}
+		prev.next.Store(n)
+		prev.mu.Unlock()
+		return true
+	}
+}
+
+// Remove deletes v from the set and reports whether v was present.
+func (s *MutexVBL) Remove(v int64) bool {
+	prev := s.head
+	for {
+		var curr *mnode
+		prev, curr = s.traverse(v, prev)
+		if curr.val != v {
+			return false
+		}
+		next := curr.next.Load()
+		if !prev.lockNextAtValue(v) {
+			continue
+		}
+		curr = prev.next.Load()
+		if !curr.lockNextAt(next) {
+			prev.mu.Unlock()
+			continue
+		}
+		curr.deleted.Store(true)
+		prev.next.Store(next)
+		curr.mu.Unlock()
+		prev.mu.Unlock()
+		return true
+	}
+}
+
+// Len counts the elements by traversal; exact at quiescence.
+func (s *MutexVBL) Len() int {
+	n := 0
+	for curr := s.head.next.Load(); curr.val != MaxSentinel; curr = curr.next.Load() {
+		n++
+	}
+	return n
+}
+
+// Snapshot returns the elements in ascending order; exact at quiescence.
+func (s *MutexVBL) Snapshot() []int64 {
+	var out []int64
+	for curr := s.head.next.Load(); curr.val != MaxSentinel; curr = curr.next.Load() {
+		out = append(out, curr.val)
+	}
+	return out
+}

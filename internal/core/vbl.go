@@ -1,0 +1,237 @@
+// Package core implements the paper's primary contribution: the VBL
+// (Value-Based List) concurrency-optimal list-based set of Aksenov,
+// Gramoli, Kuznetsov, Shang and Ravi (PACT 2021), Algorithm 2.
+//
+// VBL combines three ingredients:
+//
+//   - the wait-free traversal of the Lazy list: readers (and the locate
+//     phase of updates) follow next pointers without taking locks or
+//     consulting deletion marks;
+//   - the logical-deletion technique of Harris-Michael: removal first
+//     marks a node deleted and only then unlinks it, so concurrent
+//     traversals parked on the node stay on a well-defined path;
+//   - a novel value-aware try-lock: an update acquires a per-node
+//     CAS-based lock and then validates the successor either by identity
+//     (lockNextAt) or by value (lockNextAtValue), releasing the lock and
+//     restarting the traversal from prev on mismatch.
+//
+// Validating by value is what makes the list concurrency-optimal: a
+// remove(v) whose successor node was removed and re-inserted by other
+// threads can still proceed, because all that matters to the set's
+// semantics is that *some* node holding v follows prev.
+//
+// Memory reclamation is delegated to the Go garbage collector, exactly as
+// the paper delegates it to the Java GC: an unlinked node remains valid
+// for the traversals still standing on it until it becomes unreachable.
+package core
+
+import (
+	"sync/atomic"
+
+	"listset/internal/trylock"
+)
+
+// Sentinel values stored in the head and tail nodes; they represent the
+// paper's -inf/+inf and cannot be inserted.
+const (
+	MinSentinel = -1 << 63
+	MaxSentinel = 1<<63 - 1
+)
+
+// node is a list node. val is immutable; next and deleted are read by
+// wait-free traversals while being written by lock holders, so both are
+// atomics. lock serializes writers of next and deleted.
+type node struct {
+	val     int64
+	next    atomic.Pointer[node]
+	deleted atomic.Bool
+	lock    trylock.SpinLock
+}
+
+// lockNextAt implements the identity-validating half of the value-aware
+// try-lock (Section 3.1, operation (1)): acquire n's lock, then verify
+// that n is not logically deleted and that n.next still points at succ.
+// On validation failure the lock is released and false is returned.
+//
+// A cheap lock-free pre-validation runs first (unless disabled by the
+// WithoutPreValidation ablation): if the condition already fails there
+// is no point bouncing the lock's cache line. This is the "validate
+// before locking, not after" property the paper credits for VBL's
+// behaviour under contention.
+func (n *node) lockNextAt(succ *node, preValidate bool) bool {
+	if preValidate && (n.deleted.Load() || n.next.Load() != succ) {
+		return false
+	}
+	n.lock.Lock()
+	if n.deleted.Load() || n.next.Load() != succ {
+		n.lock.Unlock()
+		return false
+	}
+	return true
+}
+
+// lockNextAtValue implements the value-validating half of the try-lock
+// (Section 3.1, operation (2)): acquire n's lock, then verify that n is
+// not logically deleted and that the *value* of n's successor is v. The
+// successor node's identity is allowed to have changed — that is the
+// value-awareness that distinguishes VBL from the Lazy list.
+func (n *node) lockNextAtValue(v int64, preValidate bool) bool {
+	if preValidate && (n.deleted.Load() || n.next.Load().val != v) {
+		return false
+	}
+	n.lock.Lock()
+	if n.deleted.Load() || n.next.Load().val != v {
+		n.lock.Unlock()
+		return false
+	}
+	return true
+}
+
+// VBL is the Value-Based List. The zero value is not usable; call New.
+type VBL struct {
+	head *node
+	tail *node
+
+	// Ablation knobs (see Option); both false for the paper's algorithm.
+	headRestart   bool // restart failed validations from head, not prev
+	noPreValidate bool // skip the lock-free check before locking
+}
+
+// New returns an empty VBL set.
+func New() *VBL {
+	s := &VBL{
+		head: &node{val: MinSentinel},
+		tail: &node{val: MaxSentinel},
+	}
+	s.head.next.Store(s.tail)
+	return s
+}
+
+// traverse is the waitfreeTraversal of Algorithm 2 (lines 14-21): starting
+// from prev — or from head if prev has been logically deleted since the
+// caller last held it — follow next pointers until curr.val >= v, taking
+// no locks and ignoring deletion marks along the way.
+//
+// Restarting from prev rather than head after a failed validation is the
+// paper's locality optimization: the failed window is almost always
+// adjacent to where the conflict happened.
+func (s *VBL) traverse(v int64, prev *node) (*node, *node) {
+	if prev.deleted.Load() {
+		prev = s.head
+	}
+	curr := prev.next.Load()
+	for curr.val < v {
+		prev = curr
+		curr = curr.next.Load()
+	}
+	return prev, curr
+}
+
+// Contains reports whether v is in the set (Algorithm 2, lines 9-13).
+// It is wait-free: a pure pointer chase with no locks and no mark checks.
+//
+// Linearization: at the read of the next pointer that first reached a
+// node with value >= v (for hits, the node holding v was reachable at
+// that moment or was logically deleted after the traversal passed its
+// predecessor, in which case the operation linearizes just before the
+// delete's mark).
+func (s *VBL) Contains(v int64) bool {
+	curr := s.head
+	for curr.val < v {
+		curr = curr.next.Load()
+	}
+	return curr.val == v
+}
+
+// Insert adds v to the set and reports whether v was absent
+// (Algorithm 2, lines 22-32).
+func (s *VBL) Insert(v int64) bool {
+	prev := s.head
+	for {
+		var curr *node
+		prev, curr = s.traverse(v, prev)
+		if curr.val == v {
+			// Present already: return without touching any metadata.
+			// (The Lazy list would have locked prev first — this early
+			// return is exactly the schedule of Figure 2 that Lazy
+			// rejects and VBL accepts.)
+			return false
+		}
+		n := &node{val: v}
+		n.next.Store(curr)
+		if !prev.lockNextAt(curr, !s.noPreValidate) {
+			if s.headRestart {
+				prev = s.head
+			}
+			continue // revalidate from prev (traverse handles deleted prev)
+		}
+		prev.next.Store(n)
+		prev.lock.Unlock()
+		return true
+	}
+}
+
+// Remove deletes v from the set and reports whether v was present
+// (Algorithm 2, lines 33-48).
+func (s *VBL) Remove(v int64) bool {
+	prev := s.head
+	for {
+		var curr *node
+		prev, curr = s.traverse(v, prev)
+		if curr.val != v {
+			return false
+		}
+		next := curr.next.Load()
+		// Lock prev validating BY VALUE: any node holding v will do,
+		// even if the one we saw during traversal was removed and a new
+		// one inserted meanwhile.
+		if !prev.lockNextAtValue(v, !s.noPreValidate) {
+			if s.headRestart {
+				prev = s.head
+			}
+			continue
+		}
+		// Re-read the successor under prev's lock (Algorithm 2, line 40):
+		// it is the (possibly different) node holding v whose presence
+		// the validation just established. It cannot change or become
+		// deleted while we hold prev's lock, because both require
+		// locking prev.
+		curr = prev.next.Load()
+		// Lock curr validating that its successor is still the next read
+		// at line 38, so the unlink below cannot lose a concurrent
+		// insert after curr (line 41).
+		if !curr.lockNextAt(next, !s.noPreValidate) {
+			prev.lock.Unlock()
+			if s.headRestart {
+				prev = s.head
+			}
+			continue
+		}
+		curr.deleted.Store(true) // logical deletion
+		prev.next.Store(next)    // physical unlink
+		curr.lock.Unlock()
+		prev.lock.Unlock()
+		return true
+	}
+}
+
+// Len counts the elements by traversal. Under concurrent updates the
+// result is a best-effort snapshot; it is exact at quiescence. O(n).
+func (s *VBL) Len() int {
+	n := 0
+	for curr := s.head.next.Load(); curr.val != MaxSentinel; curr = curr.next.Load() {
+		n++
+	}
+	return n
+}
+
+// Snapshot returns the elements reachable from head in ascending order.
+// Under concurrent updates it is a best-effort snapshot; it is exact at
+// quiescence.
+func (s *VBL) Snapshot() []int64 {
+	var out []int64
+	for curr := s.head.next.Load(); curr.val != MaxSentinel; curr = curr.next.Load() {
+		out = append(out, curr.val)
+	}
+	return out
+}

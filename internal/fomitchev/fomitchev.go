@@ -1,0 +1,262 @@
+// Package fomitchev implements the lock-free linked list of Fomitchev
+// and Ruppert (PODC 2004), the related-work algorithm the paper's §5
+// singles out: nodes carry a *backlink* to their predecessor, set when
+// they are deleted, so an operation that loses a race backtracks a few
+// nodes instead of restarting from head. The contains operation is the
+// wait-free one of Gibson and Gramoli's "selfish" refinement (DISC
+// 2015) — it never helps and never restarts.
+//
+// Deletion is a three-step protocol, each step one CAS on a node's
+// (right, mark, flag) successor word:
+//
+//  1. FLAG the predecessor (right unchanged, flag=1): freezes prev.succ
+//     so the victim cannot be bypassed while it is being deleted;
+//  2. MARK the victim (mark=1): the logical deletion — after this the
+//     node is absent; its backlink points at the flagged predecessor;
+//  3. physically remove it: CAS the predecessor from (victim,0,1) to
+//     (victim.right,0,0), clearing the flag and the victim together.
+//
+// Any thread that encounters an intermediate state can complete it
+// (helping), and a thread whose CAS fails because its predecessor got
+// marked walks backlinks to an unmarked node rather than re-traversing.
+//
+// As the paper notes, this algorithm is also not concurrency-optimal —
+// the Figure-3 construction (helping + restart) applies to it as well.
+package fomitchev
+
+import "sync/atomic"
+
+// Sentinel values stored in the head and tail nodes.
+const (
+	MinSentinel = -1 << 63
+	MaxSentinel = 1<<63 - 1
+)
+
+// succ is the immutable (right, mark, flag) successor word of a node.
+// mark and flag are mutually exclusive.
+type succ struct {
+	right *node
+	mark  bool // this node is logically deleted
+	flag  bool // this node's successor is being deleted; right is frozen
+}
+
+type node struct {
+	val      int64
+	succ     atomic.Pointer[succ]
+	backlink atomic.Pointer[node]
+}
+
+func newNode(v int64, right *node) *node {
+	n := &node{val: v}
+	n.succ.Store(&succ{right: right})
+	return n
+}
+
+// List is the Fomitchev-Ruppert list.
+type List struct {
+	head *node
+	tail *node
+}
+
+// New returns an empty Fomitchev-Ruppert set.
+func New() *List {
+	tail := newNode(MaxSentinel, nil)
+	head := newNode(MinSentinel, tail)
+	return &List{head: head, tail: tail}
+}
+
+// searchFrom returns a window (prev, curr) with prev.val < v <=
+// curr.val, starting from start (which must satisfy start.val < v).
+// It helps complete deletions it encounters: a marked successor whose
+// predecessor is flagged gets physically removed on the way past.
+func (l *List) searchFrom(v int64, start *node) (prev, curr *node) {
+	prev = start
+	ps := prev.succ.Load()
+	curr = ps.right
+	for {
+		cs := curr.succ.Load()
+		// Skip/help past marked nodes unless we are inside a deleted
+		// region (prev itself marked still pointing at curr) — the
+		// caller resolves that via backlinks.
+		for cs.mark && (!ps.mark || ps.right != curr) {
+			if ps.right == curr {
+				// prev must be flagged at curr (mark implies flagged
+				// predecessor); complete the removal.
+				helpMarked(prev, curr)
+			}
+			ps = prev.succ.Load()
+			curr = ps.right
+			cs = curr.succ.Load()
+		}
+		if curr.val >= v {
+			return prev, curr
+		}
+		prev = curr
+		ps = cs
+		curr = cs.right
+	}
+}
+
+// helpMarked physically removes the marked node del, whose predecessor
+// prev must be flagged at del: CAS prev.succ (del,0,1) -> (del.right,0,0).
+func helpMarked(prev, del *node) {
+	expected := prev.succ.Load()
+	if !expected.flag || expected.right != del {
+		return // already completed by someone else
+	}
+	next := del.succ.Load().right
+	prev.succ.CompareAndSwap(expected, &succ{right: next})
+}
+
+// helpFlagged completes the deletion of del, whose predecessor prev is
+// flagged at del: install the backlink, mark del, then remove it.
+func helpFlagged(prev, del *node) {
+	del.backlink.Store(prev)
+	if !del.succ.Load().mark {
+		tryMark(del)
+	}
+	helpMarked(prev, del)
+}
+
+// tryMark sets del's mark bit, helping any deletion of del's successor
+// that blocks it (del flagged means del's OWN successor is being
+// deleted; that must finish before del's succ word can change).
+func tryMark(del *node) {
+	for {
+		s := del.succ.Load()
+		if s.mark {
+			return
+		}
+		if s.flag {
+			helpFlagged(del, s.right)
+			continue
+		}
+		if del.succ.CompareAndSwap(s, &succ{right: s.right, mark: true}) {
+			return
+		}
+	}
+}
+
+// backtrack walks backlinks from n to the nearest unmarked node.
+func (l *List) backtrack(n *node) *node {
+	for n.succ.Load().mark {
+		b := n.backlink.Load()
+		if b == nil {
+			return l.head
+		}
+		n = b
+	}
+	return n
+}
+
+// tryFlag flags prev at target, the first step of deleting target. It
+// returns the predecessor that is flagged at target (possibly a
+// different node than the given prev after races) and whether THIS call
+// installed the flag; (nil, false) means target is no longer in the
+// list.
+func (l *List) tryFlag(prev, target *node) (*node, bool) {
+	for {
+		ps := prev.succ.Load()
+		if ps.flag && ps.right == target {
+			return prev, false // already flagged by a competitor
+		}
+		if !ps.mark && ps.right == target {
+			if prev.succ.CompareAndSwap(ps, &succ{right: target, flag: true}) {
+				return prev, true
+			}
+			continue // prev.succ changed; reinspect
+		}
+		// prev no longer points cleanly at target: backtrack over
+		// marked nodes, then re-search for target.
+		prev = l.backtrack(prev)
+		var curr *node
+		prev, curr = l.searchFrom(target.val, prev)
+		if curr != target {
+			return nil, false // target was removed
+		}
+	}
+}
+
+// Contains reports whether v is in the set: the wait-free traversal of
+// the selfish variant — no helping, no restarts, a single mark check
+// on the landing node.
+func (l *List) Contains(v int64) bool {
+	curr := l.head
+	for curr.val < v {
+		curr = curr.succ.Load().right
+	}
+	s := curr.succ.Load()
+	return curr.val == v && !s.mark
+}
+
+// Insert adds v to the set and reports whether v was absent.
+func (l *List) Insert(v int64) bool {
+	prev, curr := l.searchFrom(v, l.head)
+	for {
+		if curr.val == v && !curr.succ.Load().mark {
+			return false
+		}
+		ps := prev.succ.Load()
+		switch {
+		case ps.flag:
+			// prev's successor is mid-deletion; help and retry.
+			helpFlagged(prev, ps.right)
+		case ps.mark:
+			// prev itself was deleted; back off over backlinks.
+			prev = l.backtrack(prev)
+		case ps.right != curr:
+			// Window shifted; fall through to re-search below.
+		default:
+			n := newNode(v, curr)
+			if prev.succ.CompareAndSwap(ps, &succ{right: n}) {
+				return true
+			}
+			continue // inspect the new prev.succ without re-searching
+		}
+		prev, curr = l.searchFrom(v, prev)
+	}
+}
+
+// Remove deletes v from the set and reports whether v was present. The
+// linearization point of a successful remove is the mark CAS performed
+// by whoever completes step 2 after this call's flag succeeded.
+func (l *List) Remove(v int64) bool {
+	prev, curr := l.searchFrom(v, l.head)
+	if curr.val != v {
+		return false
+	}
+	flagged, won := l.tryFlag(prev, curr)
+	if flagged != nil {
+		helpFlagged(flagged, curr)
+	}
+	return won
+}
+
+// Len counts the live elements by traversal; exact at quiescence.
+func (l *List) Len() int {
+	n := 0
+	curr := l.head.succ.Load().right
+	for curr.val != MaxSentinel {
+		s := curr.succ.Load()
+		if !s.mark {
+			n++
+		}
+		curr = s.right
+	}
+	return n
+}
+
+// Snapshot returns the live elements in ascending order; exact at
+// quiescence.
+func (l *List) Snapshot() []int64 {
+	var out []int64
+	curr := l.head.succ.Load().right
+	for curr.val != MaxSentinel {
+		s := curr.succ.Load()
+		if !s.mark {
+			out = append(out, curr.val)
+		}
+		curr = s.right
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package fomitchev
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeletionProtocolSteps(t *testing.T) {
+	l := New()
+	l.Insert(10)
+	l.Insert(20)
+	prev, curr := l.searchFrom(10, l.head)
+	if prev != l.head || curr.val != 10 {
+		t.Fatalf("window = (%d, %d), want (head, 10)", prev.val, curr.val)
+	}
+
+	// Step 1: flag the predecessor.
+	flagged, won := l.tryFlag(prev, curr)
+	if !won || flagged != prev {
+		t.Fatalf("tryFlag = (%v, %v), want (head, true)", flagged, won)
+	}
+	ps := prev.succ.Load()
+	if !ps.flag || ps.mark || ps.right != curr {
+		t.Fatalf("prev.succ after flag = %+v", ps)
+	}
+
+	// Step 2+3: complete the deletion.
+	helpFlagged(flagged, curr)
+	cs := curr.succ.Load()
+	if !cs.mark {
+		t.Fatal("victim not marked after helpFlagged")
+	}
+	if curr.backlink.Load() != prev {
+		t.Fatal("backlink not installed")
+	}
+	ps = prev.succ.Load()
+	if ps.flag || ps.right.val != 20 {
+		t.Fatalf("prev.succ after removal = %+v, want unflagged -> 20", ps)
+	}
+	if l.Contains(10) || !l.Contains(20) {
+		t.Fatal("membership wrong after manual deletion")
+	}
+}
+
+func TestTryFlagLoserReportsFalse(t *testing.T) {
+	l := New()
+	l.Insert(10)
+	prev, curr := l.searchFrom(10, l.head)
+	if _, won := l.tryFlag(prev, curr); !won {
+		t.Fatal("first flag should win")
+	}
+	// A second flag attempt on the same window must not claim the win.
+	flagged, won := l.tryFlag(prev, curr)
+	if won {
+		t.Fatal("second flag claimed the win")
+	}
+	if flagged != prev {
+		t.Fatalf("loser should still learn the flagged predecessor")
+	}
+	helpFlagged(flagged, curr)
+	if l.Contains(10) {
+		t.Fatal("10 still present after completed deletion")
+	}
+}
+
+func TestTryFlagDetectsRemovedTarget(t *testing.T) {
+	l := New()
+	l.Insert(10)
+	prev, curr := l.searchFrom(10, l.head)
+	if !l.Remove(10) {
+		t.Fatal("Remove failed")
+	}
+	flagged, won := l.tryFlag(prev, curr)
+	if flagged != nil || won {
+		t.Fatalf("tryFlag on removed target = (%v, %v), want (nil, false)", flagged, won)
+	}
+}
+
+func TestBacklinkBacktracking(t *testing.T) {
+	l := New()
+	for _, v := range []int64{10, 20, 30} {
+		l.Insert(v)
+	}
+	_, n10 := l.searchFrom(10, l.head)
+	_, n20 := l.searchFrom(20, l.head)
+	l.Remove(20)
+	l.Remove(10)
+	// Backtracking from the deleted 20 walks its backlink chain (20 ->
+	// 10, also deleted -> head).
+	if got := l.backtrack(n20); got != l.head {
+		t.Fatalf("backtrack from deleted 20 = %d, want head", got.val)
+	}
+	if got := l.backtrack(n10); got != l.head {
+		t.Fatalf("backtrack from deleted 10 = %d, want head", got.val)
+	}
+	if !l.Contains(30) {
+		t.Fatal("30 lost during deletions")
+	}
+}
+
+func TestSearchFromHelpsCompleteDeletes(t *testing.T) {
+	l := New()
+	l.Insert(10)
+	l.Insert(20)
+	prev, curr := l.searchFrom(10, l.head)
+	// Flag + mark by hand, leaving the physical removal undone.
+	flagged, won := l.tryFlag(prev, curr)
+	if !won {
+		t.Fatal("flag failed")
+	}
+	curr.backlink.Store(flagged)
+	tryMark(curr)
+	// A search past the victim must complete the removal.
+	p2, c2 := l.searchFrom(20, l.head)
+	if p2 != l.head || c2.val != 20 {
+		t.Fatalf("window after helping = (%d, %d), want (head, 20)", p2.val, c2.val)
+	}
+	if ps := l.head.succ.Load(); ps.flag || ps.right != c2 {
+		t.Fatalf("head.succ = %+v after helping", ps)
+	}
+}
+
+func TestInsertOverFlaggedPredecessorHelps(t *testing.T) {
+	l := New()
+	l.Insert(10)
+	l.Insert(20)
+	prev, curr := l.searchFrom(10, l.head)
+	if _, won := l.tryFlag(prev, curr); !won {
+		t.Fatal("flag failed")
+	}
+	// head is flagged at 10; an insert of 5 must help finish 10's
+	// deletion before linking.
+	if !l.Insert(5) {
+		t.Fatal("Insert(5) failed over flagged predecessor")
+	}
+	if l.Contains(10) {
+		t.Fatal("10 survived the helped deletion")
+	}
+	snap := l.Snapshot()
+	if len(snap) != 2 || snap[0] != 5 || snap[1] != 20 {
+		t.Fatalf("Snapshot = %v, want [5 20]", snap)
+	}
+}
+
+func TestReinsertAfterRemove(t *testing.T) {
+	l := New()
+	for i := 0; i < 200; i++ {
+		if !l.Insert(7) {
+			t.Fatalf("round %d: Insert failed", i)
+		}
+		if !l.Remove(7) {
+			t.Fatalf("round %d: Remove failed", i)
+		}
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d after balanced rounds", l.Len())
+	}
+}
+
+func TestQuickVsMap(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint8
+	}
+	f := func(prog []op) bool {
+		l := New()
+		oracle := map[int64]bool{}
+		for _, o := range prog {
+			k := int64(o.Key % 16)
+			switch o.Kind % 3 {
+			case 0:
+				if l.Insert(k) != !oracle[k] {
+					return false
+				}
+				oracle[k] = true
+			case 1:
+				if l.Remove(k) != oracle[k] {
+					return false
+				}
+				delete(oracle, k)
+			default:
+				if l.Contains(k) != oracle[k] {
+					return false
+				}
+			}
+		}
+		return l.Len() == len(oracle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentSmokeFomitchev(t *testing.T) {
+	l := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 20000; i++ {
+				k := int64(rng.Intn(24))
+				switch rng.Intn(3) {
+				case 0:
+					l.Insert(k)
+				case 1:
+					l.Remove(k)
+				default:
+					l.Contains(k)
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	// Quiescent structure: live chain strictly ascending, no flags left
+	// behind, every reachable marked node eventually unlinkable.
+	var last int64 = MinSentinel
+	curr := l.head.succ.Load().right
+	for curr.val != MaxSentinel {
+		s := curr.succ.Load()
+		if !s.mark {
+			if curr.val <= last {
+				t.Fatalf("live chain order violation: %d after %d", curr.val, last)
+			}
+			if s.flag {
+				// A flag with no concurrent deleter means the deletion
+				// stalled — helping should have cleared it; tolerate
+				// only if the successor is marked (mid-protocol is
+				// impossible at quiescence).
+				t.Fatalf("dangling flag on live node %d at quiescence", curr.val)
+			}
+			last = curr.val
+		}
+		curr = s.right
+	}
+}

@@ -1,0 +1,199 @@
+// Package harness is the Go equivalent of the Synchrobench measurement
+// loop the paper uses (Gramoli, PPoPP 2015): N worker goroutines apply a
+// randomized operation mix to one shared set for a fixed wall-clock
+// duration after a warm-up, repeated several times; the metric is
+// aggregate throughput in operations per second.
+//
+// The harness is deliberately boring: per-worker xorshift generators,
+// per-worker counters merged after the run, an atomic stop flag, and a
+// start barrier so all workers begin together. Anything cleverer would
+// risk measuring the harness.
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"listset/internal/stats"
+	"listset/internal/workload"
+)
+
+// Set is the operation surface the harness drives. listset.Set satisfies
+// it structurally; the harness deliberately does not depend on the root
+// package.
+type Set interface {
+	Insert(v int64) bool
+	Remove(v int64) bool
+	Contains(v int64) bool
+}
+
+// Config describes one benchmark cell: an implementation, a thread
+// count, a workload, and the measurement protocol.
+type Config struct {
+	// Name identifies the implementation in reports.
+	Name string
+	// New constructs a fresh, empty set.
+	New func() Set
+	// Threads is the number of worker goroutines.
+	Threads int
+	// Workload is the operation mix and key range.
+	Workload workload.Config
+	// Duration is the measured interval per run.
+	Duration time.Duration
+	// Warmup runs the same load without counting before each
+	// measurement. The paper warms up for as long as it measures.
+	Warmup time.Duration
+	// Runs is how many times the (warmup, measure) pair repeats; the
+	// paper uses 5.
+	Runs int
+	// Seed makes population and op streams reproducible.
+	Seed int64
+}
+
+// Validate reports whether the configuration is well-formed.
+func (c Config) Validate() error {
+	if c.New == nil {
+		return fmt.Errorf("harness: Config.New is nil")
+	}
+	if c.Threads <= 0 {
+		return fmt.Errorf("harness: Threads = %d, must be positive", c.Threads)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("harness: Duration = %v, must be positive", c.Duration)
+	}
+	if c.Runs <= 0 {
+		return fmt.Errorf("harness: Runs = %d, must be positive", c.Runs)
+	}
+	return c.Workload.Validate()
+}
+
+// Counts aggregates per-operation tallies across all workers of one run.
+type Counts struct {
+	ContainsHit  int64
+	ContainsMiss int64
+	InsertOK     int64 // effective inserts (value was absent)
+	InsertFail   int64
+	RemoveOK     int64 // effective removes (value was present)
+	RemoveFail   int64
+}
+
+// Total returns the total number of completed operations.
+func (c Counts) Total() int64 {
+	return c.ContainsHit + c.ContainsMiss + c.InsertOK + c.InsertFail + c.RemoveOK + c.RemoveFail
+}
+
+// EffectiveUpdateRatio returns the fraction of all operations that
+// actually modified the structure — the "effective update ratio"
+// Synchrobench reports.
+func (c Counts) EffectiveUpdateRatio() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.InsertOK+c.RemoveOK) / float64(t)
+}
+
+func (c *Counts) add(o Counts) {
+	c.ContainsHit += o.ContainsHit
+	c.ContainsMiss += o.ContainsMiss
+	c.InsertOK += o.InsertOK
+	c.InsertFail += o.InsertFail
+	c.RemoveOK += o.RemoveOK
+	c.RemoveFail += o.RemoveFail
+}
+
+// Result is the outcome of running one Config.
+type Result struct {
+	Config Config
+	// Throughputs holds ops/sec for each measured run.
+	Throughputs []float64
+	// Summary summarizes Throughputs.
+	Summary stats.Summary
+	// Counts aggregates operation tallies over all measured runs.
+	Counts Counts
+	// InitialSize is the set size after pre-population of the last run.
+	InitialSize int
+}
+
+// Run executes the full protocol for cfg: Runs × (populate fresh set,
+// warm up, measure), and returns the per-run throughputs.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	res := Result{Config: cfg}
+	for r := 0; r < cfg.Runs; r++ {
+		set := cfg.New()
+		res.InitialSize = workload.Prepopulate(cfg.Workload, cfg.Seed+int64(r), set.Insert)
+		if cfg.Warmup > 0 {
+			_, _ = drive(set, cfg, cfg.Warmup, uint64(cfg.Seed)+uint64(r)*1000)
+		}
+		counts, elapsed := drive(set, cfg, cfg.Duration, uint64(cfg.Seed)+uint64(r)*1000+500)
+		tput := float64(counts.Total()) / elapsed.Seconds()
+		res.Throughputs = append(res.Throughputs, tput)
+		res.Counts.add(counts)
+	}
+	res.Summary = stats.Summarize(res.Throughputs)
+	return res, nil
+}
+
+// drive runs cfg.Threads workers against set for roughly d and returns
+// the merged counts and the actual elapsed time measured from the start
+// barrier's release to the last worker's finish line crossing.
+func drive(set Set, cfg Config, d time.Duration, seedBase uint64) (Counts, time.Duration) {
+	var (
+		stop  atomic.Bool
+		start = make(chan struct{})
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		total Counts
+	)
+	for t := 0; t < cfg.Threads; t++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			gen := workload.NewGenerator(cfg.Workload, seedBase+uint64(id)*0x9E37+1)
+			var local Counts
+			<-start
+			for !stop.Load() {
+				// A small batch per stop-check keeps the flag read off
+				// the hot path without stretching run tails.
+				for i := 0; i < 32; i++ {
+					op, k := gen.Next()
+					switch op {
+					case workload.Contains:
+						if set.Contains(k) {
+							local.ContainsHit++
+						} else {
+							local.ContainsMiss++
+						}
+					case workload.Insert:
+						if set.Insert(k) {
+							local.InsertOK++
+						} else {
+							local.InsertFail++
+						}
+					case workload.Remove:
+						if set.Remove(k) {
+							local.RemoveOK++
+						} else {
+							local.RemoveFail++
+						}
+					}
+				}
+			}
+			mu.Lock()
+			total.add(local)
+			mu.Unlock()
+		}(t)
+	}
+	begin := time.Now()
+	close(start)
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(begin)
+	return total, elapsed
+}

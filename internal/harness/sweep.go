@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"listset/internal/workload"
+)
+
+// Candidate names one implementation entered into a sweep.
+type Candidate struct {
+	Name string
+	New  func() Set
+}
+
+// Sweep describes a grid of benchmark cells: every candidate × every
+// thread count, for one workload. This is the unit from which the
+// paper's figures are assembled (each panel of Figure 4 is one Sweep).
+type Sweep struct {
+	Title      string
+	Candidates []Candidate
+	Threads    []int
+	Workload   workload.Config
+	Duration   time.Duration
+	Warmup     time.Duration
+	Runs       int
+	Seed       int64
+	// Progress, if non-nil, receives a line per completed cell.
+	Progress io.Writer
+}
+
+// SweepResult holds one sweep's results indexed [candidate][thread].
+type SweepResult struct {
+	Sweep   Sweep
+	Results [][]Result
+}
+
+// RunSweep executes every cell of the sweep sequentially (cells must not
+// overlap in time — they'd contend for the same cores).
+func RunSweep(s Sweep) (SweepResult, error) {
+	out := SweepResult{Sweep: s}
+	for _, cand := range s.Candidates {
+		var row []Result
+		for _, th := range s.Threads {
+			cfg := Config{
+				Name:     cand.Name,
+				New:      cand.New,
+				Threads:  th,
+				Workload: s.Workload,
+				Duration: s.Duration,
+				Warmup:   s.Warmup,
+				Runs:     s.Runs,
+				Seed:     s.Seed,
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				return SweepResult{}, fmt.Errorf("sweep %q cell (%s, %d threads): %w", s.Title, cand.Name, th, err)
+			}
+			if s.Progress != nil {
+				fmt.Fprintf(s.Progress, "  %-14s %2d threads  %s ops/s\n",
+					cand.Name, th, humanThroughput(res.Summary.Mean))
+			}
+			row = append(row, res)
+		}
+		out.Results = append(out.Results, row)
+	}
+	return out, nil
+}
+
+// Series returns the mean-throughput series for candidate i, one value
+// per thread count.
+func (r SweepResult) Series(i int) []float64 {
+	out := make([]float64, len(r.Results[i]))
+	for j, res := range r.Results[i] {
+		out[j] = res.Summary.Mean
+	}
+	return out
+}
+
+// CandidateIndex returns the row index of the named candidate, or -1.
+func (r SweepResult) CandidateIndex(name string) int {
+	for i, c := range r.Sweep.Candidates {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}

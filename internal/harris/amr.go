@@ -1,0 +1,181 @@
+// Package harris implements the lock-free Harris-Michael list-based set
+// (Harris DISC 2001; Michael SPAA 2002) with the wait-free contains of
+// Herlihy & Shavit's book — the lock-free baseline of the paper.
+//
+// Two variants are provided, mirroring the two Java implementations the
+// paper benchmarks:
+//
+//   - AMR: the textbook variant built on an AtomicMarkableReference
+//     equivalent — each node's (next, marked) pair lives in an immutable
+//     heap cell swapped atomically. Every read of a next pointer pays an
+//     extra indirection, the overhead the paper measures against.
+//   - Marker (marker.go): the RTTI-style optimization suggested by
+//     Heller et al. — deletion marks are carried by the dynamic type of
+//     a successor node instead of a wrapper cell, restoring
+//     single-indirection traversals.
+//
+// In both variants remove performs logical deletion with a CAS and then
+// best-effort physical removal; traversing updates help unlink marked
+// nodes and restart when their unlinking CAS fails — precisely the
+// helping that makes the algorithm reject the schedule of Figure 3.
+package harris
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Sentinel values stored in the head and tail nodes.
+const (
+	MinSentinel = math.MinInt64
+	MaxSentinel = math.MaxInt64
+)
+
+// amrCell is the immutable (next, marked) pair of the AMR variant: the
+// Go equivalent of Java's AtomicMarkableReference state. A node is
+// logically deleted iff its cell's marked flag is set.
+type amrCell struct {
+	next   *amrNode
+	marked bool
+}
+
+type amrNode struct {
+	val  int64
+	cell atomic.Pointer[amrCell]
+}
+
+func newAMRNode(v int64, next *amrNode) *amrNode {
+	n := &amrNode{val: v}
+	n.cell.Store(&amrCell{next: next})
+	return n
+}
+
+// AMR is the Harris-Michael list built on AtomicMarkableReference-style
+// (pointer, mark) cells.
+type AMR struct {
+	head *amrNode
+	tail *amrNode
+}
+
+// NewAMR returns an empty Harris-Michael (AMR variant) set.
+func NewAMR() *AMR {
+	tail := newAMRNode(MaxSentinel, nil)
+	head := newAMRNode(MinSentinel, tail)
+	return &AMR{head: head, tail: tail}
+}
+
+// find locates the window (prev, curr) with prev.val < v <= curr.val,
+// physically removing every marked node it encounters on the way
+// (Michael's helping). If a removal CAS fails the traversal restarts
+// from head. It returns prev's cell as read, so callers can CAS against
+// the exact cell they validated.
+func (s *AMR) find(v int64) (prev *amrNode, prevCell *amrCell, curr *amrNode) {
+retry:
+	for {
+		prev = s.head
+		prevCell = prev.cell.Load()
+		curr = prevCell.next
+		for {
+			currCell := curr.cell.Load()
+			for currCell.marked {
+				// curr is logically deleted: help unlink it. Failure
+				// means a concurrent update changed prev's cell — the
+				// paper's Figure 3 shows this restart rejecting an
+				// otherwise correct schedule.
+				snipped := &amrCell{next: currCell.next}
+				if !prev.cell.CompareAndSwap(prevCell, snipped) {
+					continue retry
+				}
+				prevCell = snipped
+				curr = currCell.next
+				currCell = curr.cell.Load()
+			}
+			if curr.val >= v {
+				return prev, prevCell, curr
+			}
+			prev, prevCell = curr, currCell
+			curr = currCell.next
+		}
+	}
+}
+
+// Contains reports whether v is in the set. Wait-free: it never helps
+// and never restarts; it checks the mark only of the node it lands on.
+func (s *AMR) Contains(v int64) bool {
+	curr := s.head
+	cell := curr.cell.Load()
+	for curr.val < v {
+		curr = cell.next
+		cell = curr.cell.Load()
+	}
+	return curr.val == v && !cell.marked
+}
+
+// Insert adds v to the set and reports whether v was absent.
+func (s *AMR) Insert(v int64) bool {
+	for {
+		prev, prevCell, curr := s.find(v)
+		if curr.val == v {
+			return false
+		}
+		n := newAMRNode(v, curr)
+		if prev.cell.CompareAndSwap(prevCell, &amrCell{next: n}) {
+			return true
+		}
+	}
+}
+
+// Remove deletes v from the set and reports whether v was present.
+// Logical deletion (marking the cell) is the linearization point;
+// physical removal is attempted once and otherwise left to future
+// traversals.
+func (s *AMR) Remove(v int64) bool {
+	for {
+		prev, prevCell, curr := s.find(v)
+		if curr.val != v {
+			return false
+		}
+		currCell := curr.cell.Load()
+		if currCell.marked {
+			// Deleted by a competitor after find validated it; retry to
+			// settle who removed it.
+			continue
+		}
+		marked := &amrCell{next: currCell.next, marked: true}
+		if !curr.cell.CompareAndSwap(currCell, marked) {
+			continue
+		}
+		// Best-effort physical removal; failure delegates the unlink.
+		prev.cell.CompareAndSwap(prevCell, &amrCell{next: currCell.next})
+		return true
+	}
+}
+
+// Len counts the unmarked elements by traversal; exact at quiescence.
+func (s *AMR) Len() int {
+	n := 0
+	curr := s.head.cell.Load().next
+	for curr.val != MaxSentinel {
+		cell := curr.cell.Load()
+		if !cell.marked {
+			n++
+		}
+		curr = cell.next
+	}
+	return n
+}
+
+// Snapshot returns the unmarked elements in ascending order; exact at
+// quiescence.
+func (s *AMR) Snapshot() []int64 {
+	var out []int64
+	curr := s.head.cell.Load().next
+	for curr.val != MaxSentinel {
+		cell := curr.cell.Load()
+		if !cell.marked {
+			out = append(out, curr.val)
+		}
+		curr = cell.next
+	}
+	return out
+}

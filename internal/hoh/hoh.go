@@ -1,0 +1,123 @@
+// Package hoh implements the hand-over-hand (fine-grained locking) list:
+// every traversal holds two adjacent node locks and "walks" them down the
+// list, releasing the one behind as it acquires the one ahead.
+//
+// It is the classic pedagogical step between coarse-grained locking and
+// optimistic/lazy designs ("The Art of Multiprocessor Programming",
+// ch. 9.5) and serves here as an additional baseline: it admits pipelined
+// traversals but every operation — including read-only contains — locks
+// every node on its path, the extreme opposite of VBL's metadata
+// discipline.
+package hoh
+
+import "sync"
+
+// Sentinel values stored in the head and tail nodes.
+const (
+	MinSentinel = -1 << 63
+	MaxSentinel = 1<<63 - 1
+)
+
+type node struct {
+	val  int64
+	next *node
+	mu   sync.Mutex
+}
+
+// List is the hand-over-hand locking list.
+type List struct {
+	head *node
+}
+
+// New returns an empty hand-over-hand locking set.
+func New() *List {
+	tail := &node{val: MaxSentinel}
+	head := &node{val: MinSentinel, next: tail}
+	return &List{head: head}
+}
+
+// find returns the window (prev, curr) with both locks held.
+// The caller must unlock curr then prev.
+func (l *List) find(v int64) (prev, curr *node) {
+	prev = l.head
+	prev.mu.Lock()
+	curr = prev.next
+	curr.mu.Lock()
+	for curr.val < v {
+		prev.mu.Unlock()
+		prev = curr
+		curr = curr.next
+		curr.mu.Lock()
+	}
+	return prev, curr
+}
+
+// Insert adds v to the set and reports whether v was absent.
+func (l *List) Insert(v int64) bool {
+	prev, curr := l.find(v)
+	defer prev.mu.Unlock()
+	defer curr.mu.Unlock()
+	if curr.val == v {
+		return false
+	}
+	prev.next = &node{val: v, next: curr}
+	return true
+}
+
+// Remove deletes v from the set and reports whether v was present.
+func (l *List) Remove(v int64) bool {
+	prev, curr := l.find(v)
+	defer prev.mu.Unlock()
+	defer curr.mu.Unlock()
+	if curr.val != v {
+		return false
+	}
+	prev.next = curr.next
+	return true
+}
+
+// Contains reports whether v is in the set.
+func (l *List) Contains(v int64) bool {
+	prev, curr := l.find(v)
+	defer prev.mu.Unlock()
+	defer curr.mu.Unlock()
+	return curr.val == v
+}
+
+// Len returns the number of elements. It locks hand-over-hand to the end.
+func (l *List) Len() int {
+	n := 0
+	prev := l.head
+	prev.mu.Lock()
+	curr := prev.next
+	curr.mu.Lock()
+	for curr.val != MaxSentinel {
+		n++
+		prev.mu.Unlock()
+		prev = curr
+		curr = curr.next
+		curr.mu.Lock()
+	}
+	curr.mu.Unlock()
+	prev.mu.Unlock()
+	return n
+}
+
+// Snapshot returns the elements in ascending order.
+func (l *List) Snapshot() []int64 {
+	var out []int64
+	prev := l.head
+	prev.mu.Lock()
+	curr := prev.next
+	curr.mu.Lock()
+	for curr.val != MaxSentinel {
+		out = append(out, curr.val)
+		prev.mu.Unlock()
+		prev = curr
+		curr = curr.next
+		curr.mu.Lock()
+	}
+	curr.mu.Unlock()
+	prev.mu.Unlock()
+	return out
+}

@@ -1,0 +1,109 @@
+package hoh
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	l := New()
+	if !l.Insert(2) || l.Insert(2) || !l.Contains(2) || l.Contains(3) {
+		t.Fatal("basic insert/contains semantics wrong")
+	}
+	if !l.Remove(2) || l.Remove(2) || l.Contains(2) {
+		t.Fatal("basic remove semantics wrong")
+	}
+	if l.Len() != 0 || len(l.Snapshot()) != 0 {
+		t.Fatal("empty after balanced ops expected")
+	}
+}
+
+func TestFindLeavesLocksBalanced(t *testing.T) {
+	l := New()
+	for _, v := range []int64{10, 20, 30} {
+		l.Insert(v)
+	}
+	// After any sequence of operations every lock must be free again;
+	// exercise all landing positions.
+	for _, v := range []int64{5, 10, 15, 20, 25, 30, 35} {
+		l.Contains(v)
+	}
+	// A second full pass would deadlock instantly if any lock leaked.
+	for _, v := range []int64{5, 10, 15, 20, 25, 30, 35} {
+		l.Contains(v)
+	}
+	if got := l.Snapshot(); len(got) != 3 {
+		t.Fatalf("Snapshot = %v", got)
+	}
+}
+
+func TestQuickVsMap(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint8
+	}
+	f := func(prog []op) bool {
+		l := New()
+		oracle := map[int64]bool{}
+		for _, o := range prog {
+			k := int64(o.Key % 16)
+			switch o.Kind % 3 {
+			case 0:
+				if l.Insert(k) != !oracle[k] {
+					return false
+				}
+				oracle[k] = true
+			case 1:
+				if l.Remove(k) != oracle[k] {
+					return false
+				}
+				delete(oracle, k)
+			default:
+				if l.Contains(k) != oracle[k] {
+					return false
+				}
+			}
+		}
+		return l.Len() == len(oracle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelinedTraversals: hand-over-hand admits multiple concurrent
+// traversals in flight; this must neither deadlock nor corrupt.
+func TestPipelinedTraversals(t *testing.T) {
+	l := New()
+	for k := int64(0); k < 50; k++ {
+		l.Insert(k * 2)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 3000; i++ {
+				k := int64(rng.Intn(100))
+				switch rng.Intn(3) {
+				case 0:
+					l.Insert(k)
+				case 1:
+					l.Remove(k)
+				default:
+					l.Contains(k)
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	snap := l.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1] >= snap[i] {
+			t.Fatalf("snapshot not ascending: %v", snap)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package lazy implements the Lazy Linked List of Heller, Herlihy,
+// Luchangco, Moir, Scherer and Shavit (OPODIS 2006), the lock-based
+// state-of-the-art baseline the paper compares VBL against.
+//
+// The algorithm follows "The Art of Multiprocessor Programming", ch. 9:
+// traversals are wait-free; an update locates the window (prev, curr),
+// locks BOTH nodes, and only then validates that prev is not marked, curr
+// is not marked, and prev.next == curr. Crucially — and this is the
+// concurrency sub-optimality the paper exploits (Figure 2) — the locks
+// are acquired before the operation knows whether it will modify the
+// list at all: a failed insert (value already present) and a failed
+// remove (value absent) still serialize on prev's and curr's locks.
+//
+// Removal is lazy: the node is first marked (logical deletion), then
+// unlinked (physical deletion); contains checks the mark of the node it
+// lands on.
+package lazy
+
+import (
+	"sync/atomic"
+
+	"listset/internal/trylock"
+)
+
+// Sentinel values stored in the head and tail nodes.
+const (
+	MinSentinel = -1 << 63
+	MaxSentinel = 1<<63 - 1
+)
+
+type node struct {
+	val    int64
+	next   atomic.Pointer[node]
+	marked atomic.Bool
+	lock   trylock.SpinLock
+}
+
+// List is the Lazy Linked List.
+type List struct {
+	head *node
+	tail *node
+}
+
+// New returns an empty Lazy list.
+func New() *List {
+	l := &List{
+		head: &node{val: MinSentinel},
+		tail: &node{val: MaxSentinel},
+	}
+	l.head.next.Store(l.tail)
+	return l
+}
+
+// find traverses from head without locks or mark checks and returns the
+// window (prev, curr) with prev.val < v <= curr.val.
+func (l *List) find(v int64) (prev, curr *node) {
+	prev = l.head
+	curr = prev.next.Load()
+	for curr.val < v {
+		prev = curr
+		curr = curr.next.Load()
+	}
+	return prev, curr
+}
+
+// validate re-checks the locked window: neither node is marked and they
+// are still adjacent. Per the original algorithm this runs AFTER the
+// locks are taken.
+func validate(prev, curr *node) bool {
+	return !prev.marked.Load() && !curr.marked.Load() && prev.next.Load() == curr
+}
+
+// Contains reports whether v is in the set. Wait-free.
+func (l *List) Contains(v int64) bool {
+	curr := l.head
+	for curr.val < v {
+		curr = curr.next.Load()
+	}
+	return curr.val == v && !curr.marked.Load()
+}
+
+// Insert adds v to the set and reports whether v was absent.
+func (l *List) Insert(v int64) bool {
+	for {
+		prev, curr := l.find(v)
+		prev.lock.Lock()
+		curr.lock.Lock()
+		if !validate(prev, curr) {
+			curr.lock.Unlock()
+			prev.lock.Unlock()
+			continue
+		}
+		if curr.val == v {
+			// Value already present — but the locks were taken anyway.
+			curr.lock.Unlock()
+			prev.lock.Unlock()
+			return false
+		}
+		n := &node{val: v}
+		n.next.Store(curr)
+		prev.next.Store(n)
+		curr.lock.Unlock()
+		prev.lock.Unlock()
+		return true
+	}
+}
+
+// Remove deletes v from the set and reports whether v was present.
+func (l *List) Remove(v int64) bool {
+	for {
+		prev, curr := l.find(v)
+		prev.lock.Lock()
+		curr.lock.Lock()
+		if !validate(prev, curr) {
+			curr.lock.Unlock()
+			prev.lock.Unlock()
+			continue
+		}
+		if curr.val != v {
+			curr.lock.Unlock()
+			prev.lock.Unlock()
+			return false
+		}
+		curr.marked.Store(true)           // logical deletion
+		prev.next.Store(curr.next.Load()) // physical unlink
+		curr.lock.Unlock()
+		prev.lock.Unlock()
+		return true
+	}
+}
+
+// Len counts the unmarked elements by traversal; exact at quiescence.
+func (l *List) Len() int {
+	n := 0
+	for curr := l.head.next.Load(); curr.val != MaxSentinel; curr = curr.next.Load() {
+		if !curr.marked.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns the unmarked elements in ascending order; exact at
+// quiescence.
+func (l *List) Snapshot() []int64 {
+	var out []int64
+	for curr := l.head.next.Load(); curr.val != MaxSentinel; curr = curr.next.Load() {
+		if !curr.marked.Load() {
+			out = append(out, curr.val)
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package lincheck
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// benchHistory records a history of the given size against the safe map
+// set with `threads` goroutines.
+func benchHistory(threads, opsPerThread int, keys int64, seed int64) History {
+	set := newSafeMapSet()
+	rec := NewRecorder()
+	sessions := make([]*Session, threads)
+	for i := range sessions {
+		sessions[i] = rec.NewSession(set)
+	}
+	var wg sync.WaitGroup
+	for i, sess := range sessions {
+		wg.Add(1)
+		go func(seed int64, sess *Session) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for j := 0; j < opsPerThread; j++ {
+				k := rng.Int63n(keys)
+				switch rng.Intn(3) {
+				case 0:
+					sess.Insert(k)
+				case 1:
+					sess.Remove(k)
+				default:
+					sess.Contains(k)
+				}
+			}
+		}(seed+int64(i), sess)
+	}
+	wg.Wait()
+	return rec.History()
+}
+
+// BenchmarkCheckPartitioned measures the per-key Wing-Gong checker on
+// realistic recorded histories.
+func BenchmarkCheckPartitioned(b *testing.B) {
+	h := benchHistory(6, 1000, 8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Check(h, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckMonolithic measures the whole-state search on a small
+// history (it is exponential in concurrency; keep it small).
+func BenchmarkCheckMonolithic(b *testing.B) {
+	h := benchHistory(3, 60, 4, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !CheckMonolithic(h, nil) {
+			b.Fatal("legal history rejected")
+		}
+	}
+}
+
+// BenchmarkRecorderOverhead measures the cost the recorder adds to each
+// operation (two atomic clock ticks plus an append).
+func BenchmarkRecorderOverhead(b *testing.B) {
+	set := newSafeMapSet()
+	rec := NewRecorder()
+	sess := rec.NewSession(set)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.Contains(int64(i % 16))
+	}
+}

@@ -1,0 +1,55 @@
+package lincheck
+
+import (
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// bitset is a fixed-capacity bit vector used to track which operations a
+// search branch has linearized, and to build memoization keys.
+type bitset struct {
+	words []uint64
+}
+
+func newBitset(n int) *bitset {
+	return &bitset{words: make([]uint64, (n+63)/64)}
+}
+
+func (b *bitset) get(i int) bool { return b.words[i/64]&(1<<uint(i%64)) != 0 }
+func (b *bitset) set(i int)      { b.words[i/64] |= 1 << uint(i%64) }
+func (b *bitset) clear(i int)    { b.words[i/64] &^= 1 << uint(i%64) }
+
+// key serializes the bitset plus a boolean state into a map key.
+func (b *bitset) key(state bool) string {
+	buf := make([]byte, len(b.words)*8+1)
+	for i, w := range b.words {
+		binary.LittleEndian.PutUint64(buf[i*8:], w)
+	}
+	if state {
+		buf[len(buf)-1] = 1
+	}
+	return string(buf)
+}
+
+// keyWithState serializes the bitset plus a set-membership state.
+func (b *bitset) keyWithState(state map[int64]bool) string {
+	buf := make([]byte, 0, len(b.words)*8+len(state)*8)
+	var tmp [8]byte
+	for _, w := range b.words {
+		binary.LittleEndian.PutUint64(tmp[:], w)
+		buf = append(buf, tmp[:]...)
+	}
+	keys := make([]int64, 0, len(state))
+	for k, v := range state {
+		if v {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		buf = append(buf, '|')
+		buf = strconv.AppendInt(buf, k, 10)
+	}
+	return string(buf)
+}

@@ -1,0 +1,395 @@
+package lincheck
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// mkOp builds an op with explicit timestamps.
+func mkOp(kind Kind, key int64, result bool, inv, ret int64) Op {
+	return Op{Kind: kind, Key: key, Result: result, Invoke: inv, Return: ret}
+}
+
+func TestValidateRejectsBackwardsOp(t *testing.T) {
+	h := History{Ops: []Op{mkOp(OpInsert, 1, true, 5, 5)}}
+	if err := h.Validate(); err == nil {
+		t.Fatal("op with Invoke >= Return accepted")
+	}
+	if err := Check(h, nil); err == nil {
+		t.Fatal("Check accepted an invalid history")
+	}
+}
+
+func TestEmptyHistoryLinearizable(t *testing.T) {
+	if err := Check(History{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !CheckMonolithic(History{}, nil) {
+		t.Fatal("monolithic rejected empty history")
+	}
+}
+
+func TestSequentialLegalHistory(t *testing.T) {
+	h := History{Ops: []Op{
+		mkOp(OpContains, 1, false, 1, 2),
+		mkOp(OpInsert, 1, true, 3, 4),
+		mkOp(OpContains, 1, true, 5, 6),
+		mkOp(OpInsert, 1, false, 7, 8),
+		mkOp(OpRemove, 1, true, 9, 10),
+		mkOp(OpRemove, 1, false, 11, 12),
+	}}
+	if err := Check(h, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !CheckMonolithic(h, nil) {
+		t.Fatal("monolithic rejected a legal sequential history")
+	}
+}
+
+func TestSequentialIllegalHistory(t *testing.T) {
+	// contains(1)=true before any insert: illegal.
+	h := History{Ops: []Op{
+		mkOp(OpContains, 1, true, 1, 2),
+		mkOp(OpInsert, 1, true, 3, 4),
+	}}
+	if err := Check(h, nil); err == nil {
+		t.Fatal("illegal sequential history accepted")
+	}
+	if CheckMonolithic(h, nil) {
+		t.Fatal("monolithic accepted an illegal sequential history")
+	}
+}
+
+func TestInitialStateRespected(t *testing.T) {
+	h := History{Ops: []Op{
+		mkOp(OpContains, 1, true, 1, 2),
+		mkOp(OpRemove, 1, true, 3, 4),
+	}}
+	if err := Check(h, nil); err == nil {
+		t.Fatal("history requiring pre-populated key accepted with empty initial state")
+	}
+	if err := Check(h, map[int64]bool{1: true}); err != nil {
+		t.Fatalf("history rejected despite initial presence: %v", err)
+	}
+	if !CheckMonolithic(h, map[int64]bool{1: true}) {
+		t.Fatal("monolithic rejected with initial presence")
+	}
+}
+
+// TestConcurrentReorderingAllowed: two overlapping ops whose results are
+// only explainable by ordering the later-invoked one first.
+func TestConcurrentReorderingAllowed(t *testing.T) {
+	h := History{Ops: []Op{
+		// contains(1)=true invoked before the insert returns — legal
+		// because they overlap and the insert can linearize first.
+		mkOp(OpInsert, 1, true, 1, 10),
+		mkOp(OpContains, 1, true, 2, 9),
+	}}
+	if err := Check(h, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRealTimeOrderEnforced: the same results with non-overlapping ops
+// must be rejected — real-time order forbids the reordering.
+func TestRealTimeOrderEnforced(t *testing.T) {
+	h := History{Ops: []Op{
+		mkOp(OpContains, 1, true, 1, 2), // returns before insert invoked
+		mkOp(OpInsert, 1, true, 3, 4),
+	}}
+	if err := Check(h, nil); err == nil {
+		t.Fatal("real-time violation accepted")
+	}
+}
+
+// TestLostUpdateDetected encodes the paper's "lost update" anomaly: two
+// concurrent inserts both return true, then a contains sees only one of
+// the values... per key that's fine; the per-key anomaly is two
+// successful inserts of the same key with no remove between them.
+func TestLostUpdateDetected(t *testing.T) {
+	h := History{Ops: []Op{
+		mkOp(OpInsert, 2, true, 1, 10),
+		mkOp(OpInsert, 2, true, 2, 11),
+	}}
+	if err := Check(h, nil); err == nil {
+		t.Fatal("double successful insert of one key accepted")
+	}
+	if CheckMonolithic(h, nil) {
+		t.Fatal("monolithic accepted double successful insert")
+	}
+}
+
+func TestDoubleRemoveDetected(t *testing.T) {
+	h := History{Ops: []Op{
+		mkOp(OpInsert, 3, true, 1, 2),
+		mkOp(OpRemove, 3, true, 3, 10),
+		mkOp(OpRemove, 3, true, 4, 11),
+	}}
+	if err := Check(h, nil); err == nil {
+		t.Fatal("double successful remove accepted")
+	}
+}
+
+// TestVanishingElementDetected: remove(k)=false concurrent with nothing,
+// while k is present — the classic failed-remove-that-should-succeed.
+func TestVanishingElementDetected(t *testing.T) {
+	h := History{Ops: []Op{
+		mkOp(OpInsert, 4, true, 1, 2),
+		mkOp(OpRemove, 4, false, 3, 4),
+		mkOp(OpContains, 4, true, 5, 6),
+	}}
+	if err := Check(h, nil); err == nil {
+		t.Fatal("failed remove of a stably present key accepted")
+	}
+}
+
+func TestViolationErrorReportsKey(t *testing.T) {
+	h := History{Ops: []Op{
+		mkOp(OpInsert, 7, true, 1, 2),
+		mkOp(OpInsert, 7, true, 3, 4),
+	}}
+	err := Check(h, nil)
+	v, ok := err.(*Violation)
+	if !ok {
+		t.Fatalf("error type %T, want *Violation", err)
+	}
+	if v.Key != 7 || len(v.Ops) != 2 || v.Error() == "" {
+		t.Fatalf("violation = %+v", v)
+	}
+}
+
+func TestPartitionByKey(t *testing.T) {
+	h := History{Ops: []Op{
+		mkOp(OpInsert, 1, true, 1, 2),
+		mkOp(OpInsert, 2, true, 3, 4),
+		mkOp(OpRemove, 1, true, 5, 6),
+	}}
+	parts := h.PartitionByKey()
+	if len(parts) != 2 || len(parts[1]) != 2 || len(parts[2]) != 1 {
+		t.Fatalf("partition = %v", parts)
+	}
+}
+
+// TestPartitionedAgreesWithMonolithic cross-validates the two checkers
+// on random small histories (both legal-looking and corrupted).
+func TestPartitionedAgreesWithMonolithic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		h := randomHistory(rng, 8, 3)
+		got := Check(h, nil) == nil
+		want := CheckMonolithic(h, nil)
+		if got != want {
+			t.Fatalf("trial %d: partitioned=%v monolithic=%v\nhistory: %v", trial, got, want, h.Ops)
+		}
+	}
+}
+
+// randomHistory generates a small history with random overlapping
+// intervals and random results (so roughly half are non-linearizable).
+func randomHistory(rng *rand.Rand, nOps int, nKeys int) History {
+	var h History
+	clock := int64(0)
+	type pending struct {
+		op  Op
+		ret int64
+	}
+	var open []pending
+	for len(h.Ops) < nOps {
+		clock++
+		// Maybe close an open op.
+		if len(open) > 0 && rng.Intn(2) == 0 {
+			i := rng.Intn(len(open))
+			p := open[i]
+			p.op.Return = clock
+			h.Ops = append(h.Ops, p.op)
+			open = append(open[:i], open[i+1:]...)
+			continue
+		}
+		op := Op{
+			Thread: rng.Intn(4),
+			Kind:   Kind(rng.Intn(3)),
+			Key:    int64(rng.Intn(nKeys)),
+			Result: rng.Intn(2) == 0,
+			Invoke: clock,
+		}
+		open = append(open, pending{op: op})
+	}
+	for _, p := range open {
+		clock++
+		p.op.Return = clock
+		h.Ops = append(h.Ops, p.op)
+	}
+	// Trim to nOps exactly.
+	h.Ops = h.Ops[:nOps]
+	return h
+}
+
+// TestRecorderProducesOrderedHistory exercises the recorder against a
+// correct reference set and checks the result passes.
+func TestRecorderLegalHistoryPasses(t *testing.T) {
+	ref := newSafeMapSet()
+	rec := NewRecorder()
+	const goroutines = 4
+	sessions := make([]*Session, goroutines)
+	for i := range sessions {
+		sessions[i] = rec.NewSession(ref)
+	}
+	var wg sync.WaitGroup
+	for i, sess := range sessions {
+		wg.Add(1)
+		go func(seed int64, s *Session) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for j := 0; j < 500; j++ {
+				k := int64(rng.Intn(8))
+				switch rng.Intn(3) {
+				case 0:
+					s.Insert(k)
+				case 1:
+					s.Remove(k)
+				default:
+					s.Contains(k)
+				}
+			}
+		}(int64(i), sess)
+	}
+	wg.Wait()
+	h := rec.History()
+	if len(h.Ops) != goroutines*500 {
+		t.Fatalf("recorded %d ops, want %d", len(h.Ops), goroutines*500)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(h, nil); err != nil {
+		t.Fatalf("history of a correct set rejected: %v", err)
+	}
+}
+
+// TestRecorderCatchesBrokenSet runs the recorder against a deliberately
+// racy set (no synchronization) and expects a violation. The set is so
+// broken that 4 goroutines hammering 2 keys essentially always produce
+// a non-linearizable history; if not, the trial repeats.
+func TestRecorderCatchesBrokenSet(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		broken := &racySet{m: map[int64]bool{}}
+		rec := NewRecorder()
+		const goroutines = 4
+		sessions := make([]*Session, goroutines)
+		for i := range sessions {
+			sessions[i] = rec.NewSession(broken)
+		}
+		var wg sync.WaitGroup
+		for i, sess := range sessions {
+			wg.Add(1)
+			go func(seed int64, s *Session) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for j := 0; j < 300; j++ {
+					k := int64(rng.Intn(2))
+					if rng.Intn(2) == 0 {
+						s.Insert(k)
+					} else {
+						s.Remove(k)
+					}
+				}
+			}(int64(trial*10+i), sess)
+		}
+		wg.Wait()
+		if err := Check(rec.History(), nil); err != nil {
+			return // violation detected, as expected
+		}
+	}
+	t.Fatal("racy set never produced a linearizability violation in 20 trials")
+}
+
+// safeMapSet is a trivially correct locked map set.
+type safeMapSet struct {
+	mu sync.Mutex
+	m  map[int64]bool
+}
+
+func newSafeMapSet() *safeMapSet { return &safeMapSet{m: map[int64]bool{}} }
+
+func (s *safeMapSet) Insert(v int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m[v] {
+		return false
+	}
+	s.m[v] = true
+	return true
+}
+
+func (s *safeMapSet) Remove(v int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.m[v] {
+		return false
+	}
+	delete(s.m, v)
+	return true
+}
+
+func (s *safeMapSet) Contains(v int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[v]
+}
+
+// racySet is an intentionally broken set: a plain map guarded by a lock
+// only for memory safety, with a yield inside the read-modify-write so
+// atomicity is violated constantly.
+type racySet struct {
+	mu sync.Mutex
+	m  map[int64]bool
+}
+
+func (s *racySet) get(v int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[v]
+}
+
+func (s *racySet) put(v int64, present bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if present {
+		s.m[v] = true
+	} else {
+		delete(s.m, v)
+	}
+}
+
+func (s *racySet) Insert(v int64) bool {
+	present := s.get(v)
+	// Non-atomic read-modify-write with a widened window: the races are
+	// the point.
+	runtime.Gosched()
+	s.put(v, true)
+	return !present
+}
+
+func (s *racySet) Remove(v int64) bool {
+	present := s.get(v)
+	runtime.Gosched()
+	s.put(v, false)
+	return present
+}
+
+func (s *racySet) Contains(v int64) bool { return s.get(v) }
+
+func TestKindString(t *testing.T) {
+	if OpInsert.String() != "insert" || OpRemove.String() != "remove" || OpContains.String() != "contains" {
+		t.Fatal("Kind names wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind renders empty")
+	}
+	op := mkOp(OpInsert, 5, true, 1, 2)
+	if op.String() == "" {
+		t.Fatal("Op.String empty")
+	}
+}

@@ -1,0 +1,41 @@
+package lincheck
+
+// Minimize shrinks a non-linearizable single-key history to a locally
+// minimal violating core by greedy delta-debugging: repeatedly drop any
+// operation whose removal preserves the violation, until no single
+// removal does. The result is usually a handful of operations that
+// exhibit the anomaly directly (a double insert, a vanished element),
+// which turns a ten-thousand-operation stress failure into a readable
+// bug report.
+//
+// ops must be a single-key history that checkKey rejects for the given
+// initial state; if it is linearizable, Minimize returns it unchanged.
+func Minimize(ops []Op, initial bool) []Op {
+	if checkKey(ops, initial) {
+		return ops
+	}
+	current := append([]Op(nil), ops...)
+	for {
+		shrunk := false
+		for i := 0; i < len(current); i++ {
+			candidate := make([]Op, 0, len(current)-1)
+			candidate = append(candidate, current[:i]...)
+			candidate = append(candidate, current[i+1:]...)
+			if !checkKey(candidate, initial) {
+				current = candidate
+				shrunk = true
+				i-- // the next op shifted into this slot
+			}
+		}
+		if !shrunk {
+			return current
+		}
+	}
+}
+
+// Minimize returns a locally minimal violating core of the violation's
+// operations (see the package-level Minimize); the initial presence of
+// the key is taken from initial.
+func (v *Violation) Minimize(initial bool) []Op {
+	return Minimize(v.Ops, initial)
+}

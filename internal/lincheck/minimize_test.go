@@ -1,0 +1,98 @@
+package lincheck
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMinimizeKeepsViolation(t *testing.T) {
+	// A big legal prefix followed by the classic double-insert anomaly.
+	var ops []Op
+	clock := int64(0)
+	tick := func() int64 { clock++; return clock }
+	for i := 0; i < 50; i++ {
+		inv := tick()
+		ops = append(ops, Op{Kind: OpInsert, Key: 1, Result: true, Invoke: inv, Return: tick()})
+		inv = tick()
+		ops = append(ops, Op{Kind: OpRemove, Key: 1, Result: true, Invoke: inv, Return: tick()})
+	}
+	// The anomaly: two overlapping successful inserts.
+	a, b := tick(), tick()
+	ops = append(ops,
+		Op{Kind: OpInsert, Key: 1, Result: true, Invoke: a, Return: tick()},
+		Op{Kind: OpInsert, Key: 1, Result: true, Invoke: b, Return: tick()},
+	)
+	if checkKey(ops, false) {
+		t.Fatal("constructed history unexpectedly linearizable")
+	}
+	core := Minimize(ops, false)
+	if checkKey(core, false) {
+		t.Fatal("minimized core is linearizable")
+	}
+	if len(core) > 3 {
+		t.Fatalf("core has %d ops, want <= 3 (double insert needs at most the pair and a blocker):\n%v", len(core), core)
+	}
+	// Local minimality: removing any single op fixes it.
+	for i := range core {
+		reduced := append(append([]Op(nil), core[:i]...), core[i+1:]...)
+		if !checkKey(reduced, false) {
+			t.Fatalf("core not minimal: dropping op %d still violates", i)
+		}
+	}
+}
+
+func TestMinimizeLinearizableUnchanged(t *testing.T) {
+	ops := []Op{
+		{Kind: OpInsert, Key: 2, Result: true, Invoke: 1, Return: 2},
+		{Kind: OpContains, Key: 2, Result: true, Invoke: 3, Return: 4},
+	}
+	got := Minimize(ops, false)
+	if len(got) != len(ops) {
+		t.Fatalf("linearizable history was shrunk to %d ops", len(got))
+	}
+}
+
+func TestMinimizeRandomViolations(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	minimized := 0
+	for trial := 0; trial < 200; trial++ {
+		h := randomHistory(rng, 12, 1) // single key → single partition
+		if checkKey(h.Ops, false) {
+			continue
+		}
+		core := Minimize(h.Ops, false)
+		if checkKey(core, false) {
+			t.Fatalf("trial %d: core linearizable", trial)
+		}
+		if len(core) > len(h.Ops) {
+			t.Fatalf("trial %d: core grew", trial)
+		}
+		for i := range core {
+			reduced := append(append([]Op(nil), core[:i]...), core[i+1:]...)
+			if !checkKey(reduced, false) {
+				t.Fatalf("trial %d: core not locally minimal", trial)
+			}
+		}
+		minimized++
+	}
+	if minimized == 0 {
+		t.Fatal("no violating random histories generated — test vacuous")
+	}
+}
+
+func TestViolationMinimizeMethod(t *testing.T) {
+	h := History{Ops: []Op{
+		{Kind: OpInsert, Key: 9, Result: true, Invoke: 1, Return: 10},
+		{Kind: OpInsert, Key: 9, Result: true, Invoke: 2, Return: 11},
+		{Kind: OpContains, Key: 9, Result: true, Invoke: 12, Return: 13},
+	}}
+	err := Check(h, nil)
+	v, ok := err.(*Violation)
+	if !ok {
+		t.Fatalf("expected *Violation, got %T", err)
+	}
+	core := v.Minimize(false)
+	if len(core) == 0 || len(core) > 2 {
+		t.Fatalf("minimized violation = %v", core)
+	}
+}

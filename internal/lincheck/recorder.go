@@ -1,0 +1,76 @@
+package lincheck
+
+import "sync/atomic"
+
+// Set is the operation surface the recorder instruments; listset.Set
+// satisfies it structurally.
+type Set interface {
+	Insert(v int64) bool
+	Remove(v int64) bool
+	Contains(v int64) bool
+}
+
+// Recorder instruments a Set so that every completed operation is logged
+// with invocation/response timestamps from one global monotone counter.
+// Obtain a per-goroutine Session with NewSession; sessions log into
+// private buffers, so recording adds no synchronization beyond the
+// counter itself (which is the point: the timestamps must order events,
+// so a shared atomic is unavoidable).
+type Recorder struct {
+	clock    atomic.Int64
+	sessions []*Session
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Session is a single goroutine's recording handle around the shared
+// set. It must not be used from more than one goroutine.
+type Session struct {
+	rec    *Recorder
+	set    Set
+	thread int
+	ops    []Op
+}
+
+// NewSession registers a new per-goroutine session. Call before starting
+// the goroutines; NewSession itself is not safe for concurrent use.
+func (r *Recorder) NewSession(set Set) *Session {
+	s := &Session{rec: r, set: set, thread: len(r.sessions)}
+	r.sessions = append(r.sessions, s)
+	return s
+}
+
+// History merges all sessions' logs. Call only after every recording
+// goroutine has finished.
+func (r *Recorder) History() History {
+	var h History
+	for _, s := range r.sessions {
+		h.Ops = append(h.Ops, s.ops...)
+	}
+	return h
+}
+
+func (s *Session) record(kind Kind, key int64, call func(int64) bool) bool {
+	inv := s.rec.clock.Add(1)
+	res := call(key)
+	ret := s.rec.clock.Add(1)
+	s.ops = append(s.ops, Op{
+		Thread: s.thread,
+		Kind:   kind,
+		Key:    key,
+		Result: res,
+		Invoke: inv,
+		Return: ret,
+	})
+	return res
+}
+
+// Insert performs and records set.Insert(v).
+func (s *Session) Insert(v int64) bool { return s.record(OpInsert, v, s.set.Insert) }
+
+// Remove performs and records set.Remove(v).
+func (s *Session) Remove(v int64) bool { return s.record(OpRemove, v, s.set.Remove) }
+
+// Contains performs and records set.Contains(v).
+func (s *Session) Contains(v int64) bool { return s.record(OpContains, v, s.set.Contains) }

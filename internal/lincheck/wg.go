@@ -1,0 +1,159 @@
+package lincheck
+
+// The Wing & Gong linearizability search, in two instantiations: a
+// boolean presence register (per-key) and a whole-set model (monolithic
+// cross-check). Both walk the same DFS: repeatedly pick an operation
+// whose invocation precedes every un-linearized operation's response
+// (so placing it next respects real-time order), check its result
+// against the model, and recurse; memoize visited (linearized-set,
+// state) configurations to prune re-exploration (the Wing-Gong-Lowe
+// refinement).
+
+// applyPresence applies op to a presence register holding cur and
+// returns the new state and whether op's recorded result is legal.
+func applyPresence(cur bool, op Op) (next bool, ok bool) {
+	switch op.Kind {
+	case OpInsert:
+		// insert returns true iff the key was absent; afterwards present.
+		return true, op.Result == !cur
+	case OpRemove:
+		// remove returns true iff the key was present; afterwards absent.
+		return false, op.Result == cur
+	case OpContains:
+		return cur, op.Result == cur
+	default:
+		return cur, false
+	}
+}
+
+// checkKey reports whether the single-key history ops is linearizable
+// with respect to a presence register initialized to initial.
+func checkKey(ops []Op, initial bool) bool {
+	n := len(ops)
+	if n == 0 {
+		return true
+	}
+	ops = append([]Op(nil), ops...)
+	sortByInvoke(ops)
+
+	linearized := newBitset(n)
+	seen := make(map[string]struct{})
+	var dfs func(state bool, done int) bool
+	dfs = func(state bool, done int) bool {
+		if done == n {
+			return true
+		}
+		// memoization: the reachable futures depend only on which ops
+		// are linearized and the current register state.
+		key := linearized.key(state)
+		if _, dup := seen[key]; dup {
+			return false
+		}
+		seen[key] = struct{}{}
+
+		// minReturn over un-linearized ops: any candidate must be
+		// invoked before it, or placing it next would order it after an
+		// operation that already returned.
+		minReturn := int64(1<<63 - 1)
+		for i := 0; i < n; i++ {
+			if !linearized.get(i) && ops[i].Return < minReturn {
+				minReturn = ops[i].Return
+			}
+		}
+		for i := 0; i < n; i++ {
+			if linearized.get(i) {
+				continue
+			}
+			if ops[i].Invoke > minReturn {
+				break // ops are sorted by invoke; no further candidates
+			}
+			next, ok := applyPresence(state, ops[i])
+			if !ok {
+				continue
+			}
+			linearized.set(i)
+			if dfs(next, done+1) {
+				return true
+			}
+			linearized.clear(i)
+		}
+		return false
+	}
+	return dfs(initial, 0)
+}
+
+// CheckMonolithic verifies the whole history against full set semantics
+// in one search (state = entire membership map). Exponential in the
+// amount of concurrency; intended for small histories and for
+// cross-validating the partitioned checker in tests.
+func CheckMonolithic(h History, initial map[int64]bool) bool {
+	if err := h.Validate(); err != nil {
+		return false
+	}
+	n := len(h.Ops)
+	if n == 0 {
+		return true
+	}
+	ops := append([]Op(nil), h.Ops...)
+	sortByInvoke(ops)
+
+	state := make(map[int64]bool, len(initial))
+	for k, v := range initial {
+		if v {
+			state[k] = true
+		}
+	}
+	linearized := newBitset(n)
+	seen := make(map[string]struct{})
+
+	var dfs func(done int) bool
+	dfs = func(done int) bool {
+		if done == n {
+			return true
+		}
+		key := linearized.keyWithState(state)
+		if _, dup := seen[key]; dup {
+			return false
+		}
+		seen[key] = struct{}{}
+
+		minReturn := int64(1<<63 - 1)
+		for i := 0; i < n; i++ {
+			if !linearized.get(i) && ops[i].Return < minReturn {
+				minReturn = ops[i].Return
+			}
+		}
+		for i := 0; i < n; i++ {
+			if linearized.get(i) {
+				continue
+			}
+			if ops[i].Invoke > minReturn {
+				break
+			}
+			o := ops[i]
+			cur := state[o.Key]
+			next, ok := applyPresence(cur, o)
+			if !ok {
+				continue
+			}
+			linearized.set(i)
+			if next {
+				state[o.Key] = true
+			} else {
+				delete(state, o.Key)
+			}
+			if dfs(done + 1) {
+				return true
+			}
+			// undo
+			if cur {
+				state[o.Key] = true
+			} else {
+				delete(state, o.Key)
+			}
+			linearized.clear(i)
+		}
+		return false
+	}
+	return dfs(0)
+}

@@ -1,0 +1,142 @@
+// Package optimistic implements the Optimistic locking list ("The Art
+// of Multiprocessor Programming", ch. 9.6), the historical step between
+// hand-over-hand locking and the Lazy list, and the prototypical
+// "pessimistic validation" design in the paper's §5 discussion of
+// optimistic vs pessimistic techniques.
+//
+// Traversal is lock-free, but with no deletion marks an update (and
+// even contains!) must, after locking the window, validate it by
+// RE-TRAVERSING the list from head to check that prev is still
+// reachable and still points at curr. Every operation therefore pays
+// two traversals, and read-only operations take locks — the very
+// metadata traffic the paper's framework charges against an algorithm's
+// concurrency.
+package optimistic
+
+import (
+	"sync/atomic"
+
+	"listset/internal/trylock"
+)
+
+// Sentinel values stored in the head and tail nodes.
+const (
+	MinSentinel = -1 << 63
+	MaxSentinel = 1<<63 - 1
+)
+
+type node struct {
+	val  int64
+	next atomic.Pointer[node]
+	lock trylock.SpinLock
+}
+
+// List is the Optimistic locking list.
+type List struct {
+	head *node
+	tail *node
+}
+
+// New returns an empty Optimistic list.
+func New() *List {
+	l := &List{
+		head: &node{val: MinSentinel},
+		tail: &node{val: MaxSentinel},
+	}
+	l.head.next.Store(l.tail)
+	return l
+}
+
+// find traverses without locks and returns the window (prev, curr).
+func (l *List) find(v int64) (prev, curr *node) {
+	prev = l.head
+	curr = prev.next.Load()
+	for curr.val < v {
+		prev = curr
+		curr = curr.next.Load()
+	}
+	return prev, curr
+}
+
+// validate re-traverses from head and reports whether prev is still
+// reachable with curr as its successor. Both nodes must be locked by
+// the caller.
+func (l *List) validate(prev, curr *node) bool {
+	n := l.head
+	for n.val <= prev.val {
+		if n == prev {
+			return prev.next.Load() == curr
+		}
+		n = n.next.Load()
+	}
+	return false
+}
+
+// lockWindow locates and locks a validated window for v. The caller
+// must unlock curr then prev.
+func (l *List) lockWindow(v int64) (prev, curr *node) {
+	for {
+		prev, curr = l.find(v)
+		prev.lock.Lock()
+		curr.lock.Lock()
+		if l.validate(prev, curr) {
+			return prev, curr
+		}
+		curr.lock.Unlock()
+		prev.lock.Unlock()
+	}
+}
+
+// Contains reports whether v is in the set. Unlike the Lazy list and
+// VBL, the optimistic list has no deletion marks, so even a membership
+// query locks and validates its window.
+func (l *List) Contains(v int64) bool {
+	prev, curr := l.lockWindow(v)
+	defer prev.lock.Unlock()
+	defer curr.lock.Unlock()
+	return curr.val == v
+}
+
+// Insert adds v to the set and reports whether v was absent.
+func (l *List) Insert(v int64) bool {
+	prev, curr := l.lockWindow(v)
+	defer prev.lock.Unlock()
+	defer curr.lock.Unlock()
+	if curr.val == v {
+		return false
+	}
+	n := &node{val: v}
+	n.next.Store(curr)
+	prev.next.Store(n)
+	return true
+}
+
+// Remove deletes v from the set and reports whether v was present.
+func (l *List) Remove(v int64) bool {
+	prev, curr := l.lockWindow(v)
+	defer prev.lock.Unlock()
+	defer curr.lock.Unlock()
+	if curr.val != v {
+		return false
+	}
+	prev.next.Store(curr.next.Load())
+	return true
+}
+
+// Len counts the elements by traversal; exact at quiescence.
+func (l *List) Len() int {
+	n := 0
+	for curr := l.head.next.Load(); curr.val != MaxSentinel; curr = curr.next.Load() {
+		n++
+	}
+	return n
+}
+
+// Snapshot returns the elements in ascending order; exact at quiescence.
+func (l *List) Snapshot() []int64 {
+	var out []int64
+	for curr := l.head.next.Load(); curr.val != MaxSentinel; curr = curr.next.Load() {
+		out = append(out, curr.val)
+	}
+	return out
+}

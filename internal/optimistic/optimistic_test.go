@@ -1,0 +1,134 @@
+package optimistic
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidateDetectsUnlinkedPrev(t *testing.T) {
+	l := New()
+	l.Insert(10)
+	l.Insert(20)
+	prev, curr := l.find(20) // window (10, 20)
+	if prev.val != 10 || curr.val != 20 {
+		t.Fatalf("window = (%d, %d)", prev.val, curr.val)
+	}
+	prev.lock.Lock()
+	curr.lock.Lock()
+	if !l.validate(prev, curr) {
+		t.Fatal("fresh window failed validation")
+	}
+	curr.lock.Unlock()
+	prev.lock.Unlock()
+
+	// Physically remove prev; the stale window must now fail.
+	if !l.Remove(10) {
+		t.Fatal("Remove(10) failed")
+	}
+	prev.lock.Lock()
+	curr.lock.Lock()
+	if l.validate(prev, curr) {
+		t.Fatal("validation passed though prev is unreachable")
+	}
+	curr.lock.Unlock()
+	prev.lock.Unlock()
+}
+
+func TestValidateDetectsWindowShift(t *testing.T) {
+	l := New()
+	l.Insert(10)
+	l.Insert(30)
+	prev, curr := l.find(30) // window (10, 30)
+	l.Insert(20)             // shifts the window: 10 -> 20 -> 30
+	prev.lock.Lock()
+	curr.lock.Lock()
+	if l.validate(prev, curr) {
+		t.Fatal("validation passed though a node was inserted into the window")
+	}
+	curr.lock.Unlock()
+	prev.lock.Unlock()
+}
+
+func TestLockWindowRetriesUntilStable(t *testing.T) {
+	l := New()
+	l.Insert(10)
+	prev, curr := l.lockWindow(10)
+	if prev != l.head || curr.val != 10 {
+		t.Fatalf("lockWindow = (%d, %d)", prev.val, curr.val)
+	}
+	if !prev.lock.Locked() || !curr.lock.Locked() {
+		t.Fatal("window returned without both locks held")
+	}
+	curr.lock.Unlock()
+	prev.lock.Unlock()
+}
+
+func TestQuickVsMap(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint8
+	}
+	f := func(prog []op) bool {
+		l := New()
+		oracle := map[int64]bool{}
+		for _, o := range prog {
+			k := int64(o.Key % 16)
+			switch o.Kind % 3 {
+			case 0:
+				if l.Insert(k) != !oracle[k] {
+					return false
+				}
+				oracle[k] = true
+			case 1:
+				if l.Remove(k) != oracle[k] {
+					return false
+				}
+				delete(oracle, k)
+			default:
+				if l.Contains(k) != oracle[k] {
+					return false
+				}
+			}
+		}
+		return l.Len() == len(oracle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentSmokeOptimistic(t *testing.T) {
+	l := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 10000; i++ {
+				k := int64(rng.Intn(24))
+				switch rng.Intn(3) {
+				case 0:
+					l.Insert(k)
+				case 1:
+					l.Remove(k)
+				default:
+					l.Contains(k)
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	var last int64 = MinSentinel
+	for curr := l.head.next.Load(); curr.val != MaxSentinel; curr = curr.next.Load() {
+		if curr.val <= last {
+			t.Fatalf("order violation: %d after %d", curr.val, last)
+		}
+		if curr.lock.Locked() {
+			t.Fatal("reachable node lock held at quiescence")
+		}
+		last = curr.val
+	}
+}

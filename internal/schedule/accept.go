@@ -1,0 +1,149 @@
+package schedule
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Accepts reports whether algorithm alg has an execution that exports
+// schedule s — Definition 2's acceptance relation. It performs a
+// depth-first search over all interleavings of the algorithm's step
+// machines, including the finality speculation at attempt starts, with
+// visited-state memoization for termination (restart loops revisit
+// states; without memoization the search would not terminate).
+//
+// The algorithm's reference model must match the schedule's: VBL and
+// Lazy are analyzed against the standard sequential code, Harris-Michael
+// against the adjusted one, and the sequential "algorithm" against
+// either. A model mismatch returns false.
+func Accepts(alg Algorithm, s Schedule) bool {
+	if alg != AlgSeq && s.Adjusted != alg.Adjusted() {
+		return false
+	}
+	h := NewHeap(s.Initial)
+	ms := make([]machine, len(s.Ops))
+	for i, spec := range s.Ops {
+		ms[i] = newAlgMachine(alg, i, spec, s.Adjusted)
+	}
+	visited := make(map[string]struct{})
+	return acceptDFS(h, ms, s.Events, 0, visited)
+}
+
+func acceptDFS(h *Heap, ms []machine, events []Event, pos int, visited map[string]struct{}) bool {
+	allDone := true
+	for _, m := range ms {
+		if !m.done() {
+			allDone = false
+			break
+		}
+	}
+	if allDone {
+		return pos == len(events)
+	}
+
+	sig := stateSignature(h, ms, pos)
+	if _, dup := visited[sig]; dup {
+		return false
+	}
+	visited[sig] = struct{}{}
+
+	for i, m := range ms {
+		if m.done() {
+			continue
+		}
+		if am, ok := m.(attemptMachine); ok {
+			if am.poisoned() {
+				continue
+			}
+			if am.needsFinalityChoice() {
+				for _, final := range []bool{true, false} {
+					h2, ms2 := cloneState(h, ms)
+					ms2[i].(attemptMachine).setFinal(final)
+					if acceptDFS(h2, ms2, events, pos, visited) {
+						return true
+					}
+				}
+				continue
+			}
+		}
+		if !m.enabled(h) {
+			continue
+		}
+		h2, ms2 := cloneState(h, ms)
+		ev := ms2[i].step(h2)
+		if am, ok := ms2[i].(attemptMachine); ok && am.poisoned() {
+			continue
+		}
+		if ev == nil {
+			if acceptDFS(h2, ms2, events, pos, visited) {
+				return true
+			}
+			continue
+		}
+		if pos < len(events) && eventsEqual(*ev, events[pos]) {
+			if acceptDFS(h2, ms2, events, pos+1, visited) {
+				return true
+			}
+		}
+		// An exported event that does not match the next schedule event
+		// prunes this branch.
+	}
+	return false
+}
+
+func cloneState(h *Heap, ms []machine) (*Heap, []machine) {
+	h2 := h.Clone()
+	ms2 := make([]machine, len(ms))
+	for i, m := range ms {
+		ms2[i] = m.clone()
+	}
+	return h2, ms2
+}
+
+func eventsEqual(a, b Event) bool {
+	return a.Op == b.Op && a.Kind == b.Kind && a.Node == b.Node &&
+		a.Val == b.Val && a.Target == b.Target && a.Result == b.Result
+}
+
+// stateSignature serializes the search state for memoization.
+func stateSignature(h *Heap, ms []machine, pos int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "p%d", pos)
+	for id := NodeID(0); id < h.nextID; id++ {
+		n, ok := h.nodes[id]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "|%d:%d,%d,%v,%d", id, n.val, n.next, n.deleted, n.lock)
+	}
+	for _, m := range ms {
+		fmt.Fprintf(&b, "#%s", machineSignature(m))
+	}
+	return b.String()
+}
+
+func machineSignature(m machine) string {
+	switch mm := m.(type) {
+	case *seqMachine:
+		return fmt.Sprintf("s%d,%d,%d,%d,%d,%d,%d,%v", mm.op, mm.pc, mm.prev, mm.curr, mm.tval, mm.tnext, mm.created, mm.retval)
+	case *vblMachine:
+		return "v" + mm.algBase.signature()
+	case *lazyMachine:
+		return "z" + mm.algBase.signature()
+	case *harrisMachine:
+		return "h" + mm.algBase.signature()
+	case *coarseMachine:
+		return "c" + mm.algBase.signature() + "/" + machineSignature(mm.seq)
+	case *hohMachine:
+		return "w" + mm.algBase.signature()
+	case *optimisticMachine:
+		return "o" + mm.algBase.signature() + fmt.Sprintf(",%d", mm.vpred)
+	default:
+		panic("schedule: unknown machine type")
+	}
+}
+
+func (m *algBase) signature() string {
+	return fmt.Sprintf("%d,%d,%v,%v,%d,%d,%d,%d,%d,%v",
+		m.op, m.pc, m.final, m.finalChosen, m.prev, m.curr, m.tval, m.tnext, m.created, m.retval)
+}

@@ -1,0 +1,56 @@
+package schedule
+
+import "testing"
+
+// BenchmarkGeneratePair measures schedule-space enumeration for one
+// operation pair.
+func BenchmarkGeneratePair(b *testing.B) {
+	ops := []OpSpec{{Kind: OpInsert, Arg: 2}, {Kind: OpRemove, Arg: 1}}
+	for i := 0; i < b.N; i++ {
+		if got := GenerateAll([]int64{1}, ops, false, 0); len(got) == 0 {
+			b.Fatal("no schedules generated")
+		}
+	}
+}
+
+// BenchmarkOracle measures the Definition-1 verdict on Figure 2.
+func BenchmarkOracle(b *testing.B) {
+	s := Figure2()
+	for i := 0; i < b.N; i++ {
+		if ok, _ := Correct(s); !ok {
+			b.Fatal("Figure 2 should be correct")
+		}
+	}
+}
+
+// BenchmarkAcceptVBL measures the acceptance search on Figure 2 (an
+// accepting run).
+func BenchmarkAcceptVBL(b *testing.B) {
+	s := Figure2()
+	for i := 0; i < b.N; i++ {
+		if !Accepts(AlgVBL, s) {
+			b.Fatal("VBL should accept Figure 2")
+		}
+	}
+}
+
+// BenchmarkRejectLazy measures the acceptance search on Figure 2 for
+// Lazy (an exhaustive rejecting run — the expensive direction).
+func BenchmarkRejectLazy(b *testing.B) {
+	s := Figure2()
+	for i := 0; i < b.N; i++ {
+		if Accepts(AlgLazy, s) {
+			b.Fatal("Lazy should reject Figure 2")
+		}
+	}
+}
+
+// BenchmarkRejectHarris measures the rejecting search on Figure 3.
+func BenchmarkRejectHarris(b *testing.B) {
+	s := Figure3()
+	for i := 0; i < b.N; i++ {
+		if Accepts(AlgHarris, s) {
+			b.Fatal("Harris should reject Figure 3")
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package schedule
+
+// Acceptance machines for the two pedagogical baselines, extending the
+// paper's analysis downward: the coarse-grained list (one global lock)
+// and the hand-over-hand locking list. Neither ever restarts — every
+// operation is its own final attempt — so all their steps are exported;
+// their (lack of) concurrency shows up purely through lock-induced
+// scheduling constraints:
+//
+//   - coarse: the global lock is modelled as the head node's lock held
+//     for the whole operation, so accepted schedules are exactly the
+//     block-sequential ones;
+//   - hand-over-hand: the traversal holds a sliding pair of node locks,
+//     admitting pipelined traversals but nothing out of order.
+//
+// Together with Lazy, Harris-Michael and VBL this yields the
+// concurrency hierarchy reported by cmd/schedcheck -enumerate:
+// coarse < hand-over-hand < lazy < vbl = all correct schedules.
+
+// Additional algorithm identifiers (see Algorithm in machines.go).
+const (
+	// AlgCoarse is the global-mutex list (standard model).
+	AlgCoarse Algorithm = 100 + iota
+	// AlgHOH is the hand-over-hand locking list (standard model).
+	AlgHOH
+)
+
+// Extra program counters for the coarse/hoh machines.
+const (
+	cAcquireGlobal = 1000 + iota // coarse: take the global lock
+	hLockFirst                   // hoh: lock the starting node
+	hLockCurr                    // hoh: lock curr before examining it
+	hAdvanceUnlock               // hoh: release prev after moving on
+)
+
+// coarseMachine runs the sequential operation under one global lock
+// (the head node's lock stands in for the global mutex).
+type coarseMachine struct {
+	algBase
+	seq *seqMachine // the sequential op, driven under the lock
+}
+
+func newCoarseMachine(op int, spec OpSpec) *coarseMachine {
+	m := &coarseMachine{algBase: newAlgBase(op, spec)}
+	m.final = true
+	m.finalChosen = true
+	m.pc = cAcquireGlobal
+	m.seq = newSeqMachine(op, spec, false)
+	return m
+}
+
+func (m *coarseMachine) clone() machine {
+	c := *m
+	seqCopy := *m.seq
+	c.seq = &seqCopy
+	return &c
+}
+
+func (m *coarseMachine) needsFinalityChoice() bool { return false }
+
+func (m *coarseMachine) enabled(h *Heap) bool {
+	switch m.pc {
+	case cAcquireGlobal:
+		return h.LockedBy(Head) < 0
+	case aDone, aPoisoned:
+		return false
+	default:
+		return true
+	}
+}
+
+func (m *coarseMachine) done() bool { return m.pc == aDone }
+
+func (m *coarseMachine) step(h *Heap) *Event {
+	switch m.pc {
+	case cAcquireGlobal:
+		if !h.TryLock(Head, m.op) {
+			panic("schedule: coarse lock step while not enabled")
+		}
+		m.pc = aReadNext // marker: "inside the critical section"
+		return nil
+	case aDone, aPoisoned:
+		panic("schedule: coarse machine stepped in terminal state")
+	default:
+		ev := m.seq.step(h)
+		if m.seq.done() {
+			m.retval = m.seq.result()
+			h.Unlock(Head, m.op)
+			m.pc = aDone
+		}
+		return ev
+	}
+}
+
+// hohMachine is the hand-over-hand locking list: the traversal carries
+// a sliding window of two node locks down the list.
+type hohMachine struct {
+	algBase
+}
+
+func newHOHMachine(op int, spec OpSpec) *hohMachine {
+	m := &hohMachine{algBase: newAlgBase(op, spec)}
+	m.final = true // single attempt: every step is exported
+	m.finalChosen = true
+	m.pc = hLockFirst
+	return m
+}
+
+func (m *hohMachine) clone() machine {
+	c := *m
+	return &c
+}
+
+func (m *hohMachine) needsFinalityChoice() bool { return false }
+
+func (m *hohMachine) enabled(h *Heap) bool {
+	switch m.pc {
+	case hLockFirst:
+		return h.LockedBy(Head) < 0
+	case hLockCurr:
+		return h.LockedBy(m.curr) < 0
+	case aDone, aPoisoned:
+		return false
+	default:
+		return true
+	}
+}
+
+func (m *hohMachine) done() bool { return m.pc == aDone }
+
+func (m *hohMachine) step(h *Heap) *Event {
+	v := m.spec.Arg
+	switch m.pc {
+	case hLockFirst:
+		if !h.TryLock(Head, m.op) {
+			panic("schedule: hoh lock step while not enabled")
+		}
+		m.prev = Head
+		m.pc = aReadNext
+		return nil
+
+	case aReadNext: // curr <- read(prev.next), prev's lock held
+		m.curr = h.Next(m.prev)
+		m.pc = hLockCurr
+		return &Event{Op: m.op, Kind: EvReadNext, Node: m.prev, Target: m.curr}
+
+	case hLockCurr:
+		if !h.TryLock(m.curr, m.op) {
+			panic("schedule: hoh lock step while not enabled")
+		}
+		m.pc = aReadVal
+		return nil
+
+	case aReadVal:
+		m.tval = h.Val(m.curr)
+		ev := Event{Op: m.op, Kind: EvReadVal, Node: m.curr, Val: m.tval}
+		if m.tval < v {
+			m.pc = hAdvanceUnlock
+			return &ev
+		}
+		switch m.spec.Kind {
+		case OpContains:
+			m.retval = m.tval == v
+			m.pc = aReturn
+		case OpInsert:
+			if m.tval == v {
+				m.retval = false
+				m.pc = aReturn
+			} else {
+				m.pc = aInsNew
+			}
+		case OpRemove:
+			if m.tval != v {
+				m.retval = false
+				m.pc = aReturn
+			} else {
+				m.pc = aRemReadNext
+			}
+		}
+		return &ev
+
+	case hAdvanceUnlock: // release prev, slide the window
+		h.Unlock(m.prev, m.op)
+		m.prev = m.curr
+		m.pc = aReadNext
+		return nil
+
+	case aInsNew:
+		m.created = h.NewNode(v, m.curr)
+		m.pc = aInsWrite
+		return &Event{Op: m.op, Kind: EvNewNode, Node: m.created, Val: v, Target: m.curr}
+
+	case aInsWrite:
+		h.SetNext(m.prev, m.created)
+		m.retval = true
+		m.pc = aReturn
+		return &Event{Op: m.op, Kind: EvWriteNext, Node: m.prev, Target: m.created}
+
+	case aRemReadNext:
+		m.tnext = h.Next(m.curr)
+		m.pc = aRemUnlink
+		return &Event{Op: m.op, Kind: EvReadNext, Node: m.curr, Target: m.tnext}
+
+	case aRemUnlink:
+		h.SetNext(m.prev, m.tnext)
+		m.retval = true
+		m.pc = aReturn
+		return &Event{Op: m.op, Kind: EvWriteNext, Node: m.prev, Target: m.tnext}
+
+	case aReturn:
+		h.Unlock(m.curr, m.op)
+		h.Unlock(m.prev, m.op)
+		return m.emitReturn()
+
+	default:
+		panic("schedule: hoh machine stepped in invalid state")
+	}
+}

@@ -1,0 +1,195 @@
+package schedule
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EventKind enumerates the step vocabulary of the paper's schedules.
+type EventKind uint8
+
+const (
+	// EvReadNext is a read of a node's next field; Target records the
+	// observed successor.
+	EvReadNext EventKind = iota
+	// EvReadVal is a read of a node's val field; Val records the
+	// observed value.
+	EvReadVal
+	// EvNewNode is the creation of a new node (Node) holding Val with
+	// initial successor Target.
+	EvNewNode
+	// EvWriteNext is a write of Node's next field to Target.
+	EvWriteNext
+	// EvMark is the logical deletion of Node — a step of the *adjusted*
+	// sequential implementation used to analyze Harris-Michael (§2.3).
+	EvMark
+	// EvReturn is the operation's response; Result records the returned
+	// boolean.
+	EvReturn
+)
+
+// String returns a compact event-kind mnemonic.
+func (k EventKind) String() string {
+	switch k {
+	case EvReadNext:
+		return "Rnext"
+	case EvReadVal:
+		return "Rval"
+	case EvNewNode:
+		return "new"
+	case EvWriteNext:
+		return "Wnext"
+	case EvMark:
+		return "mark"
+	case EvReturn:
+		return "ret"
+	default:
+		return fmt.Sprintf("ev(%d)", uint8(k))
+	}
+}
+
+// Event is one step of a schedule, attributed to a high-level operation.
+// Read events record their observed results, which makes schedule
+// equality strict: two schedules are the same only if every operation
+// observes the same memory.
+type Event struct {
+	Op     int
+	Kind   EventKind
+	Node   NodeID
+	Val    int64
+	Target NodeID
+	Result bool
+}
+
+// String renders the event.
+func (e Event) String() string {
+	switch e.Kind {
+	case EvReadNext:
+		return fmt.Sprintf("op%d:Rnext(X%d)=X%d", e.Op, e.Node, e.Target)
+	case EvReadVal:
+		return fmt.Sprintf("op%d:Rval(X%d)=%s", e.Op, e.Node, valStr(e.Val))
+	case EvNewNode:
+		return fmt.Sprintf("op%d:new(X%d=%s,next=X%d)", e.Op, e.Node, valStr(e.Val), e.Target)
+	case EvWriteNext:
+		return fmt.Sprintf("op%d:Wnext(X%d=X%d)", e.Op, e.Node, e.Target)
+	case EvMark:
+		return fmt.Sprintf("op%d:mark(X%d)", e.Op, e.Node)
+	case EvReturn:
+		return fmt.Sprintf("op%d:ret(%v)", e.Op, e.Result)
+	default:
+		return fmt.Sprintf("op%d:?", e.Op)
+	}
+}
+
+func valStr(v int64) string {
+	switch v {
+	case MinVal:
+		return "-inf"
+	case MaxVal:
+		return "+inf"
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}
+
+// OpKind enumerates the high-level set operations.
+type OpKind uint8
+
+const (
+	// OpInsert is insert(v).
+	OpInsert OpKind = iota
+	// OpRemove is remove(v).
+	OpRemove
+	// OpContains is contains(v).
+	OpContains
+)
+
+// String returns the operation name.
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpRemove:
+		return "remove"
+	case OpContains:
+		return "contains"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// OpSpec declares one high-level operation of a schedule.
+type OpSpec struct {
+	Kind OpKind
+	Arg  int64
+}
+
+// String renders the op, e.g. "insert(2)".
+func (o OpSpec) String() string { return fmt.Sprintf("%s(%d)", o.Kind, o.Arg) }
+
+// Schedule is a complete schedule: an initial list state, the high-level
+// operations, and the interleaved sequence of their effective steps.
+type Schedule struct {
+	// Initial is the initial list contents (strictly ascending).
+	Initial []int64
+	// Ops declares the operations; event Op fields index into it.
+	Ops []OpSpec
+	// Adjusted marks a schedule of the adjusted sequential code (remove
+	// = logical mark; traversing updates unlink marked nodes), the
+	// reference model for Harris-Michael. Standard schedules never
+	// contain EvMark events.
+	Adjusted bool
+	// Events is the interleaved step sequence.
+	Events []Event
+}
+
+// Key returns a canonical string identifying the schedule; two schedules
+// with the same key are the same schedule.
+func (s Schedule) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "init=%v adj=%v ops=%v |", s.Initial, s.Adjusted, s.Ops)
+	for _, e := range s.Events {
+		b.WriteString(e.String())
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// String renders the schedule multi-line for diagnostics.
+func (s Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "initial %v, ops:", s.Initial)
+	for i, o := range s.Ops {
+		fmt.Fprintf(&b, " op%d=%s", i, o)
+	}
+	if s.Adjusted {
+		b.WriteString(" (adjusted LL)")
+	}
+	b.WriteByte('\n')
+	for _, e := range s.Events {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	return b.String()
+}
+
+// Results extracts each op's returned result from its EvReturn event;
+// the boolean reports whether every op has exactly one return.
+func (s Schedule) Results() ([]bool, bool) {
+	res := make([]bool, len(s.Ops))
+	count := make([]int, len(s.Ops))
+	for _, e := range s.Events {
+		if e.Kind == EvReturn {
+			if e.Op < 0 || e.Op >= len(s.Ops) {
+				return nil, false
+			}
+			res[e.Op] = e.Result
+			count[e.Op]++
+		}
+	}
+	for _, c := range count {
+		if c != 1 {
+			return nil, false
+		}
+	}
+	return res, true
+}

@@ -1,0 +1,151 @@
+package schedule
+
+// The two counterexample schedules of the paper, constructed by running
+// the sequential machines under the figures' interleavings.
+
+// Figure2 returns the schedule of Figure 2: the initial list holds {1};
+// insert(2) (op 0) and insert(1) (op 1) run concurrently. insert(2)
+// traverses past the node holding 1 and creates its new node; before
+// insert(2) links it, insert(1) reads the node holding 1 and returns
+// false. The schedule is correct, VBL accepts it, and the Lazy list
+// rejects it: in Lazy, insert(1) cannot return false without holding
+// the lock that insert(2) already holds across its node creation.
+func Figure2() Schedule {
+	ops := []OpSpec{
+		{Kind: OpInsert, Arg: 2}, // op 0
+		{Kind: OpInsert, Arg: 1}, // op 1
+	}
+	// Step budget per op (standard machine):
+	//   op0 insert(2): Rnext(h)=X1; Rval(X1)=1; Rnext(X1)=tail;
+	//                  Rval(tail)=+inf; new(X2); Wnext(X1=X2); ret(true)
+	//   op1 insert(1): Rnext(h)=X1; Rval(X1)=1; ret(false)
+	order := []int{
+		0,          // op0: Rnext(h)
+		1,          // op1: Rnext(h)
+		0, 0, 0, 0, // op0: Rval(X1), Rnext(X1), Rval(tail), new(X2)
+		1, 1, // op1: Rval(X1), ret(false)   <-- before op0's write
+		0, 0, // op0: Wnext(X1=X2), ret(true)
+	}
+	s, err := Run([]int64{1}, ops, false, order)
+	if err != nil {
+		panic("schedule: Figure2 construction: " + err.Error())
+	}
+	return s
+}
+
+// Figure3 returns the schedule of Figure 3 in the adjusted model: the
+// initial list holds {2,3,4}. Phase one runs insert(1) (op 0)
+// concurrently with remove(2) (op 1): both read head, insert(1) links
+// its node at the front, and remove(2) marks the node holding 2 but —
+// because head's successor changed — cannot unlink it. Phase two runs
+// insert(4) (op 2) concurrently with insert(3) (op 3): both traverse to
+// the marked node, both read past it, insert(3) unlinks it first, and
+// in the schedule insert(4)'s unlink write also takes effect before it
+// reads on to return false. Harris-Michael rejects the schedule: the
+// second unlink is a CAS that fails, forcing a restart from head.
+func Figure3() Schedule {
+	ops := []OpSpec{
+		{Kind: OpInsert, Arg: 1}, // op 0
+		{Kind: OpRemove, Arg: 2}, // op 1
+		{Kind: OpInsert, Arg: 4}, // op 2
+		{Kind: OpInsert, Arg: 3}, // op 3
+	}
+	// Adjusted machine steps (mc = internal mark check):
+	//   op0 insert(1): Rnext(h)=N2; mc; Rval(N2)=2; new(N5,next=N2);
+	//                  Wnext(h=N5); ret(true)
+	//   op1 remove(2): Rnext(h)=N2; mc; Rval(N2)=2; Rnext(N2)=N3;
+	//                  mark(N2); ret(true)
+	//   op2 insert(4): Rnext(h)=N5; mc; Rval(N5)=1; Rnext(N5)=N2; mc;
+	//                  Rnext(N2)=N3 (help); Wnext(N5=N3) (help); mc;
+	//                  Rval(N3)=3; Rnext(N3)=N4; mc; Rval(N4)=4; ret(false)
+	//   op3 insert(3): Rnext(h)=N5; mc; Rval(N5)=1; Rnext(N5)=N2; mc;
+	//                  Rnext(N2)=N3 (help); Wnext(N5=N3) (help); mc;
+	//                  Rval(N3)=3; ret(false)
+	order := []int{
+		// Phase 1: insert(1) ∥ remove(2).
+		0, 0, // op0: Rnext(h), mc
+		1, 1, // op1: Rnext(h), mc
+		0, 0, 0, 0, // op0: Rval(N2), new(N5), Wnext(h), ret(true)
+		1, 1, 1, 1, // op1: Rval(N2), Rnext(N2), mark(N2), ret(true)
+		// Phase 2: insert(4) ∥ insert(3), both past the marked node.
+		2, 2, 2, 2, 2, // op2: Rnext(h), mc, Rval(N5), Rnext(N5), mc
+		3, 3, 3, 3, 3, // op3: same five steps
+		2,       // op2: Rnext(N2)=N3 (helping read)
+		3,       // op3: Rnext(N2)=N3 (helping read)
+		3,       // op3: Wnext(N5=N3) — unlinks first
+		2,       // op2: Wnext(N5=N3) — the write Harris cannot perform
+		3, 3, 3, // op3: mc, Rval(N3)=3, ret(false)
+		2, 2, 2, 2, 2, 2, // op2: mc, Rval(N3), Rnext(N3), mc, Rval(N4), ret(false)
+	}
+	s, err := Run([]int64{2, 3, 4}, ops, true, order)
+	if err != nil {
+		panic("schedule: Figure3 construction: " + err.Error())
+	}
+	return s
+}
+
+// ReincarnationSchedule returns the schedule that showcases the
+// *value-aware* half of the try-lock (§3.2's remove discussion: "one
+// could have removed and inserted v while the thread was asleep").
+// Initial list {5}; remove(5) (op 0) performs its traversal and its
+// read of the victim's successor, then goes to sleep; remove(5) (op 1)
+// deletes the original node entirely and insert(5) (op 2) links a NEW
+// node holding 5; finally op 0 wakes and performs its unlink write.
+//
+// The schedule is correct — linearize op1, op2, op0 — and VBL accepts
+// it: op 0's lockNextAtValue(5) validates the successor BY VALUE, so
+// the fresh node is as good as the one it saw. The Lazy list rejects
+// it: its validation pins the very node the traversal read, which is
+// gone.
+func ReincarnationSchedule() Schedule {
+	ops := []OpSpec{
+		{Kind: OpRemove, Arg: 5}, // op 0: the sleeper
+		{Kind: OpRemove, Arg: 5}, // op 1: removes the original node
+		{Kind: OpInsert, Arg: 5}, // op 2: reincarnates 5 in a fresh node
+	}
+	// op0 remove(5): Rnext(h)=N2; Rval(N2)=5; Rnext(N2)=tail;
+	//                Wnext(h=tail); ret(true)
+	// op1 remove(5): same five steps, completing first
+	// op2 insert(5): Rnext(h)=tail; Rval(tail)=+inf; new(N3,next=tail);
+	//                Wnext(h=N3); ret(true)
+	order := []int{
+		0, 0, 0, // op0: traversal reads + successor read, then sleeps
+		1, 1, 1, 1, 1, // op1: removes N2 outright
+		2, 2, 2, 2, 2, // op2: inserts the fresh N3 holding 5
+		0, 0, // op0: Wnext(h=tail) — unlinking the reincarnation — ret(true)
+	}
+	s, err := Run([]int64{5}, ops, false, order)
+	if err != nil {
+		panic("schedule: ReincarnationSchedule construction: " + err.Error())
+	}
+	return s
+}
+
+// FailedRemoveSchedule returns the remove-flavoured sibling of Figure 2:
+// the initial list holds {1}; insert(2) (op 0) and remove(2) (op 1) run
+// concurrently. remove(2) traverses, finds no 2, and returns false
+// after insert(2) has created its node but before insert(2) links it.
+// The schedule is correct (linearize the remove first), VBL accepts it
+// — a failed remove touches no metadata — and the Lazy list rejects it:
+// Lazy's remove(2) can only return false while holding the very locks
+// insert(2) holds across its node creation and write.
+func FailedRemoveSchedule() Schedule {
+	ops := []OpSpec{
+		{Kind: OpInsert, Arg: 2}, // op 0
+		{Kind: OpRemove, Arg: 2}, // op 1
+	}
+	// op0 insert(2): Rnext(h)=N2; Rval(N2)=1; Rnext(N2)=tail;
+	//                Rval(tail)=+inf; new(N3); Wnext(N2=N3); ret(true)
+	// op1 remove(2): Rnext(h)=N2; Rval(N2)=1; Rnext(N2)=tail;
+	//                Rval(tail)=+inf; ret(false)
+	order := []int{
+		0, 0, 0, 0, 0, // op0 up to and including new(N3)
+		1, 1, 1, 1, 1, // op1 completes, returning false
+		0, 0, // op0: Wnext(N2=N3), ret(true)
+	}
+	s, err := Run([]int64{1}, ops, false, order)
+	if err != nil {
+		panic("schedule: FailedRemoveSchedule construction: " + err.Error())
+	}
+	return s
+}

@@ -1,0 +1,231 @@
+package schedule
+
+// Step machines for the three concurrent algorithms, used by the
+// acceptance search: given a schedule σ, "does algorithm A accept σ"
+// means "is there an execution of A's machines whose exported events are
+// exactly σ".
+//
+// Machines distinguish *exported* steps (the reads/writes/creations that
+// the paper's schedule mapping keeps: those of the operation's last
+// traversal, plus effective writes, node creations and successful
+// logical deletions) from *internal* steps (lock handling, validation
+// reads, deletion-mark metadata in the standard model, and everything
+// belonging to attempts that get restarted). Whether the current attempt
+// is the exporting one cannot be known in advance, so it is a
+// speculation point: the acceptance search forks on setFinal(true/false)
+// at each attempt start, and a machine that discovers its guess was
+// wrong — a "non-final" attempt that would have completed, or a "final"
+// attempt that fails validation — poisons itself, pruning the branch.
+//
+// Fidelity notes (documented deviations from the production Go code in
+// internal/core):
+//
+//   - The abstract VBL machine restarts failed attempts from head, not
+//     from prev. Restarting from prev is a performance optimization; it
+//     makes the exported "last traversal" a composite of attempt
+//     prefixes, which complicates the schedule mapping without changing
+//     the accepted set (the composite read sequence is itself a legal
+//     LL traversal). Head-restart keeps exported attempts literal.
+//   - The abstract machines skip the production code's lock-free
+//     pre-validation; the search explores all timings anyway.
+
+// attemptMachine is a machine with restartable attempts that must be
+// told which attempt exports its steps.
+type attemptMachine interface {
+	machine
+	needsFinalityChoice() bool
+	setFinal(final bool)
+	poisoned() bool
+}
+
+// Algorithm identifies an implementation for the acceptance search.
+type Algorithm uint8
+
+const (
+	// AlgSeq is the sequential code itself (standard or adjusted per the
+	// schedule); accepting σ means σ is an interleaving of the
+	// sequential code, i.e. σ ∈ §.
+	AlgSeq Algorithm = iota
+	// AlgVBL is the paper's Value-Based List (standard model).
+	AlgVBL
+	// AlgLazy is the Lazy Linked List (standard model).
+	AlgLazy
+	// AlgHarris is the Harris-Michael list (adjusted model).
+	AlgHarris
+)
+
+// String returns the algorithm name.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgSeq:
+		return "sequential"
+	case AlgVBL:
+		return "vbl"
+	case AlgLazy:
+		return "lazy"
+	case AlgHarris:
+		return "harris-michael"
+	case AlgCoarse:
+		return "coarse"
+	case AlgHOH:
+		return "hand-over-hand"
+	case AlgOptimistic:
+		return "optimistic"
+	default:
+		return "alg(?)"
+	}
+}
+
+// Adjusted reports whether the algorithm's reference model is the
+// adjusted sequential implementation (marks + delegated unlinking).
+func (a Algorithm) Adjusted() bool { return a == AlgHarris }
+
+// newAlgMachine builds the op-th machine of alg.
+func newAlgMachine(alg Algorithm, op int, spec OpSpec, adjusted bool) machine {
+	switch alg {
+	case AlgSeq:
+		return newSeqMachine(op, spec, adjusted)
+	case AlgVBL:
+		return &vblMachine{algBase: newAlgBase(op, spec)}
+	case AlgLazy:
+		return &lazyMachine{algBase: newAlgBase(op, spec)}
+	case AlgHarris:
+		return &harrisMachine{algBase: newAlgBase(op, spec)}
+	case AlgCoarse:
+		return newCoarseMachine(op, spec)
+	case AlgHOH:
+		return newHOHMachine(op, spec)
+	case AlgOptimistic:
+		return newOptimisticMachine(op, spec)
+	default:
+		panic("schedule: unknown algorithm")
+	}
+}
+
+// Shared program counters for the algorithm machines. Not every machine
+// uses every state.
+const (
+	aStart           = iota // attempt start (finality speculation point)
+	aReadNext               // curr <- read(prev.next)
+	aCheckMark              // harris: internal mark check of curr
+	aHelpRead               // harris: succ <- read(curr.next)
+	aHelpCAS                // harris: CAS unlink of marked curr
+	aReadVal                // tval <- read(curr.val); branch
+	aInsNew                 // create the new node
+	aInsLockPrev            // vbl: acquire prev's lock
+	aInsValidate            // vbl: validate under prev's lock
+	aInsWrite               // link the new node
+	aInsCAS                 // harris: CAS link
+	aLockPrev               // lazy: acquire prev's lock
+	aLockCurr               // lazy: acquire curr's lock
+	aValidate               // lazy: post-lock validation
+	aAfterValidate          // lazy: presence check under locks
+	aRemReadNext            // tnext <- read(curr.next)
+	aRemLockPrev            // vbl: lockNextAtValue's acquisition
+	aRemValidatePrev        // vbl: value validation under prev's lock
+	aRemReread              // vbl: curr <- prev.next under lock
+	aRemLockCurr            // vbl: acquire curr's lock
+	aRemValidateCurr        // vbl: validate curr.next == tnext
+	aRemMarkCAS             // harris: CAS logical deletion
+	aRemUnlinkTry           // harris: best-effort physical unlink (internal)
+	aRemMark                // vbl/lazy: set deletion mark (internal metadata)
+	aRemUnlink              // unlink write
+	aContainsCheck          // lazy/harris: internal mark check of landing node
+	aReturn
+	aDone
+	aPoisoned
+)
+
+// newAlgBase returns the initial registers of an algorithm machine.
+func newAlgBase(op int, spec OpSpec) algBase {
+	return algBase{op: op, spec: spec, pc: aStart, prev: Head, curr: None, tnext: None, created: None}
+}
+
+// algBase carries the registers shared by the three machines.
+type algBase struct {
+	op   int
+	spec OpSpec
+
+	pc          int
+	final       bool
+	finalChosen bool
+	freeRun     bool // progress exploration: no exports, no speculation
+
+	prev, curr NodeID
+	tval       int64
+	tnext      NodeID
+	created    NodeID
+	retval     bool
+}
+
+func (m *algBase) done() bool     { return m.pc == aDone }
+func (m *algBase) result() bool   { return m.retval }
+func (m *algBase) poisoned() bool { return m.pc == aPoisoned }
+
+func (m *algBase) needsFinalityChoice() bool {
+	// contains never restarts: it is always its own final attempt.
+	return !m.freeRun && m.pc == aStart && !m.finalChosen && m.spec.Kind != OpContains
+}
+
+func (m *algBase) setFinal(final bool) {
+	m.final = final
+	m.finalChosen = true
+}
+
+// restart begins a new attempt (the previous one failed validation).
+// A final attempt must not fail — poison instead.
+func (m *algBase) restart() {
+	if !m.freeRun && m.final {
+		m.pc = aPoisoned
+		return
+	}
+	m.pc = aStart
+	m.finalChosen = false
+	m.prev = Head
+	m.curr = None
+	if !m.freeRun {
+		m.created = None // free runs keep their node for reuse
+	}
+}
+
+// complete moves to the return step; a non-final attempt must not
+// complete — poison instead.
+func (m *algBase) complete(result bool) {
+	if !m.freeRun && !m.final && m.spec.Kind != OpContains {
+		m.pc = aPoisoned
+		return
+	}
+	m.retval = result
+	m.pc = aReturn
+}
+
+// export wraps an event so that only final attempts emit it.
+func (m *algBase) export(e Event) *Event {
+	if m.freeRun || (!m.final && m.spec.Kind != OpContains) {
+		return nil
+	}
+	return &e
+}
+
+// beginTraversal is the common aStart handling.
+func (m *algBase) beginTraversal() {
+	if !m.freeRun && m.spec.Kind == OpContains {
+		m.final = true
+		m.finalChosen = true
+	}
+	m.prev = Head
+	m.pc = aReadNext
+}
+
+// traversalReadNext performs curr <- read(prev.next).
+func (m *algBase) traversalReadNext(h *Heap, next int) *Event {
+	m.curr = h.Next(m.prev)
+	m.pc = next
+	return m.export(Event{Op: m.op, Kind: EvReadNext, Node: m.prev, Target: m.curr})
+}
+
+// emitReturn emits the response event.
+func (m *algBase) emitReturn() *Event {
+	m.pc = aDone
+	return &Event{Op: m.op, Kind: EvReturn, Result: m.retval}
+}

@@ -1,0 +1,239 @@
+package schedule
+
+// optimisticMachine is the Optimistic locking list (Herlihy & Shavit
+// ch. 9.6) in the acceptance framework, completing the optimistic-vs-
+// pessimistic spectrum that motivated the concurrency-optimality
+// programme: traversal is wait-free, but EVERY operation — contains
+// included — locks its window and then validates it by re-traversing
+// the list from head (internal reads, one per step). With no deletion
+// marks, a failed validation restarts the whole operation.
+//
+// Its accepted-schedule set sits strictly between hand-over-hand and
+// Lazy: traversals interleave freely, but no operation can complete
+// inside another operation's lock window, and the double traversal
+// (validation) must observe a reachable window.
+
+// Additional program counters.
+const (
+	oValidateStart = 2000 + iota // begin the validation re-traversal
+	oValidateStep                // one internal read of the re-traversal
+	oDecide                      // validated: branch on the op kind
+)
+
+type optimisticMachine struct {
+	algBase
+	vpred NodeID // the validation re-traversal's cursor
+}
+
+// AlgOptimistic identifies the optimistic list (standard model).
+const AlgOptimistic Algorithm = 200
+
+func newOptimisticMachine(op int, spec OpSpec) *optimisticMachine {
+	m := &optimisticMachine{algBase: newAlgBase(op, spec)}
+	return m
+}
+
+func (m *optimisticMachine) clone() machine {
+	c := *m
+	return &c
+}
+
+func (m *optimisticMachine) enabled(h *Heap) bool {
+	switch m.pc {
+	case aLockPrev:
+		return h.LockedBy(m.prev) < 0
+	case aLockCurr:
+		return h.LockedBy(m.curr) < 0
+	case aDone, aPoisoned:
+		return false
+	default:
+		return true
+	}
+}
+
+func (m *optimisticMachine) unlockBoth(h *Heap) {
+	h.Unlock(m.curr, m.op)
+	h.Unlock(m.prev, m.op)
+}
+
+func (m *optimisticMachine) step(h *Heap) *Event {
+	v := m.spec.Arg
+	switch m.pc {
+	case aStart:
+		// Contains also restarts on failed validation, so unlike the
+		// other machines it participates in finality speculation; the
+		// speculative branching is handled by needsFinalityChoice.
+		m.prev = Head
+		m.pc = aReadNext
+		return nil
+
+	case aReadNext:
+		return m.traversalReadNext(h, aReadVal)
+
+	case aReadVal:
+		m.tval = h.Val(m.curr)
+		ev := m.exportAlways(Event{Op: m.op, Kind: EvReadVal, Node: m.curr, Val: m.tval})
+		if m.tval < v {
+			m.prev = m.curr
+			m.pc = aReadNext
+			return ev
+		}
+		m.pc = aLockPrev
+		return ev
+
+	case aLockPrev:
+		if !h.TryLock(m.prev, m.op) {
+			panic("schedule: optimistic lock step while not enabled")
+		}
+		m.pc = aLockCurr
+		return nil
+
+	case aLockCurr:
+		if !h.TryLock(m.curr, m.op) {
+			panic("schedule: optimistic lock step while not enabled")
+		}
+		m.pc = oValidateStart
+		return nil
+
+	case oValidateStart:
+		m.vpred = Head
+		m.pc = oValidateStep
+		return nil
+
+	case oValidateStep: // one internal read of the re-traversal
+		if m.vpred == m.prev {
+			// Reached prev: the window is valid iff still adjacent.
+			if h.Next(m.prev) == m.curr {
+				m.pc = oDecide
+			} else {
+				m.unlockBoth(h)
+				m.restartOptimistic()
+			}
+			return nil
+		}
+		if h.Val(m.vpred) > h.Val(m.prev) {
+			// Walked past prev's value: prev is no longer reachable.
+			m.unlockBoth(h)
+			m.restartOptimistic()
+			return nil
+		}
+		m.vpred = h.Next(m.vpred)
+		return nil
+
+	case oDecide:
+		switch m.spec.Kind {
+		case OpContains:
+			m.unlockBoth(h)
+			m.completeOptimistic(m.tval == v)
+		case OpInsert:
+			if m.tval == v {
+				m.unlockBoth(h)
+				m.completeOptimistic(false)
+			} else {
+				m.pc = aInsNew
+			}
+		case OpRemove:
+			if m.tval != v {
+				m.unlockBoth(h)
+				m.completeOptimistic(false)
+			} else {
+				m.pc = aRemReadNext
+			}
+		}
+		return nil
+
+	case aInsNew:
+		if !m.freeRun && !m.final {
+			m.unlockBoth(h)
+			m.pc = aPoisoned
+			return nil
+		}
+		if m.freeRun && m.created != None {
+			// Reuse one node across attempts (see the VBL machine).
+			h.SetNext(m.created, m.curr)
+			m.pc = aInsWrite
+			return nil
+		}
+		m.created = h.NewNode(v, m.curr)
+		m.pc = aInsWrite
+		return m.exportAlways(Event{Op: m.op, Kind: EvNewNode, Node: m.created, Val: v, Target: m.curr})
+
+	case aInsWrite:
+		h.SetNext(m.prev, m.created)
+		ev := Event{Op: m.op, Kind: EvWriteNext, Node: m.prev, Target: m.created}
+		m.unlockBoth(h)
+		m.retval = true
+		m.pc = aReturn
+		return &ev
+
+	case aRemReadNext:
+		if !m.freeRun && !m.final {
+			m.unlockBoth(h)
+			m.pc = aPoisoned
+			return nil
+		}
+		m.tnext = h.Next(m.curr)
+		m.pc = aRemUnlink
+		return &Event{Op: m.op, Kind: EvReadNext, Node: m.curr, Target: m.tnext}
+
+	case aRemUnlink:
+		h.SetNext(m.prev, m.tnext)
+		ev := Event{Op: m.op, Kind: EvWriteNext, Node: m.prev, Target: m.tnext}
+		m.unlockBoth(h)
+		m.retval = true
+		m.pc = aReturn
+		return &ev
+
+	case aReturn:
+		return m.emitReturn()
+
+	default:
+		panic("schedule: optimistic machine stepped in invalid state")
+	}
+}
+
+// The optimistic list's contains can restart, so it cannot reuse the
+// algBase helpers that treat contains as always-final.
+
+func (m *optimisticMachine) needsFinalityChoice() bool {
+	return !m.freeRun && m.pc == aStart && !m.finalChosen
+}
+
+// exportAlways exports on final attempts for every op kind, including
+// contains.
+func (m *optimisticMachine) exportAlways(e Event) *Event {
+	if m.freeRun || !m.final {
+		return nil
+	}
+	return &e
+}
+
+// traversalReadNext shadows the algBase helper to use exportAlways.
+func (m *optimisticMachine) traversalReadNext(h *Heap, next int) *Event {
+	m.curr = h.Next(m.prev)
+	m.pc = next
+	return m.exportAlways(Event{Op: m.op, Kind: EvReadNext, Node: m.prev, Target: m.curr})
+}
+
+func (m *optimisticMachine) restartOptimistic() {
+	if !m.freeRun && m.final {
+		m.pc = aPoisoned
+		return
+	}
+	m.pc = aStart
+	m.finalChosen = false
+	m.prev = Head
+	m.curr = None
+	if !m.freeRun {
+		m.created = None // free runs keep their node for reuse
+	}
+}
+
+func (m *optimisticMachine) completeOptimistic(result bool) {
+	if !m.freeRun && !m.final {
+		m.pc = aPoisoned
+		return
+	}
+	m.retval = result
+	m.pc = aReturn
+}

@@ -1,0 +1,129 @@
+package schedule
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Deadlock-freedom checking (the progress half of the paper's
+// correctness discussion in §3.2): explore EVERY interleaving of an
+// algorithm's machines — not driven by any schedule — and verify that
+// no reachable state is a total deadlock (some unfinished operation can
+// always step) and that every execution path terminates.
+//
+// Machines run in "free run" mode: no events are exported and attempts
+// behave exactly as the real algorithm's do (failed validations retry,
+// successful ones complete), so the explored state graph is the true
+// one. Termination of every path is checked by rejecting cycles on the
+// DFS stack: a cycle would be an execution in which the adversarial
+// scheduler keeps the system busy forever without any operation
+// completing — a livelock. (Lock-free algorithms like Harris-Michael
+// genuinely contain such adversarial loops — two operations can
+// alternately fail each other's CAS — so the livelock check applies
+// only to the lock-based algorithms, where the paper claims
+// deadlock-freedom.)
+
+// freeRunner is implemented by machines that support free-run mode.
+type freeRunner interface {
+	machine
+	setFreeRun()
+}
+
+func (m *algBase) setFreeRun() {
+	m.freeRun = true
+	m.final = false
+	m.finalChosen = true
+}
+
+// ProgressReport is the outcome of CheckProgress.
+type ProgressReport struct {
+	Algorithm Algorithm
+	// States is the number of distinct states explored.
+	States int
+	// Deadlock is a description of a reachable total deadlock, if any.
+	Deadlock string
+	// Livelock is a description of a reachable scheduler loop in which
+	// no operation completes, if any (only detected when checkLivelock).
+	Livelock string
+}
+
+// OK reports whether no deadlock (and, if checked, no livelock) was
+// found.
+func (r ProgressReport) OK() bool { return r.Deadlock == "" && r.Livelock == "" }
+
+// CheckProgress explores all interleavings of the given operations
+// under alg from the initial list and checks for total deadlocks, and —
+// when checkLivelock is set — for non-terminating scheduler loops.
+func CheckProgress(alg Algorithm, initial []int64, ops []OpSpec, checkLivelock bool) ProgressReport {
+	rep := ProgressReport{Algorithm: alg}
+	h := NewHeap(initial)
+	ms := make([]machine, len(ops))
+	for i, spec := range ops {
+		m := newAlgMachine(alg, i, spec, alg.Adjusted())
+		if fr, ok := m.(freeRunner); ok {
+			fr.setFreeRun()
+		}
+		ms[i] = m
+	}
+	visited := make(map[string]struct{})
+	onStack := make(map[string]struct{})
+
+	var dfs func(h *Heap, ms []machine) bool // false => stop (flaw found)
+	dfs = func(h *Heap, ms []machine) bool {
+		sig := stateSignature(h, ms, 0)
+		if _, dup := visited[sig]; dup {
+			if checkLivelock {
+				if _, cyc := onStack[sig]; cyc {
+					rep.Livelock = describeState(ms)
+					return false
+				}
+			}
+			return true
+		}
+		visited[sig] = struct{}{}
+		if checkLivelock {
+			onStack[sig] = struct{}{}
+			defer delete(onStack, sig)
+		}
+		rep.States++
+
+		anyUnfinished := false
+		anyEnabled := false
+		for i, m := range ms {
+			if m.done() {
+				continue
+			}
+			anyUnfinished = true
+			if am, ok := m.(attemptMachine); ok && am.poisoned() {
+				panic("schedule: poisoned machine in free run")
+			}
+			if !m.enabled(h) {
+				continue
+			}
+			anyEnabled = true
+			h2, ms2 := cloneState(h, ms)
+			ms2[i].step(h2)
+			if !dfs(h2, ms2) {
+				return false
+			}
+		}
+		if anyUnfinished && !anyEnabled {
+			rep.Deadlock = describeState(ms)
+			return false
+		}
+		return true
+	}
+	dfs(h, ms)
+	return rep
+}
+
+func describeState(ms []machine) string {
+	var b strings.Builder
+	for i, m := range ms {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "op%d:%s", i, machineSignature(m))
+	}
+	return b.String()
+}

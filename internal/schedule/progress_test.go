@@ -1,0 +1,111 @@
+package schedule
+
+import "testing"
+
+// The executable deadlock-freedom claim (§3.2): explore every
+// interleaving of small operation mixes and verify no total deadlock is
+// reachable; for the lock-based algorithms additionally verify that no
+// adversarial scheduler loop avoids completion forever (livelock).
+
+// progressMixes are contention-heavy operation mixes over tiny lists.
+func progressMixes() []struct {
+	initial []int64
+	ops     []OpSpec
+} {
+	return []struct {
+		initial []int64
+		ops     []OpSpec
+	}{
+		{[]int64{1}, []OpSpec{{Kind: OpInsert, Arg: 2}, {Kind: OpInsert, Arg: 2}}},
+		{[]int64{1}, []OpSpec{{Kind: OpRemove, Arg: 1}, {Kind: OpRemove, Arg: 1}}},
+		{[]int64{1, 2}, []OpSpec{{Kind: OpRemove, Arg: 1}, {Kind: OpRemove, Arg: 2}}},
+		{[]int64{1, 2}, []OpSpec{{Kind: OpInsert, Arg: 3}, {Kind: OpRemove, Arg: 2}}},
+		{[]int64{2}, []OpSpec{{Kind: OpInsert, Arg: 1}, {Kind: OpRemove, Arg: 2}, {Kind: OpContains, Arg: 2}}},
+		{nil, []OpSpec{{Kind: OpInsert, Arg: 1}, {Kind: OpInsert, Arg: 1}, {Kind: OpRemove, Arg: 1}}},
+	}
+}
+
+func TestDeadlockFreedomAllAlgorithms(t *testing.T) {
+	algs := []Algorithm{AlgVBL, AlgLazy, AlgHarris, AlgCoarse, AlgHOH, AlgOptimistic}
+	for _, alg := range algs {
+		for i, mix := range progressMixes() {
+			rep := CheckProgress(alg, mix.initial, mix.ops, false)
+			if rep.Deadlock != "" {
+				t.Errorf("%v mix %d: reachable deadlock: %s", alg, i, rep.Deadlock)
+			}
+			if rep.States == 0 {
+				t.Errorf("%v mix %d: no states explored", alg, i)
+			}
+		}
+	}
+}
+
+// TestLivelockFreedomLockBased: the paper's deadlock-freedom for VBL
+// (and the classic results for Lazy, coarse, hand-over-hand and
+// optimistic) are actually freedom from any non-progressing scheduler
+// loop: with blocking locks, a failed validation implies another
+// operation completed a conflicting step, so the system cannot cycle.
+func TestLivelockFreedomLockBased(t *testing.T) {
+	algs := []Algorithm{AlgVBL, AlgLazy, AlgCoarse, AlgHOH}
+	for _, alg := range algs {
+		for i, mix := range progressMixes() {
+			rep := CheckProgress(alg, mix.initial, mix.ops, true)
+			if !rep.OK() {
+				t.Errorf("%v mix %d: deadlock=%q livelock=%q", alg, i, rep.Deadlock, rep.Livelock)
+			}
+		}
+	}
+}
+
+// TestHarrisLockFreeNotLivelockFree documents the known distinction:
+// Harris-Michael is lock-free (SOME operation always completes) but an
+// adversarial scheduler CAN starve an individual operation by making
+// its CAS fail forever only with ever-new interference — in a closed
+// finite system of completing operations that interference runs out,
+// so no livelock cycle exists among update-only mixes either; what CAN
+// cycle is helping against helping. We simply record the checker's
+// verdict for the standard mixes to pin the behaviour.
+func TestHarrisProgressRecorded(t *testing.T) {
+	for i, mix := range progressMixes() {
+		rep := CheckProgress(AlgHarris, mix.initial, mix.ops, true)
+		if rep.Deadlock != "" {
+			t.Errorf("harris mix %d: deadlock (impossible for lock-free): %s", i, rep.Deadlock)
+		}
+		// Livelocks among a finite closed set of operations would
+		// require two operations to keep failing each other's CAS with
+		// no net state change; the mark/unlink monotonicity prevents
+		// that, so we expect none.
+		if rep.Livelock != "" {
+			t.Errorf("harris mix %d: unexpected livelock: %s", i, rep.Livelock)
+		}
+	}
+}
+
+func TestOptimisticProgress(t *testing.T) {
+	for i, mix := range progressMixes() {
+		rep := CheckProgress(AlgOptimistic, mix.initial, mix.ops, true)
+		if !rep.OK() {
+			t.Errorf("optimistic mix %d: deadlock=%q livelock=%q", i, rep.Deadlock, rep.Livelock)
+		}
+	}
+}
+
+// TestProgressDetectsSeededDeadlock sanity-checks the checker itself
+// with a machine pair that deadlocks by construction: two hand-over-
+// hand traversals cannot deadlock, so instead we seed a heap state with
+// a lock held by a nonexistent operation and verify the checker reports
+// the stuck state.
+func TestProgressDetectsSeededDeadlock(t *testing.T) {
+	h := NewHeap([]int64{1})
+	if !h.TryLock(Head, 99) { // a phantom operation holds head forever
+		t.Fatal("seed lock failed")
+	}
+	m := newAlgMachine(AlgHOH, 0, OpSpec{Kind: OpContains, Arg: 1}, false)
+	if fr, ok := m.(freeRunner); ok {
+		fr.setFreeRun()
+	}
+	// The machine needs head's lock for its first step: never enabled.
+	if m.enabled(h) {
+		t.Fatal("machine enabled despite the phantom lock")
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package schedule
+
+// raceEnabled reports whether the race detector is active. The
+// exhaustive enumeration tests are deterministic single-goroutine
+// searches — the race detector can find nothing in them while slowing
+// them several-fold — so they skip themselves under -race.
+const raceEnabled = true

@@ -1,0 +1,187 @@
+package schedule
+
+// Step machines for the sequential implementation LL (Algorithm 1) and
+// for the adjusted sequential implementation of §2.3 (removals are
+// logical marks; traversing update operations physically unlink marked
+// nodes). Running interleavings of these machines over a shared abstract
+// heap generates exactly the schedule space § of the paper.
+
+// machine is a resumable operation: each Step performs at most one
+// shared-memory access against the heap and returns the exported event,
+// or nil for an internal step.
+type machine interface {
+	// done reports whether the operation has returned.
+	done() bool
+	// result returns the operation's response (valid once done).
+	result() bool
+	// enabled reports whether the machine can take a step now (it is
+	// false while blocked on a lock held by another operation).
+	enabled(h *Heap) bool
+	// step advances by one step.
+	step(h *Heap) *Event
+	// clone returns an independent copy for backtracking searches.
+	clone() machine
+}
+
+// seqMachine program counters.
+const (
+	sReadNext    = iota // curr <- read(prev.next)
+	sCheckMark          // adjusted updates: internal read of curr's mark
+	sHelpRead           // helping: tnext <- read(curr.next)
+	sHelpWrite          // helping: write(prev.next, tnext)
+	sReadVal            // tval <- read(curr.val), then branch
+	sNewNode            // insert path: X <- new-node(v, curr)
+	sWriteLink          // insert path: write(prev.next, X)
+	sReadTNext          // remove path: tnext <- read(curr.next)
+	sUnlink             // standard remove: write(prev.next, tnext)
+	sMark               // adjusted remove: mark(curr)
+	sCheckLanded        // adjusted contains: internal mark read of landing node
+	sReturn             // emit response
+	sDone
+)
+
+// seqMachine executes one LL operation (standard or adjusted) as a step
+// machine. It is the reference semantics that defines schedules.
+type seqMachine struct {
+	op       int
+	spec     OpSpec
+	adjusted bool
+
+	pc         int
+	prev, curr NodeID
+	tval       int64
+	tnext      NodeID
+	created    NodeID
+	retval     bool
+}
+
+// newSeqMachine returns a machine for op index op executing spec.
+func newSeqMachine(op int, spec OpSpec, adjusted bool) *seqMachine {
+	return &seqMachine{op: op, spec: spec, adjusted: adjusted, pc: sReadNext, prev: Head}
+}
+
+func (m *seqMachine) done() bool           { return m.pc == sDone }
+func (m *seqMachine) result() bool         { return m.retval }
+func (m *seqMachine) enabled(h *Heap) bool { return m.pc != sDone }
+
+func (m *seqMachine) clone() machine {
+	c := *m
+	return &c
+}
+
+// helps reports whether this operation participates in physical removal
+// of marked nodes: adjusted-model updates do, contains never does.
+func (m *seqMachine) helps() bool {
+	return m.adjusted && m.spec.Kind != OpContains
+}
+
+func (m *seqMachine) step(h *Heap) *Event {
+	v := m.spec.Arg
+	switch m.pc {
+	case sReadNext:
+		m.curr = h.Next(m.prev)
+		if m.helps() {
+			m.pc = sCheckMark
+		} else {
+			m.pc = sReadVal
+		}
+		return &Event{Op: m.op, Kind: EvReadNext, Node: m.prev, Target: m.curr}
+
+	case sCheckMark: // internal
+		if h.Deleted(m.curr) {
+			m.pc = sHelpRead
+		} else {
+			m.pc = sReadVal
+		}
+		return nil
+
+	case sHelpRead:
+		m.tnext = h.Next(m.curr)
+		m.pc = sHelpWrite
+		return &Event{Op: m.op, Kind: EvReadNext, Node: m.curr, Target: m.tnext}
+
+	case sHelpWrite:
+		h.SetNext(m.prev, m.tnext)
+		ev := &Event{Op: m.op, Kind: EvWriteNext, Node: m.prev, Target: m.tnext}
+		m.curr = m.tnext
+		m.pc = sCheckMark
+		return ev
+
+	case sReadVal:
+		m.tval = h.Val(m.curr)
+		ev := &Event{Op: m.op, Kind: EvReadVal, Node: m.curr, Val: m.tval}
+		if m.tval < v {
+			m.prev = m.curr
+			m.pc = sReadNext
+			return ev
+		}
+		switch m.spec.Kind {
+		case OpInsert:
+			if m.tval != v {
+				m.pc = sNewNode
+			} else {
+				m.retval = false
+				m.pc = sReturn
+			}
+		case OpRemove:
+			if m.tval == v {
+				m.pc = sReadTNext
+			} else {
+				m.retval = false
+				m.pc = sReturn
+			}
+		case OpContains:
+			if m.adjusted {
+				m.pc = sCheckLanded
+			} else {
+				m.retval = m.tval == v
+				m.pc = sReturn
+			}
+		}
+		return ev
+
+	case sNewNode:
+		m.created = h.NewNode(v, m.curr)
+		m.pc = sWriteLink
+		return &Event{Op: m.op, Kind: EvNewNode, Node: m.created, Val: v, Target: m.curr}
+
+	case sWriteLink:
+		h.SetNext(m.prev, m.created)
+		m.retval = true
+		m.pc = sReturn
+		return &Event{Op: m.op, Kind: EvWriteNext, Node: m.prev, Target: m.created}
+
+	case sReadTNext:
+		m.tnext = h.Next(m.curr)
+		if m.adjusted {
+			m.pc = sMark
+		} else {
+			m.pc = sUnlink
+		}
+		return &Event{Op: m.op, Kind: EvReadNext, Node: m.curr, Target: m.tnext}
+
+	case sUnlink:
+		h.SetNext(m.prev, m.tnext)
+		m.retval = true
+		m.pc = sReturn
+		return &Event{Op: m.op, Kind: EvWriteNext, Node: m.prev, Target: m.tnext}
+
+	case sMark:
+		h.SetDeleted(m.curr)
+		m.retval = true
+		m.pc = sReturn
+		return &Event{Op: m.op, Kind: EvMark, Node: m.curr}
+
+	case sCheckLanded: // internal
+		m.retval = m.tval == m.spec.Arg && !h.Deleted(m.curr)
+		m.pc = sReturn
+		return nil
+
+	case sReturn:
+		m.pc = sDone
+		return &Event{Op: m.op, Kind: EvReturn, Result: m.retval}
+
+	default:
+		panic("schedule: step on completed machine")
+	}
+}

@@ -1,0 +1,92 @@
+// Package seqlist implements Algorithm 1 of the paper: the sequential
+// sorted linked list LL that implements the integer set type.
+//
+// LL is the reference point for everything else in this repository. The
+// concurrent algorithms (VBL, Lazy, Harris-Michael) are analyzed as
+// schedulers of LL's reads and writes, and the property-based tests use
+// LL (cross-checked against a map) as the semantic oracle for the
+// concurrent implementations.
+//
+// The type is NOT safe for concurrent use; that is the point.
+package seqlist
+
+import "math"
+
+// Sentinel values stored in the head and tail nodes. They stand in for
+// the paper's -inf and +inf and therefore cannot be stored in the set.
+const (
+	MinSentinel = math.MinInt64
+	MaxSentinel = math.MaxInt64
+)
+
+type node struct {
+	val  int64
+	next *node
+}
+
+// List is the sequential sorted linked list LL of Algorithm 1.
+type List struct {
+	head *node
+	size int
+}
+
+// New returns an empty sequential list: head(-inf) -> tail(+inf).
+func New() *List {
+	tail := &node{val: MaxSentinel}
+	head := &node{val: MinSentinel, next: tail}
+	return &List{head: head}
+}
+
+// find walks the list and returns the first node whose value is >= v,
+// together with its predecessor. It is the shared traversal of
+// Algorithm 1's insert/remove/contains.
+func (l *List) find(v int64) (prev, curr *node) {
+	prev = l.head
+	curr = prev.next
+	for curr.val < v {
+		prev = curr
+		curr = curr.next
+	}
+	return prev, curr
+}
+
+// Insert adds v to the set and reports whether v was absent.
+// v must be strictly between MinSentinel and MaxSentinel.
+func (l *List) Insert(v int64) bool {
+	prev, curr := l.find(v)
+	if curr.val == v {
+		return false
+	}
+	prev.next = &node{val: v, next: curr}
+	l.size++
+	return true
+}
+
+// Remove deletes v from the set and reports whether v was present.
+func (l *List) Remove(v int64) bool {
+	prev, curr := l.find(v)
+	if curr.val != v {
+		return false
+	}
+	prev.next = curr.next
+	l.size--
+	return true
+}
+
+// Contains reports whether v is in the set.
+func (l *List) Contains(v int64) bool {
+	_, curr := l.find(v)
+	return curr.val == v
+}
+
+// Len returns the number of elements in the set.
+func (l *List) Len() int { return l.size }
+
+// Snapshot returns the elements in ascending order.
+func (l *List) Snapshot() []int64 {
+	out := make([]int64, 0, l.size)
+	for n := l.head.next; n.val != MaxSentinel; n = n.next {
+		out = append(out, n.val)
+	}
+	return out
+}

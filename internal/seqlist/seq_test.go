@@ -1,0 +1,176 @@
+package seqlist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	l := New()
+	if l.Len() != 0 {
+		t.Fatalf("Len of empty list = %d", l.Len())
+	}
+	if l.Contains(5) {
+		t.Fatal("empty list contains 5")
+	}
+	if l.Remove(5) {
+		t.Fatal("Remove from empty list returned true")
+	}
+	if got := l.Snapshot(); len(got) != 0 {
+		t.Fatalf("Snapshot of empty list = %v", got)
+	}
+}
+
+func TestInsertRemoveContains(t *testing.T) {
+	l := New()
+	if !l.Insert(3) || !l.Insert(1) || !l.Insert(2) {
+		t.Fatal("fresh inserts returned false")
+	}
+	if l.Insert(2) {
+		t.Fatal("duplicate insert returned true")
+	}
+	want := []int64{1, 2, 3}
+	got := l.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("Snapshot = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Snapshot = %v, want %v (sorted)", got, want)
+		}
+	}
+	if !l.Contains(1) || !l.Contains(2) || !l.Contains(3) || l.Contains(0) || l.Contains(4) {
+		t.Fatal("Contains gave wrong answers")
+	}
+	if !l.Remove(2) {
+		t.Fatal("Remove of present value returned false")
+	}
+	if l.Remove(2) {
+		t.Fatal("Remove of absent value returned true")
+	}
+	if l.Contains(2) {
+		t.Fatal("Contains(2) true after removal")
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+}
+
+func TestNegativeAndBoundaryValues(t *testing.T) {
+	l := New()
+	vals := []int64{-1000, 0, 1000, MinSentinel + 1, MaxSentinel - 1}
+	for _, v := range vals {
+		if !l.Insert(v) {
+			t.Fatalf("Insert(%d) = false", v)
+		}
+	}
+	for _, v := range vals {
+		if !l.Contains(v) {
+			t.Fatalf("Contains(%d) = false", v)
+		}
+	}
+	if l.Len() != len(vals) {
+		t.Fatalf("Len = %d, want %d", l.Len(), len(vals))
+	}
+}
+
+// TestAgainstMapOracle drives the list and a map with the same random
+// operation sequence and requires identical answers throughout.
+func TestAgainstMapOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := New()
+	oracle := map[int64]bool{}
+	for i := 0; i < 20000; i++ {
+		v := int64(rng.Intn(64))
+		switch rng.Intn(3) {
+		case 0:
+			want := !oracle[v]
+			if got := l.Insert(v); got != want {
+				t.Fatalf("step %d: Insert(%d) = %v, want %v", i, v, got, want)
+			}
+			oracle[v] = true
+		case 1:
+			want := oracle[v]
+			if got := l.Remove(v); got != want {
+				t.Fatalf("step %d: Remove(%d) = %v, want %v", i, v, got, want)
+			}
+			delete(oracle, v)
+		case 2:
+			if got := l.Contains(v); got != oracle[v] {
+				t.Fatalf("step %d: Contains(%d) = %v, want %v", i, v, got, oracle[v])
+			}
+		}
+	}
+	if l.Len() != len(oracle) {
+		t.Fatalf("final Len = %d, want %d", l.Len(), len(oracle))
+	}
+}
+
+// TestQuickSortedSnapshot property: for any batch of inserts, Snapshot is
+// sorted, duplicate-free, and contains exactly the distinct values.
+func TestQuickSortedSnapshot(t *testing.T) {
+	f := func(vals []int64) bool {
+		l := New()
+		distinct := map[int64]bool{}
+		for _, v := range vals {
+			if v == MinSentinel || v == MaxSentinel {
+				continue
+			}
+			l.Insert(v)
+			distinct[v] = true
+		}
+		snap := l.Snapshot()
+		if len(snap) != len(distinct) {
+			return false
+		}
+		for i, v := range snap {
+			if !distinct[v] {
+				return false
+			}
+			if i > 0 && snap[i-1] >= v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickInsertRemoveInverse property: inserting then removing a fresh
+// value restores the previous membership everywhere.
+func TestQuickInsertRemoveInverse(t *testing.T) {
+	f := func(base []int64, v int64) bool {
+		if v == MinSentinel || v == MaxSentinel {
+			return true
+		}
+		l := New()
+		for _, b := range base {
+			if b != MinSentinel && b != MaxSentinel && b != v {
+				l.Insert(b)
+			}
+		}
+		before := l.Snapshot()
+		if !l.Insert(v) {
+			return false
+		}
+		if !l.Remove(v) {
+			return false
+		}
+		after := l.Snapshot()
+		if len(before) != len(after) {
+			return false
+		}
+		for i := range before {
+			if before[i] != after[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

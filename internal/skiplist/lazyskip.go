@@ -1,0 +1,233 @@
+package skiplist
+
+import (
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+
+	"listset/internal/trylock"
+)
+
+// Lazy is the LazySkipList of Herlihy & Shavit (ch. 14.3), the
+// established lock-based skip list and the natural baseline for the
+// value-aware variant: an update finds its per-level windows, locks
+// EVERY distinct predecessor, validates after locking, and only then
+// decides — the skip-list analogue of the Lazy list's discipline the
+// paper proves concurrency sub-optimal.
+type Lazy struct {
+	head *lazyNode
+	tail *lazyNode
+	seed atomic.Uint64
+}
+
+// lazyNode is a tower. marked is the logical-deletion flag;
+// fullyLinked is set once the tower is linked at every level, making
+// the element logically present (the linearization point of insert).
+type lazyNode struct {
+	val         int64
+	height      int
+	next        [maxLevel]atomic.Pointer[lazyNode]
+	marked      atomic.Bool
+	fullyLinked atomic.Bool
+	lock        trylock.SpinLock
+}
+
+// NewLazy returns an empty Lazy skip list.
+func NewLazy() *Lazy {
+	s := &Lazy{
+		head: &lazyNode{val: MinSentinel, height: maxLevel},
+		tail: &lazyNode{val: MaxSentinel, height: maxLevel},
+	}
+	for l := 0; l < maxLevel; l++ {
+		s.head.next[l].Store(s.tail)
+	}
+	s.head.fullyLinked.Store(true)
+	s.tail.fullyLinked.Store(true)
+	s.seed.Store(0x2545F4914F6CDD1D)
+	return s
+}
+
+func (s *Lazy) randomHeight() int {
+	z := s.seed.Add(0x9E3779B97F4A7C15)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	h := 1 + bits.TrailingZeros64(z|1<<(maxLevel-1))
+	if h > maxLevel {
+		h = maxLevel
+	}
+	return h
+}
+
+// find fills preds/succs at every level and returns the highest level
+// at which a tower holding v was found (-1 if none). Wait-free.
+func (s *Lazy) find(v int64) (preds, succs [maxLevel]*lazyNode, lFound int) {
+	lFound = -1
+	pred := s.head
+	for l := maxLevel - 1; l >= 0; l-- {
+		curr := pred.next[l].Load()
+		for curr.val < v {
+			pred = curr
+			curr = pred.next[l].Load()
+		}
+		if lFound == -1 && curr.val == v {
+			lFound = l
+		}
+		preds[l], succs[l] = pred, curr
+	}
+	return preds, succs, lFound
+}
+
+// Contains reports whether v is in the set: wait-free, trusting the
+// found tower's fullyLinked and marked flags (Herlihy & Shavit's
+// linearization argument).
+func (s *Lazy) Contains(v int64) bool {
+	_, succs, lFound := s.find(v)
+	return lFound != -1 &&
+		succs[lFound].fullyLinked.Load() &&
+		!succs[lFound].marked.Load()
+}
+
+// lockPreds locks the distinct predecessors of levels [0, top] in
+// bottom-up order — which is decreasing-key order, the global order
+// that makes the algorithm deadlock-free — and validates every window;
+// on validation failure everything is unlocked and ok is false.
+//
+// victim, when non-nil, is the tower the caller itself marked for
+// removal: windows onto it are validated by adjacency only (its mark is
+// the caller's own doing). For inserts victim is nil and a marked
+// successor invalidates the window.
+func lockPreds(preds, succs *[maxLevel]*lazyNode, top int, victim *lazyNode) bool {
+	var prevPred *lazyNode
+	locked := make([]*lazyNode, 0, top+1)
+	valid := true
+	for l := 0; valid && l <= top; l++ {
+		pred, succ := preds[l], succs[l]
+		if pred != prevPred {
+			pred.lock.Lock()
+			locked = append(locked, pred)
+			prevPred = pred
+		}
+		valid = !pred.marked.Load() && pred.next[l].Load() == succ &&
+			(succ == victim || !succ.marked.Load())
+	}
+	if valid {
+		return true
+	}
+	for _, p := range locked {
+		p.lock.Unlock()
+	}
+	return false
+}
+
+// unlockPreds releases the distinct predecessors of levels [0, top].
+func unlockPreds(preds *[maxLevel]*lazyNode, top int) {
+	var prevPred *lazyNode
+	for l := 0; l <= top; l++ {
+		if preds[l] != prevPred {
+			preds[l].lock.Unlock()
+			prevPred = preds[l]
+		}
+	}
+}
+
+// Insert adds v to the set and reports whether v was absent.
+func (s *Lazy) Insert(v int64) bool {
+	h := s.randomHeight()
+	for {
+		preds, succs, lFound := s.find(v)
+		if lFound != -1 {
+			found := succs[lFound]
+			if !found.marked.Load() {
+				// Present (or being inserted): wait for the in-flight
+				// insert to finish, then report a duplicate.
+				for !found.fullyLinked.Load() {
+					runtime.Gosched()
+				}
+				return false
+			}
+			// Found a marked tower mid-removal: retry until it is gone.
+			continue
+		}
+		if !lockPreds(&preds, &succs, h-1, nil) {
+			continue
+		}
+		n := &lazyNode{val: v, height: h}
+		for l := 0; l < h; l++ {
+			n.next[l].Store(succs[l])
+		}
+		for l := 0; l < h; l++ {
+			preds[l].next[l].Store(n)
+		}
+		n.fullyLinked.Store(true) // linearization point
+		unlockPreds(&preds, h-1)
+		return true
+	}
+}
+
+// Remove deletes v from the set and reports whether v was present.
+func (s *Lazy) Remove(v int64) bool {
+	var victim *lazyNode
+	marked := false
+	for {
+		preds, succs, lFound := s.find(v)
+		if !marked {
+			if lFound == -1 {
+				return false
+			}
+			victim = succs[lFound]
+			if !victim.fullyLinked.Load() ||
+				victim.marked.Load() ||
+				victim.height-1 != lFound {
+				// Mid-insert, mid-removal by a competitor, or found via
+				// a partial tower: not removable by us (the paper's
+				// Harris analysis would call this an extra
+				// synchronization constraint).
+				if victim.marked.Load() {
+					return false
+				}
+				continue
+			}
+			victim.lock.Lock()
+			if victim.marked.Load() {
+				victim.lock.Unlock()
+				return false
+			}
+			victim.marked.Store(true) // linearization point
+			marked = true
+		}
+		if !lockPreds(&preds, &succs, victim.height-1, victim) {
+			continue
+		}
+		for l := victim.height - 1; l >= 0; l-- {
+			preds[l].next[l].Store(victim.next[l].Load())
+		}
+		victim.lock.Unlock()
+		unlockPreds(&preds, victim.height-1)
+		return true
+	}
+}
+
+// Len counts the live elements by a level-0 traversal; exact at
+// quiescence.
+func (s *Lazy) Len() int {
+	n := 0
+	for curr := s.head.next[0].Load(); curr.val != MaxSentinel; curr = curr.next[0].Load() {
+		if curr.fullyLinked.Load() && !curr.marked.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns the live elements in ascending order; exact at
+// quiescence.
+func (s *Lazy) Snapshot() []int64 {
+	var out []int64
+	for curr := s.head.next[0].Load(); curr.val != MaxSentinel; curr = curr.next[0].Load() {
+		if curr.fullyLinked.Load() && !curr.marked.Load() {
+			out = append(out, curr.val)
+		}
+	}
+	return out
+}

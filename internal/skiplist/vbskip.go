@@ -1,0 +1,344 @@
+// Package skiplist carries the paper's concluding conjecture into code:
+// "generalizations of linked lists, such as skip-lists ... may allow for
+// optimizations similar to the ones proposed in this paper" (§5).
+//
+// Two implementations are provided:
+//
+//   - VB (vbskip.go): a skip list whose membership level — level 0 — IS
+//     the VBL list: wait-free traversal, logical deletion, and the
+//     value-aware try-lock protocol verbatim. The upper levels are a
+//     best-effort navigation index maintained with single-node
+//     try-locks: an index level is linked or unlinked one lock at a
+//     time, never while holding another node's lock, so the deadlock
+//     freedom of the flat VBL carries over. Index imperfections
+//     (not-yet-linked or not-yet-unlinked entries) affect only search
+//     speed, never membership.
+//   - Lazy (lazyskip.go): the LazySkipList of Herlihy & Shavit
+//     (ch. 14.3), the established lock-based baseline, which locks every
+//     predecessor level before deciding anything — the skip-list
+//     analogue of the Lazy list's lock-then-validate discipline.
+package skiplist
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"listset/internal/trylock"
+)
+
+// Sentinel values stored in the head and tail towers.
+const (
+	MinSentinel = -1 << 63
+	MaxSentinel = 1<<63 - 1
+)
+
+// maxLevel is the tower height cap; 2^16 expected elements per head
+// slot is plenty for the benchmark ranges.
+const maxLevel = 16
+
+// vbNode is a tower. val is immutable; next[l] for l < height are the
+// per-level successor pointers; deleted and lock implement the VBL
+// protocol on level 0 (and guard this node's unlinking at every level).
+type vbNode struct {
+	val     int64
+	height  int
+	next    [maxLevel]atomic.Pointer[vbNode]
+	deleted atomic.Bool
+	lock    trylock.SpinLock
+}
+
+// lockNextAt is the identity-validating value-aware try-lock at level l.
+func (n *vbNode) lockNextAt(l int, succ *vbNode) bool {
+	if n.deleted.Load() || n.next[l].Load() != succ {
+		return false
+	}
+	n.lock.Lock()
+	if n.deleted.Load() || n.next[l].Load() != succ {
+		n.lock.Unlock()
+		return false
+	}
+	return true
+}
+
+// lockNextAtValue is the value-validating try-lock on level 0.
+func (n *vbNode) lockNextAtValue(v int64) bool {
+	if n.deleted.Load() || n.next[0].Load().val != v {
+		return false
+	}
+	n.lock.Lock()
+	if n.deleted.Load() || n.next[0].Load().val != v {
+		n.lock.Unlock()
+		return false
+	}
+	return true
+}
+
+// VB is the value-aware skip list.
+type VB struct {
+	head *vbNode
+	tail *vbNode
+	seed atomic.Uint64
+}
+
+// NewVB returns an empty value-aware skip list.
+func NewVB() *VB {
+	s := &VB{
+		head: &vbNode{val: MinSentinel, height: maxLevel},
+		tail: &vbNode{val: MaxSentinel, height: maxLevel},
+	}
+	for l := 0; l < maxLevel; l++ {
+		s.head.next[l].Store(s.tail)
+	}
+	s.seed.Store(0x9E3779B97F4A7C15)
+	return s
+}
+
+// randomHeight draws a capped geometric(1/2) tower height.
+func (s *VB) randomHeight() int {
+	// splitmix64 over a shared counter: cheap, contention is one
+	// uncontended-ish atomic add per insert.
+	z := s.seed.Add(0x9E3779B97F4A7C15)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	h := 1 + bits.TrailingZeros64(z|1<<(maxLevel-1))
+	if h > maxLevel {
+		h = maxLevel
+	}
+	return h
+}
+
+// find locates, at every level, the window preds[l].val < v <=
+// succs[l].val, descending from the top. Two disciplines keep the
+// level-0 window sound in the face of deferred index unlinking:
+//
+//   - only nodes observed LIVE during this call are adopted as pred —
+//     a deleted index tower is routed through but never anchors the
+//     descent, so the level-0 walk always starts from a node that was
+//     in the set during the operation (the anchor of the flat list's
+//     linearizability argument);
+//   - deleted towers encountered on upper levels are opportunistically
+//     detached (with a non-blocking try-lock, so navigation never
+//     waits).
+func (s *VB) find(v int64) (preds, succs [maxLevel]*vbNode) {
+	pred := s.head
+	for l := maxLevel - 1; l >= 0; l-- {
+		curr := pred.next[l].Load()
+		for curr.val < v {
+			if l > 0 && curr.deleted.Load() {
+				if s.tryUnlinkLevel(pred, curr, l) {
+					curr = pred.next[l].Load()
+				} else {
+					curr = curr.next[l].Load() // route through, don't adopt
+				}
+				continue
+			}
+			pred = curr
+			curr = pred.next[l].Load()
+		}
+		preds[l], succs[l] = pred, curr
+	}
+	return preds, succs
+}
+
+// tryUnlinkLevel detaches the deleted tower curr from level l if pred's
+// lock is immediately available and the window still holds.
+func (s *VB) tryUnlinkLevel(pred, curr *vbNode, l int) bool {
+	if pred.deleted.Load() || pred.next[l].Load() != curr {
+		return false
+	}
+	if !pred.lock.TryLock() {
+		return false
+	}
+	ok := !pred.deleted.Load() && pred.next[l].Load() == curr
+	if ok {
+		pred.next[l].Store(curr.next[l].Load())
+	}
+	pred.lock.Unlock()
+	return ok
+}
+
+// Contains reports whether v is in the set. Wait-free: the index levels
+// are used strictly for navigation (a tower matching v at an upper
+// level is NOT trusted — it may be a deleted orphan coexisting with a
+// fresh live tower for the same value); the verdict is delivered by the
+// level-0 walk, where the flat Lazy/VBL linearizability argument
+// applies verbatim. Unlike the flat VBL the deletion mark must be
+// consulted, because index unlinking is deferred.
+func (s *VB) Contains(v int64) bool {
+	pred := s.head
+	for l := maxLevel - 1; l >= 1; l-- {
+		curr := pred.next[l].Load()
+		for curr.val < v {
+			if curr.deleted.Load() {
+				curr = curr.next[l].Load() // route through, don't adopt
+				continue
+			}
+			pred = curr
+			curr = pred.next[l].Load()
+		}
+	}
+	curr := pred.next[0].Load()
+	for curr.val < v {
+		curr = curr.next[0].Load()
+	}
+	return curr.val == v && !curr.deleted.Load()
+}
+
+// Insert adds v to the set and reports whether v was absent. The
+// linearization point is the level-0 link performed under the
+// value-aware try-lock — exactly the flat VBL's insert — after which
+// the upper index levels are linked one try-lock at a time.
+func (s *VB) Insert(v int64) bool {
+	for {
+		preds, succs := s.find(v)
+		if succs[0].val == v {
+			return false
+		}
+		h := s.randomHeight()
+		n := &vbNode{val: v, height: h}
+		for l := 0; l < h; l++ {
+			n.next[l].Store(succs[l])
+		}
+		if !preds[0].lockNextAt(0, succs[0]) {
+			continue
+		}
+		preds[0].next[0].Store(n)
+		preds[0].lock.Unlock()
+
+		// Index maintenance: link the upper levels best-effort. A level
+		// that cannot be linked after a re-find is skipped — the tower
+		// stays findable through level 0 regardless.
+		for l := 1; l < h; l++ {
+			for attempt := 0; ; attempt++ {
+				if n.deleted.Load() {
+					// A concurrent remove already claimed the node;
+					// linking more index levels would only create
+					// orphans.
+					return true
+				}
+				n.next[l].Store(succs[l])
+				if preds[l].lockNextAt(l, succs[l]) {
+					preds[l].next[l].Store(n)
+					preds[l].lock.Unlock()
+					break
+				}
+				if attempt >= 2 {
+					break // give up on this level; index stays sparse
+				}
+				preds, succs = s.find(v)
+				if succs[l] == n {
+					break // someone (a helper) already linked it
+				}
+			}
+		}
+		// If a remove raced us, sweep our own index entries.
+		if n.deleted.Load() {
+			s.sweep(n)
+		}
+		return true
+	}
+}
+
+// Remove deletes v from the set and reports whether v was present. The
+// level-0 protocol is the flat VBL's remove verbatim (value-aware lock
+// on the predecessor, identity-validating lock on the victim, mark then
+// unlink); the index levels are detached afterwards, one try-lock at a
+// time.
+func (s *VB) Remove(v int64) bool {
+	for {
+		preds, succs := s.find(v)
+		if succs[0].val != v {
+			return false
+		}
+		curr := succs[0]
+		next := curr.next[0].Load()
+		if !preds[0].lockNextAtValue(v) {
+			continue
+		}
+		curr = preds[0].next[0].Load()
+		if !curr.lockNextAt(0, next) {
+			preds[0].lock.Unlock()
+			continue
+		}
+		curr.deleted.Store(true) // logical deletion: v is out, now
+		preds[0].next[0].Store(next)
+		curr.lock.Unlock()
+		preds[0].lock.Unlock()
+
+		s.sweep(curr)
+		return true
+	}
+}
+
+// sweep detaches a deleted tower from every index level, one
+// single-node lock at a time (never holding two locks, so no deadlock).
+func (s *VB) sweep(n *vbNode) {
+	for l := n.height - 1; l >= 1; l-- {
+		for {
+			pred, linked := s.findPredAtLevel(n, l)
+			if !linked {
+				break // not (or no longer) linked at this level
+			}
+			if pred.lockNextAt(l, n) {
+				pred.next[l].Store(n.next[l].Load())
+				pred.lock.Unlock()
+				break
+			}
+			// Window moved or pred deleted; re-locate and retry.
+		}
+	}
+}
+
+// findPredAtLevel locates the node whose level-l successor is exactly
+// n, descending the index from the top (O(log n), not a level scan);
+// it reports false if n is not linked at level l. Under concurrent
+// mutation a linked tower can transiently be missed — sweep treats
+// that as "someone else's problem": traversals' opportunistic
+// unlinking eventually collects any such orphan.
+func (s *VB) findPredAtLevel(n *vbNode, l int) (*vbNode, bool) {
+	pred := s.head
+	for lev := maxLevel - 1; lev > l; lev-- {
+		curr := pred.next[lev].Load()
+		for curr.val < n.val {
+			pred = curr
+			curr = pred.next[lev].Load()
+		}
+	}
+	for {
+		curr := pred.next[l].Load()
+		if curr == n {
+			return pred, true
+		}
+		// Equal values can coexist transiently (deleted tower + fresh
+		// insert), so walk past non-identical equal values too.
+		if curr.val > n.val || curr == s.tail {
+			return nil, false
+		}
+		pred = curr
+	}
+}
+
+// Len counts the live elements by a level-0 traversal; exact at
+// quiescence.
+func (s *VB) Len() int {
+	n := 0
+	for curr := s.head.next[0].Load(); curr.val != MaxSentinel; curr = curr.next[0].Load() {
+		if !curr.deleted.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns the live elements in ascending order; exact at
+// quiescence.
+func (s *VB) Snapshot() []int64 {
+	var out []int64
+	for curr := s.head.next[0].Load(); curr.val != MaxSentinel; curr = curr.next[0].Load() {
+		if !curr.deleted.Load() {
+			out = append(out, curr.val)
+		}
+	}
+	return out
+}

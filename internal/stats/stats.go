@@ -1,0 +1,99 @@
+// Package stats provides the summary statistics the benchmark harness
+// reports: mean, standard deviation, min/max/median, and relative
+// speedups between series. Only what the experiments need — this is not
+// a general statistics library.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of repeated measurements.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// RelStdDev returns the coefficient of variation (stddev/mean), or 0 for
+// a zero mean.
+func (s Summary) RelStdDev() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.StdDev / s.Mean
+}
+
+// String formats the summary as "mean ± stddev (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.3g ± %.2g (n=%d)", s.Mean, s.StdDev, s.N)
+}
+
+// Speedup returns a/b, the factor by which a outperforms b. It returns
+// +Inf for b == 0 with a > 0, and 1 when both are zero.
+func Speedup(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return a / b
+}
+
+// HumanCount renders a count with K/M/G suffixes, as throughput numbers
+// in the paper's figures are plotted (ops/sec in the millions).
+func HumanCount(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

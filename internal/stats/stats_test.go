@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.StdDev != 0 {
+		t.Fatalf("Summarize(nil) = %+v, want zero", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{4.5})
+	if s.N != 1 || s.Mean != 4.5 || s.StdDev != 0 || s.Min != 4.5 || s.Max != 4.5 || s.Median != 4.5 {
+		t.Fatalf("Summarize single = %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEqual(s.Mean, 5) {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	// Sample stddev of this classic example is sqrt(32/7).
+	if !almostEqual(s.StdDev, math.Sqrt(32.0/7.0)) {
+		t.Errorf("StdDev = %v, want %v", s.StdDev, math.Sqrt(32.0/7.0))
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min, s.Max)
+	}
+	if !almostEqual(s.Median, 4.5) {
+		t.Errorf("Median = %v, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeMedianOdd(t *testing.T) {
+	s := Summarize([]float64{9, 1, 5})
+	if s.Median != 5 {
+		t.Fatalf("Median = %v, want 5", s.Median)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestQuickSummaryBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true // skip non-finite inputs
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		if s.Min != sorted[0] || s.Max != sorted[len(sorted)-1] {
+			return false
+		}
+		if s.Mean < s.Min-1e-9 || s.Mean > s.Max+1e-9 {
+			// Mean must lie within [min, max] barring fp noise on
+			// extreme magnitudes.
+			return math.Abs(s.Mean) > 1e300
+		}
+		return s.StdDev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelStdDev(t *testing.T) {
+	if got := (Summary{}).RelStdDev(); got != 0 {
+		t.Fatalf("RelStdDev of zero summary = %v", got)
+	}
+	s := Summary{Mean: 10, StdDev: 2}
+	if !almostEqual(s.RelStdDev(), 0.2) {
+		t.Fatalf("RelStdDev = %v, want 0.2", s.RelStdDev())
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(3, 2) != 1.5 {
+		t.Fatal("Speedup(3,2) != 1.5")
+	}
+	if Speedup(0, 0) != 1 {
+		t.Fatal("Speedup(0,0) != 1")
+	}
+	if !math.IsInf(Speedup(1, 0), 1) {
+		t.Fatal("Speedup(1,0) != +Inf")
+	}
+}
+
+func TestHumanCount(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{5, "5"},
+		{1500, "1.5K"},
+		{2500000, "2.50M"},
+		{3200000000, "3.20G"},
+	}
+	for _, c := range cases {
+		if got := HumanCount(c.in); got != c.want {
+			t.Errorf("HumanCount(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

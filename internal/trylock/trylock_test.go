@@ -1,0 +1,160 @@
+package trylock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpinLockBasic(t *testing.T) {
+	var l SpinLock
+	if l.Locked() {
+		t.Fatal("zero-value SpinLock reports locked")
+	}
+	if !l.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if !l.Locked() {
+		t.Fatal("lock not reported held after TryLock")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock succeeded on held lock")
+	}
+	l.Unlock()
+	if l.Locked() {
+		t.Fatal("lock reported held after Unlock")
+	}
+}
+
+func TestSpinLockLockBlocksUntilUnlock(t *testing.T) {
+	var l SpinLock
+	l.Lock()
+	acquired := make(chan struct{})
+	go func() {
+		l.Lock()
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("second Lock acquired while first still held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	l.Unlock()
+	select {
+	case <-acquired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter did not acquire after Unlock")
+	}
+	l.Unlock()
+}
+
+func TestSpinLockUnlockOfUnlockedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unlock of unlocked SpinLock did not panic")
+		}
+	}()
+	var l SpinLock
+	l.Unlock()
+}
+
+// TestSpinLockMutualExclusion hammers a counter from many goroutines;
+// with correct mutual exclusion the final count is exact. Run with -race.
+func TestSpinLockMutualExclusion(t *testing.T) {
+	testMutualExclusion(t, &SpinLock{})
+}
+
+func TestMutexLockMutualExclusion(t *testing.T) {
+	testMutualExclusion(t, &MutexLock{})
+}
+
+func testMutualExclusion(t *testing.T, l TryLocker) {
+	t.Helper()
+	const (
+		goroutines = 8
+		iterations = 20000
+	)
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				// Alternate blocking and non-blocking acquisition so both
+				// paths are exercised under contention.
+				if (i+seed)%2 == 0 {
+					l.Lock()
+				} else {
+					for !l.TryLock() {
+					}
+				}
+				counter++
+				l.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if want := goroutines * iterations; counter != want {
+		t.Fatalf("counter = %d, want %d (mutual exclusion violated)", counter, want)
+	}
+}
+
+func TestMutexLockTryLock(t *testing.T) {
+	var l MutexLock
+	if !l.TryLock() {
+		t.Fatal("TryLock on free MutexLock failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock succeeded on held MutexLock")
+	}
+	l.Unlock()
+	if !l.TryLock() {
+		t.Fatal("TryLock failed after Unlock")
+	}
+	l.Unlock()
+}
+
+func BenchmarkSpinLockUncontended(b *testing.B) {
+	var l SpinLock
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Lock()
+		l.Unlock()
+	}
+}
+
+func BenchmarkMutexLockUncontended(b *testing.B) {
+	var l MutexLock
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Lock()
+		l.Unlock()
+	}
+}
+
+func BenchmarkSpinLockContended(b *testing.B) {
+	var l SpinLock
+	var shared int
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			l.Lock()
+			shared++
+			l.Unlock()
+		}
+	})
+	_ = shared
+}
+
+func BenchmarkMutexLockContended(b *testing.B) {
+	var l MutexLock
+	var shared int
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			l.Lock()
+			shared++
+			l.Unlock()
+		}
+	})
+	_ = shared
+}

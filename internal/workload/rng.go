@@ -1,0 +1,34 @@
+package workload
+
+// XorShift is a tiny, allocation-free xorshift64* pseudo-random
+// generator. Synchrobench uses a thread-local xorshift for exactly the
+// same reason we do: operation drawing must cost almost nothing compared
+// to the operation itself, or the harness measures the RNG instead of
+// the list.
+type XorShift struct {
+	state uint64
+}
+
+// NewXorShift returns a generator seeded with seed (0 is mapped to a
+// fixed non-zero constant, since xorshift has an all-zeroes fixed point).
+func NewXorShift(seed uint64) XorShift {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return XorShift{state: seed}
+}
+
+// Next returns the next pseudo-random value.
+func (x *XorShift) Next() uint64 {
+	s := x.state
+	s ^= s << 13
+	s ^= s >> 7
+	s ^= s << 17
+	x.state = s
+	return s * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a pseudo-random value in [0, n). n must be positive.
+func (x *XorShift) Intn(n int64) int64 {
+	return int64(x.Next() % uint64(n))
+}

@@ -1,0 +1,136 @@
+// Package workload implements the Synchrobench workload model used by
+// the paper's evaluation (Section 4):
+//
+//   - a workload is characterized by its update percentage x: the set
+//     receives x/2 % insert calls, x/2 % remove calls and (100-x) %
+//     contains calls;
+//   - every operation draws its argument uniformly at random from a
+//     fixed key range [0, Range);
+//   - before measuring, the set is pre-populated so that each key of the
+//     range is present with probability 1/2, putting the list at its
+//     steady-state size of about Range/2.
+//
+// Each worker goroutine owns a private xorshift generator so that drawing
+// operations costs a few nanoseconds and shares nothing.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Op is the kind of a generated set operation.
+type Op uint8
+
+const (
+	// Contains is a membership query.
+	Contains Op = iota
+	// Insert adds a key.
+	Insert
+	// Remove deletes a key.
+	Remove
+)
+
+// String returns the lower-case operation name.
+func (o Op) String() string {
+	switch o {
+	case Contains:
+		return "contains"
+	case Insert:
+		return "insert"
+	case Remove:
+		return "remove"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Config describes a Synchrobench workload.
+type Config struct {
+	// UpdatePercent is x in the paper's terminology: x/2 % inserts,
+	// x/2 % removes, (100-x) % contains. Must be in [0, 100].
+	UpdatePercent int
+	// Range is the size of the key range; keys are drawn uniformly from
+	// [0, Range). The steady-state set size is about Range/2.
+	Range int64
+}
+
+// Validate reports whether the configuration is well-formed.
+func (c Config) Validate() error {
+	if c.UpdatePercent < 0 || c.UpdatePercent > 100 {
+		return fmt.Errorf("workload: update percent %d out of [0, 100]", c.UpdatePercent)
+	}
+	if c.Range <= 0 {
+		return fmt.Errorf("workload: key range %d must be positive", c.Range)
+	}
+	return nil
+}
+
+// String renders the config in the paper's notation.
+func (c Config) String() string {
+	return fmt.Sprintf("%d%%-updates/range=%d", c.UpdatePercent, c.Range)
+}
+
+// Generator produces the operation stream for one worker goroutine. It
+// is NOT safe for concurrent use: give each goroutine its own Generator.
+type Generator struct {
+	cfg       Config
+	rng       XorShift
+	updateCut uint64 // thresholds over a 0..9999 roll
+	insertCut uint64
+}
+
+// NewGenerator returns a generator for cfg seeded with seed. Two
+// generators with equal seeds produce identical streams.
+func NewGenerator(cfg Config, seed uint64) *Generator {
+	return &Generator{
+		cfg:       cfg,
+		rng:       NewXorShift(seed),
+		updateCut: uint64(cfg.UpdatePercent) * 100, // out of 10000
+		insertCut: uint64(cfg.UpdatePercent) * 50,
+	}
+}
+
+// Next draws the next operation and key.
+func (g *Generator) Next() (Op, int64) {
+	roll := g.rng.Next() % 10000
+	key := int64(g.rng.Next() % uint64(g.cfg.Range))
+	switch {
+	case roll < g.insertCut:
+		return Insert, key
+	case roll < g.updateCut:
+		return Remove, key
+	default:
+		return Contains, key
+	}
+}
+
+// Prepopulate inserts each key of cfg's range into insert with
+// probability 1/2, reproducing the paper's initialization ("each element
+// is present with probability 1/2"). It uses math/rand (seeded) rather
+// than the worker xorshift so population is reproducible independently
+// of the op stream. It returns how many keys were inserted.
+func Prepopulate(cfg Config, seed int64, insert func(int64) bool) int {
+	rng := rand.New(rand.NewSource(seed))
+	n := 0
+	for k := int64(0); k < cfg.Range; k++ {
+		if rng.Intn(2) == 0 {
+			if insert(k) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// PrepopulateHalf deterministically inserts every even key, yielding an
+// exactly-half-full set; useful when tests need a known layout.
+func PrepopulateHalf(cfg Config, insert func(int64) bool) int {
+	n := 0
+	for k := int64(0); k < cfg.Range; k += 2 {
+		if insert(k) {
+			n++
+		}
+	}
+	return n
+}

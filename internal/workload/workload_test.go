@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		cfg Config
+		ok  bool
+	}{
+		{Config{UpdatePercent: 0, Range: 1}, true},
+		{Config{UpdatePercent: 100, Range: 50}, true},
+		{Config{UpdatePercent: 20, Range: 20000}, true},
+		{Config{UpdatePercent: -1, Range: 50}, false},
+		{Config{UpdatePercent: 101, Range: 50}, false},
+		{Config{UpdatePercent: 20, Range: 0}, false},
+		{Config{UpdatePercent: 20, Range: -5}, false},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) error = %v, want ok=%v", c.cfg, err, c.ok)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Contains.String() != "contains" || Insert.String() != "insert" || Remove.String() != "remove" {
+		t.Fatal("Op.String names wrong")
+	}
+	if Op(99).String() == "" {
+		t.Fatal("unknown Op should still render")
+	}
+}
+
+// TestGeneratorMixMatchesConfig draws a large stream and checks the
+// empirical mix: x/2% inserts, x/2% removes, (100-x)% contains, within
+// a small tolerance.
+func TestGeneratorMixMatchesConfig(t *testing.T) {
+	for _, update := range []int{0, 10, 20, 50, 100} {
+		cfg := Config{UpdatePercent: update, Range: 1000}
+		g := NewGenerator(cfg, 7)
+		const n = 400000
+		var ins, rem, con int
+		for i := 0; i < n; i++ {
+			op, k := g.Next()
+			if k < 0 || k >= cfg.Range {
+				t.Fatalf("key %d out of range [0, %d)", k, cfg.Range)
+			}
+			switch op {
+			case Insert:
+				ins++
+			case Remove:
+				rem++
+			case Contains:
+				con++
+			}
+		}
+		wantIns := float64(update) / 200
+		wantCon := float64(100-update) / 100
+		if got := float64(ins) / n; math.Abs(got-wantIns) > 0.01 {
+			t.Errorf("update=%d%%: insert fraction %.3f, want %.3f", update, got, wantIns)
+		}
+		if got := float64(rem) / n; math.Abs(got-wantIns) > 0.01 {
+			t.Errorf("update=%d%%: remove fraction %.3f, want %.3f", update, got, wantIns)
+		}
+		if got := float64(con) / n; math.Abs(got-wantCon) > 0.01 {
+			t.Errorf("update=%d%%: contains fraction %.3f, want %.3f", update, got, wantCon)
+		}
+	}
+}
+
+// TestGeneratorKeysRoughlyUniform checks no key bucket is wildly off the
+// uniform expectation.
+func TestGeneratorKeysRoughlyUniform(t *testing.T) {
+	cfg := Config{UpdatePercent: 50, Range: 16}
+	g := NewGenerator(cfg, 3)
+	const n = 160000
+	var buckets [16]int
+	for i := 0; i < n; i++ {
+		_, k := g.Next()
+		buckets[k]++
+	}
+	want := n / 16
+	for k, got := range buckets {
+		if got < want*8/10 || got > want*12/10 {
+			t.Errorf("key %d drawn %d times, want about %d", k, got, want)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	cfg := Config{UpdatePercent: 20, Range: 100}
+	a := NewGenerator(cfg, 42)
+	b := NewGenerator(cfg, 42)
+	for i := 0; i < 1000; i++ {
+		opA, kA := a.Next()
+		opB, kB := b.Next()
+		if opA != opB || kA != kB {
+			t.Fatalf("step %d: streams diverge with equal seeds", i)
+		}
+	}
+	c := NewGenerator(cfg, 43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		_, kA := a.Next()
+		_, kC := c.Next()
+		if kA == kC {
+			same++
+		}
+	}
+	if same > 500 {
+		t.Fatalf("different seeds produced near-identical streams (%d/1000 equal keys)", same)
+	}
+}
+
+func TestPrepopulateHalfProbability(t *testing.T) {
+	cfg := Config{UpdatePercent: 20, Range: 10000}
+	inserted := map[int64]bool{}
+	n := Prepopulate(cfg, 5, func(v int64) bool {
+		if inserted[v] {
+			return false
+		}
+		inserted[v] = true
+		return true
+	})
+	if n != len(inserted) {
+		t.Fatalf("returned %d but inserted %d", n, len(inserted))
+	}
+	// Binomial(10000, 1/2): 5 sigma is 250.
+	if n < 4750 || n > 5250 {
+		t.Fatalf("prepopulated %d of 10000, want about 5000", n)
+	}
+	for v := range inserted {
+		if v < 0 || v >= cfg.Range {
+			t.Fatalf("prepopulated key %d out of range", v)
+		}
+	}
+}
+
+func TestPrepopulateDeterministic(t *testing.T) {
+	cfg := Config{UpdatePercent: 0, Range: 500}
+	var a, b []int64
+	Prepopulate(cfg, 9, func(v int64) bool { a = append(a, v); return true })
+	Prepopulate(cfg, 9, func(v int64) bool { b = append(b, v); return true })
+	if len(a) != len(b) {
+		t.Fatal("same seed gave different population sizes")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed gave different populations")
+		}
+	}
+}
+
+func TestPrepopulateHalfExact(t *testing.T) {
+	cfg := Config{UpdatePercent: 0, Range: 100}
+	var got []int64
+	n := PrepopulateHalf(cfg, func(v int64) bool { got = append(got, v); return true })
+	if n != 50 || len(got) != 50 {
+		t.Fatalf("PrepopulateHalf inserted %d keys, want 50", n)
+	}
+	for i, v := range got {
+		if v != int64(i*2) {
+			t.Fatalf("key %d = %d, want %d", i, v, i*2)
+		}
+	}
+}
+
+func TestXorShiftZeroSeed(t *testing.T) {
+	x := NewXorShift(0)
+	if x.Next() == 0 && x.Next() == 0 {
+		t.Fatal("zero seed produced a stuck generator")
+	}
+}
+
+func TestXorShiftIntnBounds(t *testing.T) {
+	f := func(seed uint64, n int64) bool {
+		if n <= 0 {
+			n = 1 - n%100 // force positive
+		}
+		x := NewXorShift(seed)
+		for i := 0; i < 100; i++ {
+			v := x.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXorShiftNotObviouslyPeriodic(t *testing.T) {
+	x := NewXorShift(1)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100000; i++ {
+		v := x.Next()
+		if seen[v] {
+			t.Fatalf("value repeated after %d draws", i)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,151 @@
+package listset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Impl describes one registered set implementation, for use by the
+// benchmark harness, the CLI tools and cross-implementation tests.
+type Impl struct {
+	// Name is the canonical identifier accepted by the tools' -impl flag.
+	Name string
+	// Aliases are additional accepted identifiers.
+	Aliases []string
+	// New constructs a fresh empty instance.
+	New func() Set
+	// ThreadSafe reports whether the implementation may be used from
+	// multiple goroutines. Only the sequential reference list is not.
+	ThreadSafe bool
+	// LockFree reports whether the implementation is lock-free (the
+	// progress condition, not merely "uses no sync.Mutex").
+	LockFree bool
+	// Desc is a one-line human description used in tool output.
+	Desc string
+}
+
+// impls is the registry, in the order used by reports.
+var impls = []Impl{
+	{
+		Name:       "vbl",
+		New:        NewVBL,
+		ThreadSafe: true,
+		Desc:       "VBL — concurrency-optimal value-based list (this paper)",
+	},
+	{
+		Name:       "lazy",
+		New:        NewLazy,
+		ThreadSafe: true,
+		Desc:       "Lazy Linked List (Heller et al. 2006)",
+	},
+	{
+		Name:       "harris",
+		Aliases:    []string{"harris-marker", "harris-rtti"},
+		New:        NewHarrisMarker,
+		ThreadSafe: true,
+		LockFree:   true,
+		Desc:       "Harris-Michael, RTTI-style marker nodes (paper's optimized Java variant)",
+	},
+	{
+		Name:       "harris-amr",
+		New:        NewHarrisAMR,
+		ThreadSafe: true,
+		LockFree:   true,
+		Desc:       "Harris-Michael, AtomicMarkableReference cells (extra indirection)",
+	},
+	{
+		Name:       "fomitchev",
+		Aliases:    []string{"fr", "selfish", "backlink"},
+		New:        NewFomitchev,
+		ThreadSafe: true,
+		LockFree:   true,
+		Desc:       "Fomitchev-Ruppert backlink list with selfish wait-free contains",
+	},
+	{
+		Name:       "optimistic",
+		New:        NewOptimistic,
+		ThreadSafe: true,
+		Desc:       "Optimistic locking list — lock window, validate by re-traversal",
+	},
+	{
+		Name:       "coarse",
+		New:        NewCoarse,
+		ThreadSafe: true,
+		Desc:       "sequential list behind a single global mutex",
+	},
+	{
+		Name:       "hoh",
+		Aliases:    []string{"fine", "hand-over-hand"},
+		New:        NewHOH,
+		ThreadSafe: true,
+		Desc:       "hand-over-hand fine-grained locking list",
+	},
+	{
+		Name:       "seq",
+		Aliases:    []string{"sequential", "ll"},
+		New:        NewSequential,
+		ThreadSafe: false,
+		Desc:       "Algorithm 1 — sequential reference list (single goroutine only)",
+	},
+	{
+		Name:       "vbskip",
+		Aliases:    []string{"skiplist", "vb-skiplist"},
+		New:        NewVBSkip,
+		ThreadSafe: true,
+		Desc:       "value-aware skip list — §5 conjecture: VBL as the membership level",
+	},
+	{
+		Name:       "lazyskip",
+		Aliases:    []string{"lazy-skiplist"},
+		New:        NewLazySkip,
+		ThreadSafe: true,
+		Desc:       "LazySkipList (Herlihy & Shavit ch. 14.3) — lock-all-preds baseline",
+	},
+	{
+		Name:       "vbl-headrestart",
+		New:        NewVBLHeadRestart,
+		ThreadSafe: true,
+		Desc:       "ablation: VBL restarting failed validations from head",
+	},
+	{
+		Name:       "vbl-noprevalidate",
+		New:        NewVBLNoPreValidation,
+		ThreadSafe: true,
+		Desc:       "ablation: VBL locking before validating (no lock-free pre-check)",
+	},
+	{
+		Name:       "vbl-mutex",
+		New:        NewVBLMutex,
+		ThreadSafe: true,
+		Desc:       "ablation: VBL with sync.Mutex node locks instead of the CAS try-lock",
+	},
+}
+
+// Implementations returns all registered implementations in report order.
+func Implementations() []Impl {
+	out := make([]Impl, len(impls))
+	copy(out, impls)
+	return out
+}
+
+// Lookup resolves an implementation by name or alias (case-insensitive).
+func Lookup(name string) (Impl, error) {
+	want := strings.ToLower(strings.TrimSpace(name))
+	for _, im := range impls {
+		if im.Name == want {
+			return im, nil
+		}
+		for _, a := range im.Aliases {
+			if a == want {
+				return im, nil
+			}
+		}
+	}
+	var names []string
+	for _, im := range impls {
+		names = append(names, im.Name)
+	}
+	sort.Strings(names)
+	return Impl{}, fmt.Errorf("listset: unknown implementation %q (have: %s)", name, strings.Join(names, ", "))
+}
