@@ -26,6 +26,7 @@ import (
 // pre-populated set from `threads` goroutines.
 func benchCell(b *testing.B, im Impl, threads int, wl workload.Config) {
 	b.Helper()
+	b.ReportAllocs()
 	s := im.New()
 	workload.Prepopulate(wl, 1, s.Insert)
 	perG := b.N/threads + 1
@@ -193,6 +194,7 @@ func BenchmarkOperations(b *testing.B) {
 		}
 		im := im
 		b.Run("impl="+im.Name+"/op=contains-hit", func(b *testing.B) {
+			b.ReportAllocs()
 			s := im.New()
 			for k := int64(0); k < keyRange; k += 2 {
 				s.Insert(k)
@@ -203,6 +205,7 @@ func BenchmarkOperations(b *testing.B) {
 			}
 		})
 		b.Run("impl="+im.Name+"/op=contains-miss", func(b *testing.B) {
+			b.ReportAllocs()
 			s := im.New()
 			for k := int64(0); k < keyRange; k += 2 {
 				s.Insert(k)
@@ -213,6 +216,7 @@ func BenchmarkOperations(b *testing.B) {
 			}
 		})
 		b.Run("impl="+im.Name+"/op=insert-remove", func(b *testing.B) {
+			b.ReportAllocs()
 			s := im.New()
 			for k := int64(0); k < keyRange; k += 2 {
 				s.Insert(k)

@@ -1,0 +1,196 @@
+// The benchhygiene analyzer: benchmark bodies that drive the measured
+// loop must call b.ReportAllocs, and must call b.ResetTimer when they
+// do setup work first.
+//
+// Every number this repository publishes (EXPERIMENTS.md, the Figure 1
+// and Figure 4 series) comes out of testing.B benchmarks; a benchmark
+// that pre-populates a list without resetting the timer folds O(range)
+// setup into ns/op, and one that never reports allocations hides the
+// per-operation garbage that the paper's GC-reliant reclamation trades
+// on. The analyzer scopes itself to the benchmark entry points —
+// files named bench_test.go and the internal/harness package — so
+// one-off micro-benchmarks elsewhere are not bothered.
+//
+// A "bench body" is any function or function literal with a
+// *testing.B parameter. It is *measuring* when it references b.N or
+// calls b.RunParallel. Measuring bodies must call b.ReportAllocs
+// (anywhere), and — when any statement precedes the first measuring
+// reference other than calls to b's own timer/reporting helpers —
+// b.ResetTimer.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// BenchHygiene is the benchmark-hygiene analyzer.
+var BenchHygiene = &Analyzer{
+	Name: "benchhygiene",
+	Doc:  "benchmarks call b.ReportAllocs and b.ResetTimer after setup",
+	Run:  runBenchHygiene,
+}
+
+func runBenchHygiene(pass *Pass) {
+	inHarness := strings.HasSuffix(pass.ImportPath, "internal/harness")
+	for _, file := range pass.Files {
+		name := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
+		if !inHarness && name != "bench_test.go" {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch nn := n.(type) {
+			case *ast.FuncDecl:
+				if nn.Body == nil {
+					return true
+				}
+				if param := benchParam(pass, nn.Type); param != nil {
+					checkBenchBody(pass, nn.Name.Pos(), nn.Name.Name, param, nn.Body)
+				}
+			case *ast.FuncLit:
+				if param := benchParam(pass, nn.Type); param != nil {
+					checkBenchBody(pass, nn.Pos(), "benchmark closure", param, nn.Body)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// benchParam returns the *testing.B parameter object of ft, if any.
+func benchParam(pass *Pass, ft *ast.FuncType) types.Object {
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		t := pass.Info.TypeOf(field.Type)
+		if t == nil || !isTestingB(t) {
+			continue
+		}
+		if len(field.Names) > 0 {
+			return pass.Info.Defs[field.Names[0]]
+		}
+	}
+	return nil
+}
+
+func isTestingB(t types.Type) bool {
+	ptr, isPtr := t.(*types.Pointer)
+	if !isPtr {
+		return false
+	}
+	named, isNamed := ptr.Elem().(*types.Named)
+	if !isNamed {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "B" && obj.Pkg() != nil && obj.Pkg().Path() == "testing"
+}
+
+// checkBenchBody enforces the two hygiene rules on one bench body.
+func checkBenchBody(pass *Pass, pos token.Pos, name string, b types.Object, body *ast.BlockStmt) {
+	if !nodeMeasures(pass, b, body) {
+		return // a driver that only calls b.Run or helpers; nothing measured here
+	}
+	calls := benchMethodCalls(pass, b, body)
+	if !calls["ReportAllocs"] {
+		pass.Reportf(pos, "%s measures (references b.N or b.RunParallel) but never calls b.ReportAllocs", name)
+	}
+	if hasSetupBeforeMeasurement(pass, b, body) && !calls["ResetTimer"] {
+		pass.Reportf(pos, "%s does setup before the measured loop but never calls b.ResetTimer", name)
+	}
+}
+
+// nodeMeasures reports whether n references b.N or calls b.RunParallel
+// (with b being the bench parameter object). Nested function literals
+// count: a RunParallel body measures on behalf of its enclosing
+// benchmark.
+func nodeMeasures(pass *Pass, b types.Object, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := m.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || pass.Info.Uses[id] != b {
+			return true
+		}
+		if sel.Sel.Name == "N" || sel.Sel.Name == "RunParallel" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// benchMethodCalls collects the names of b's methods called anywhere
+// in body.
+func benchMethodCalls(pass *Pass, b types.Object, body *ast.BlockStmt) map[string]bool {
+	calls := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && pass.Info.Uses[id] == b {
+			calls[sel.Sel.Name] = true
+		}
+		return true
+	})
+	return calls
+}
+
+// hasSetupBeforeMeasurement reports whether any top-level statement of
+// body does real work before the first measuring statement. Calls to
+// b's own bookkeeping (Helper, ReportAllocs, ResetTimer, StopTimer,
+// StartTimer, SetBytes, Cleanup) do not count as setup.
+func hasSetupBeforeMeasurement(pass *Pass, b types.Object, body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		if nodeMeasures(pass, b, stmt) {
+			return false
+		}
+		if isBenchBookkeeping(pass, b, stmt) {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// isBenchBookkeeping reports whether stmt is a bare call to one of b's
+// own bookkeeping methods.
+func isBenchBookkeeping(pass *Pass, b types.Object, stmt ast.Stmt) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || pass.Info.Uses[id] != b {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Helper", "ReportAllocs", "ResetTimer", "StopTimer", "StartTimer", "SetBytes", "Cleanup", "SetParallelism":
+		return true
+	}
+	return false
+}

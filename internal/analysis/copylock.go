@@ -1,0 +1,146 @@
+// The copylock analyzer: values of types that contain a trylock lock
+// or a sync/atomic primitive must never be copied.
+//
+// This is `go vet`'s copylocks pass taught about this repository's
+// custom lock type. The paper's node metadata — next, deleted, lock —
+// only means anything at a stable address: a copied node has a
+// disconnected lock word and detached atomics, so writers of the copy
+// and writers of the original silently stop excluding each other.
+// go vet catches sync.Mutex copies but knows nothing about
+// trylock.SpinLock, which is what every list node here embeds.
+//
+// Flagged contexts: by-value function/method parameters, results and
+// receivers; assignments whose right-hand side reads an existing
+// lock-bearing value (dereference, variable, field, element);
+// by-value call arguments; and range clauses that copy lock-bearing
+// elements. Composite literals and function-call results are not
+// flagged — constructing a fresh value is not a copy.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CopyLock is the lock-copy analyzer.
+var CopyLock = &Analyzer{
+	Name: "copylock",
+	Doc:  "no by-value copies of structs containing trylock or atomic fields",
+	Run:  runCopyLock,
+}
+
+func runCopyLock(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch nn := n.(type) {
+			case *ast.FuncDecl:
+				if nn.Recv != nil {
+					checkFieldList(pass, nn.Recv, "receiver")
+				}
+				if nn.Type.Params != nil {
+					checkFieldList(pass, nn.Type.Params, "parameter")
+				}
+				if nn.Type.Results != nil {
+					checkFieldList(pass, nn.Type.Results, "result")
+				}
+			case *ast.FuncLit:
+				if nn.Type.Params != nil {
+					checkFieldList(pass, nn.Type.Params, "parameter")
+				}
+				if nn.Type.Results != nil {
+					checkFieldList(pass, nn.Type.Results, "result")
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range nn.Rhs {
+					checkCopyRead(pass, rhs, "assignment copies")
+				}
+			case *ast.ValueSpec:
+				for _, v := range nn.Values {
+					checkCopyRead(pass, v, "assignment copies")
+				}
+			case *ast.CallExpr:
+				if isBuiltinCall(pass, nn) {
+					break
+				}
+				for _, arg := range nn.Args {
+					checkCopyRead(pass, arg, "call passes")
+				}
+			case *ast.RangeStmt:
+				if nn.Value != nil {
+					if t := pass.Info.TypeOf(nn.Value); t != nil {
+						if path, bad := lockPath(t); bad {
+							pass.Reportf(nn.Value.Pos(),
+								"range clause copies lock by value: %s", path)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkFieldList flags by-value lock-bearing entries of a receiver,
+// parameter or result list.
+func checkFieldList(pass *Pass, fl *ast.FieldList, kind string) {
+	for _, field := range fl.List {
+		t := pass.Info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			continue
+		}
+		if path, bad := lockPath(t); bad {
+			pass.Reportf(field.Type.Pos(), "%s passes lock by value: %s", kind, path)
+		}
+	}
+}
+
+// checkCopyRead flags expressions that read an existing lock-bearing
+// value by copy. Fresh values (composite literals, call results) and
+// address-taking are exempt.
+func checkCopyRead(pass *Pass, e ast.Expr, verb string) {
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr, *ast.ParenExpr:
+	default:
+		return
+	}
+	if p, isParen := e.(*ast.ParenExpr); isParen {
+		checkCopyRead(pass, p.X, verb)
+		return
+	}
+	t := pass.Info.TypeOf(e)
+	if t == nil {
+		return
+	}
+	if _, isPtr := t.(*types.Pointer); isPtr {
+		return
+	}
+	// Selector expressions can denote fields, package-level variables,
+	// methods or types; only value reads matter.
+	if sel, isSel := e.(*ast.SelectorExpr); isSel {
+		if s, found := pass.Info.Selections[sel]; found {
+			if s.Kind() != types.FieldVal {
+				return
+			}
+		} else if _, isVar := pass.Info.Uses[sel.Sel].(*types.Var); !isVar {
+			return
+		}
+	}
+	if path, bad := lockPath(t); bad {
+		pass.Reportf(e.Pos(), "%s lock by value: %s", verb, path)
+	}
+}
+
+// isBuiltinCall reports whether call invokes a builtin (len, cap, new,
+// append, ...) — those do not copy their operands in a way that
+// detaches a lock.
+func isBuiltinCall(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := pass.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

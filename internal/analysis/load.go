@@ -1,0 +1,296 @@
+// Package loading for the analysis engine. The environment is offline
+// and stdlib-only, so instead of golang.org/x/tools/go/packages this
+// loader drives the go command directly:
+//
+//  1. `go list -json <patterns>` enumerates the target packages and
+//     their source files;
+//  2. `go list -deps -test -export -json <patterns>` compiles (or
+//     reuses from the build cache) every dependency and yields the
+//     path of its gc export data;
+//  3. each target package is parsed with go/parser and type-checked
+//     with go/types, resolving imports through go/importer's gc
+//     importer pointed at the export files from step 2.
+//
+// Only the target packages themselves are type-checked from source —
+// dependencies (including the standard library) come from export
+// data, which is what `go vet` itself does.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Pkg is one parsed and type-checked package ready for analysis.
+type Pkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath    string
+	Dir           string
+	Name          string
+	Export        string
+	GoFiles       []string
+	TestGoFiles   []string
+	XTestGoFiles  []string
+	ForTest       string
+	DepsErrors    []struct{ Err string }
+	Error         *struct{ Err string }
+	Incomplete    bool
+	Standard      bool
+	TestImports   []string
+	XTestImports  []string
+}
+
+// goList runs `go list` in dir with the given arguments and decodes
+// the JSON stream.
+func goList(dir string, args ...string) ([]*listedPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %s: decoding output: %v", strings.Join(args, " "), err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadOptions configures Load.
+type LoadOptions struct {
+	// Dir is the working directory for the go command; "" means the
+	// process working directory (it must be inside the module).
+	Dir string
+	// Tests includes _test.go files: in-package test files are merged
+	// into their package, external (package foo_test) files become an
+	// additional package.
+	Tests bool
+}
+
+// Load lists, parses and type-checks the packages matching the go
+// package patterns (e.g. "./...").
+func Load(patterns []string, opts LoadOptions) ([]*Pkg, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	jsonFields := "-json=ImportPath,Dir,Name,GoFiles,TestGoFiles,XTestGoFiles,Error,DepsErrors,Incomplete"
+	targets, err := goList(opts.Dir, append([]string{jsonFields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", t.ImportPath, t.Error.Err)
+		}
+	}
+
+	// Compile the dependency closure (test variants included, so that
+	// test files of the targets can resolve their imports) and map
+	// import paths to export-data files.
+	listArgs := []string{"-deps", "-export", "-json=ImportPath,Export,ForTest"}
+	if opts.Tests {
+		listArgs = append([]string{"-test"}, listArgs...)
+	}
+	deps, err := goList(opts.Dir, append(listArgs, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, d := range deps {
+		if d.Export == "" {
+			continue
+		}
+		// Test-augmented variants are listed as "path [root.test]";
+		// prefer the augmented export under its plain path only via
+		// the explicit testVariant map below.
+		if base, _, isVariant := strings.Cut(d.ImportPath, " "); isVariant {
+			exports[d.ImportPath] = d.Export
+			_ = base
+			continue
+		}
+		exports[d.ImportPath] = d.Export
+	}
+	testVariant := func(path string) string {
+		// Export data of "p [p.test]" (the test-augmented build of p).
+		return path + " [" + path + ".test]"
+	}
+
+	fset := token.NewFileSet()
+	var pkgs []*Pkg
+	for _, t := range targets {
+		if t.Name == "" || len(t.GoFiles)+len(t.TestGoFiles)+len(t.XTestGoFiles) == 0 {
+			continue
+		}
+		files := append([]string{}, t.GoFiles...)
+		if opts.Tests {
+			files = append(files, t.TestGoFiles...)
+		}
+		pkg, err := check(fset, t.ImportPath, t.Dir, files, func(path string) (string, bool) {
+			// The package's own in-package test files may import
+			// packages only its test build depends on; plain lookup
+			// covers those because -deps -test listed them.
+			e, ok := exports[path]
+			return e, ok
+		})
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+
+		if opts.Tests && len(t.XTestGoFiles) > 0 {
+			// External test package: resolve the base import path to
+			// the test-augmented export so export_test.go symbols are
+			// visible.
+			base := t.ImportPath
+			xpkg, err := check(fset, base+"_test", t.Dir, t.XTestGoFiles, func(path string) (string, bool) {
+				if path == base {
+					if e, ok := exports[testVariant(base)]; ok {
+						return e, true
+					}
+				}
+				e, ok := exports[path]
+				return e, ok
+			})
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, xpkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single directory dir as one
+// package with a synthetic import path, resolving its imports inside
+// the enclosing module. It exists for analyzer self-tests over
+// testdata trees, which wildcard patterns deliberately skip.
+func LoadDir(dir string) (*Pkg, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+
+	// Collect the directory's imports and resolve their export data
+	// in one go-list invocation from within the module.
+	fset := token.NewFileSet()
+	imports := make(map[string]bool)
+	for _, f := range files {
+		parsed, err := parser.ParseFile(fset, filepath.Join(abs, f), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range parsed.Imports {
+			imports[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	exports := make(map[string]string)
+	if len(imports) > 0 {
+		args := []string{"-deps", "-export", "-json=ImportPath,Export"}
+		for imp := range imports {
+			args = append(args, imp)
+		}
+		deps, err := goList(abs, args...)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range deps {
+			if d.Export != "" {
+				exports[d.ImportPath] = d.Export
+			}
+		}
+	}
+	return check(fset, "testdata/"+filepath.Base(abs), abs, files, func(path string) (string, bool) {
+		e, ok := exports[path]
+		return e, ok
+	})
+}
+
+// check parses the named files of one directory and type-checks them
+// as a single package, resolving imports via the export lookup.
+func check(fset *token.FileSet, importPath, dir string, fileNames []string, lookup func(string) (string, bool)) (*Pkg, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, ok := lookup(path)
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	name := ""
+	if len(files) > 0 {
+		name = files[0].Name.Name
+	}
+	return &Pkg{
+		ImportPath: importPath,
+		Dir:        dir,
+		Name:       name,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

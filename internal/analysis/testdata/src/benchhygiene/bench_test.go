@@ -1,0 +1,76 @@
+// Seeded-bad corpus for the benchhygiene analyzer. The file is named
+// bench_test.go because that is the analyzer's scope.
+package benchhygiene
+
+import "testing"
+
+// BenchmarkNoReportAllocs measures but hides its allocation profile.
+func BenchmarkNoReportAllocs(b *testing.B) { // want "never calls b.ReportAllocs"
+	for i := 0; i < b.N; i++ {
+		sink = i
+	}
+}
+
+// BenchmarkNoResetTimer folds its setup into ns/op.
+func BenchmarkNoResetTimer(b *testing.B) { // want "never calls b.ResetTimer"
+	b.ReportAllocs()
+	data := make([]int, 1024)
+	for i := 0; i < b.N; i++ {
+		sink = data[i%1024]
+	}
+}
+
+// BenchmarkBadParallel measures through RunParallel without either.
+func BenchmarkBadParallel(b *testing.B) { // want "never calls b.ReportAllocs" "never calls b.ResetTimer"
+	data := make([]int, 1024)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			sink = data[i%1024]
+			i++
+		}
+	})
+}
+
+// BenchmarkBadClosure hides the violation inside a sub-benchmark.
+func BenchmarkBadClosure(b *testing.B) {
+	b.Run("sub", func(b *testing.B) { // want "never calls b.ReportAllocs"
+		for i := 0; i < b.N; i++ {
+			sink = i
+		}
+	})
+}
+
+// ---- true negatives ----
+
+// BenchmarkClean does everything right.
+func BenchmarkClean(b *testing.B) {
+	b.ReportAllocs()
+	data := make([]int, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = data[i%1024]
+	}
+}
+
+// BenchmarkNoSetup needs no ResetTimer: nothing precedes the loop.
+func BenchmarkNoSetup(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink = i
+	}
+}
+
+// BenchmarkDriver only dispatches sub-benchmarks; its own body
+// measures nothing (the closure's b shadows the outer one).
+func BenchmarkDriver(b *testing.B) {
+	b.Run("sub", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink = i
+		}
+	})
+}
+
+// sink defeats dead-code elimination in the corpus loops.
+var sink int

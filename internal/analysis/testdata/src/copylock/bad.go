@@ -1,0 +1,78 @@
+// Seeded-bad corpus for the copylock analyzer.
+package copylock
+
+import (
+	"sync/atomic"
+
+	"listset/internal/trylock"
+)
+
+type node struct {
+	val  int64
+	next atomic.Pointer[node]
+	lock trylock.SpinLock
+}
+
+// atomicOnly has no lock but still must not be copied: its atomics
+// detach.
+type atomicOnly struct {
+	count atomic.Int64
+}
+
+// byValueParam receives a detached copy of the node and its lock.
+func byValueParam(n node) int64 { // want "parameter passes lock by value"
+	return n.val
+}
+
+// byValueResult returns a detached copy.
+func byValueResult(p *node) node { // want "result passes lock by value"
+	return *p // the result declaration is the finding; this read feeds it
+}
+
+// copyAssign copies through a dereference.
+func copyAssign(p *node) int64 {
+	n := *p // want "assignment copies lock by value"
+	return n.val
+}
+
+// copyArg passes a copy into a call.
+func copyArg(p *node) int64 {
+	return byValueParam(*p) // want "call passes lock by value"
+}
+
+// rangeCopy copies one element per iteration.
+func rangeCopy(ns []node) int64 {
+	var s int64
+	for _, n := range ns { // want "range clause copies lock by value"
+		s += n.val
+	}
+	return s
+}
+
+// copyAtomic shows the atomic-only case is caught too.
+func copyAtomic(a *atomicOnly) {
+	c := *a // want "assignment copies lock by value"
+	_ = c.count.Load()
+}
+
+// ---- true negatives ----
+
+// okPointer passes by pointer everywhere.
+func okPointer(p *node) *trylock.SpinLock {
+	return &p.lock
+}
+
+// construct builds fresh values; composite literals are not copies.
+func construct(v int64) *node {
+	n := &node{val: v}
+	return n
+}
+
+// okIndex ranges by index instead of copying elements.
+func okIndex(ns []node) int64 {
+	var s int64
+	for i := range ns {
+		s += ns[i].val
+	}
+	return s
+}

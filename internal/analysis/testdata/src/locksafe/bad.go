@@ -1,0 +1,101 @@
+// Seeded-bad corpus for the locksafe analyzer. Every "// want" marker
+// is asserted by TestAnalyzers to be reported at exactly that line —
+// and nothing else in the file may be reported.
+package locksafe
+
+import "listset/internal/trylock"
+
+type node struct {
+	lock trylock.SpinLock
+	next *node
+	ok   bool
+}
+
+// leakOnEarlyReturn is the paper-relevant bug class: the
+// validation-failure early return skips the release.
+func leakOnEarlyReturn(n *node) bool {
+	n.lock.Lock() // want "can reach the function exit"
+	if !n.ok {
+		return false // leaks n.lock
+	}
+	n.lock.Unlock()
+	return true
+}
+
+// tryLockLeak leaks on the success branch of a TryLock guard.
+func tryLockLeak(n *node) bool {
+	if n.lock.TryLock() { // want "can reach the function exit"
+		return true // leaks n.lock
+	}
+	return false
+}
+
+// loopLeak acquires once per iteration and never releases.
+func loopLeak(ns []*node) {
+	for _, n := range ns {
+		n.lock.Lock() // want "still held when the iteration ends"
+	}
+}
+
+// doubleLock re-locks a lock this path already holds.
+func doubleLock(n *node) {
+	n.lock.Lock()
+	n.lock.Lock() // want "already held"
+	n.lock.Unlock()
+	n.lock.Unlock()
+}
+
+// unguardedTry discards the TryLock result, so a successful
+// acquisition would be untrackable.
+func unguardedTry(n *node) {
+	n.lock.TryLock() // want "not used directly as a branch condition"
+}
+
+// ---- true negatives: nothing below may be reported ----
+
+// balancedDefer releases via defer.
+func balancedDefer(n *node) bool {
+	n.lock.Lock()
+	defer n.lock.Unlock()
+	return n.ok
+}
+
+// balancedBranches releases on every explicit path, lazy-list style.
+func balancedBranches(n *node) bool {
+	for {
+		n.lock.Lock()
+		if !n.ok {
+			n.lock.Unlock()
+			continue
+		}
+		if n.next == nil {
+			n.lock.Unlock()
+			return false
+		}
+		n.lock.Unlock()
+		return true
+	}
+}
+
+// guardedTry covers both TryLock guard polarities.
+func guardedTry(n *node) bool {
+	if !n.lock.TryLock() {
+		return false
+	}
+	n.lock.Unlock()
+	return true
+}
+
+// spinAcquire acquires via a TryLock loop condition, then releases.
+func spinAcquire(n *node) {
+	for !n.lock.TryLock() {
+	}
+	n.lock.Unlock()
+}
+
+// suppressed demonstrates the sanctioned escape hatch: a true finding
+// silenced with a justification.
+func suppressed(n *node) {
+	//lint:ignore locksafe corpus check that a justified suppression silences the leak report
+	n.lock.Lock()
+}

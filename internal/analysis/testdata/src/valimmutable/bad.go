@@ -1,0 +1,68 @@
+// Seeded-bad corpus for the valimmutable analyzer.
+package valimmutable
+
+import (
+	"sync/atomic"
+
+	"listset/internal/trylock"
+)
+
+// node is node-like: it has a val field next to synchronization
+// fields, so val is read by unsynchronized wait-free traversals.
+type node struct {
+	val     int64
+	next    atomic.Pointer[node]
+	deleted atomic.Bool
+	lock    trylock.SpinLock
+}
+
+// mutateVal rewrites a published node's value — the exact bug the
+// value-aware validation of lockNextAtValue would silently corrupt on.
+func mutateVal(n *node, v int64) {
+	n.val = v // want "outside construction"
+}
+
+// addVal compound-assigns.
+func addVal(n *node, v int64) {
+	n.val += v // want "outside construction"
+}
+
+// incVal increments.
+func incVal(n *node) {
+	n.val++ // want "outside construction"
+}
+
+// escapeVal lets a write escape the analysis through a pointer.
+func escapeVal(n *node) *int64 {
+	return &n.val // want "taking the address"
+}
+
+// ---- true negatives ----
+
+// construct is the one sanctioned initialization site.
+func construct(v int64) *node {
+	return &node{val: v}
+}
+
+// readVal only reads.
+func readVal(n *node) int64 {
+	return n.val
+}
+
+// seqNode is sequential (no synchronization fields); its val may be
+// rewritten freely, like the seqlist baseline does.
+type seqNode struct {
+	val  int64
+	next *seqNode
+}
+
+func seqWrite(n *seqNode, v int64) {
+	n.val = v
+}
+
+// notAField: a local variable called val is nobody's business.
+func notAField() int64 {
+	val := int64(1)
+	val++
+	return val
+}

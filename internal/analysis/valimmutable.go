@@ -1,0 +1,108 @@
+// The valimmutable analyzer: a concurrent list node's val field is
+// written exactly once, at its composite-literal construction site.
+//
+// The paper's linearizability argument (and the value-aware validation
+// of lockNextAtValue in particular) leans on val being immutable: the
+// wait-free traversal reads curr.val with no synchronization at all,
+// which is only race-free because no code path ever stores to val
+// after the node is published. The invariant lives in a comment on
+// every node struct ("val is immutable"); this analyzer enforces it.
+//
+// A struct is node-like when it has a field named "val" alongside at
+// least one synchronization field (an atomic or a trylock/sync lock) —
+// i.e. it is a node meant to be shared between goroutines. For such
+// structs the analyzer flags every assignment to .val (including
+// compound assignment and ++/--) and every &.val address-taking, which
+// would let a write escape the analysis. Composite literals
+// (node{val: v}) are not assignments and remain the one sanctioned
+// initialization.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ValImmutable is the val-field immutability analyzer.
+var ValImmutable = &Analyzer{
+	Name: "valimmutable",
+	Doc:  "node val fields are written only at construction",
+	Run:  runValImmutable,
+}
+
+func runValImmutable(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch nn := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range nn.Lhs {
+					checkValWrite(pass, lhs, "assignment to")
+				}
+			case *ast.IncDecStmt:
+				checkValWrite(pass, nn.X, "increment/decrement of")
+			case *ast.UnaryExpr:
+				if nn.Op == token.AND {
+					checkValWrite(pass, nn.X, "taking the address of")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkValWrite reports e when it denotes the val field of a node-like
+// struct.
+func checkValWrite(pass *Pass, e ast.Expr, what string) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "val" {
+		return
+	}
+	selection, found := pass.Info.Selections[sel]
+	if !found || selection.Kind() != types.FieldVal {
+		return
+	}
+	recv := selection.Recv()
+	if ptr, isPtr := recv.(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	st, owner := underlyingStruct(recv)
+	if st == nil || !isNodeLike(st) {
+		return
+	}
+	pass.Reportf(e.Pos(),
+		"%s %s.val outside construction: val is immutable after the node is published (wait-free readers load it unsynchronized)",
+		what, owner)
+}
+
+// underlyingStruct unwraps a (possibly named) type to its struct
+// underlying, returning a display name for diagnostics.
+func underlyingStruct(t types.Type) (*types.Struct, string) {
+	name := "struct"
+	if named, isNamed := t.(*types.Named); isNamed {
+		name = named.Obj().Name()
+	}
+	st, isStruct := t.Underlying().(*types.Struct)
+	if !isStruct {
+		return nil, ""
+	}
+	return st, name
+}
+
+// isNodeLike reports whether st is a concurrent node: it has a "val"
+// field and at least one synchronization field. Purely sequential
+// structs that happen to have a val field (e.g. the seqlist node) are
+// exempt — nothing races on them.
+func isNodeLike(st *types.Struct) bool {
+	hasVal, hasSync := false, false
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "val" {
+			hasVal = true
+		}
+		if _, sync := lockPath(f.Type()); sync {
+			hasSync = true
+		}
+	}
+	return hasVal && hasSync
+}

@@ -62,6 +62,7 @@ func (n *node) lockNextAt(succ *node, preValidate bool) bool {
 	if preValidate && (n.deleted.Load() || n.next.Load() != succ) {
 		return false
 	}
+	//lint:ignore locksafe on validation success the lock deliberately escapes: the contract is "returns true holding n.lock" and every caller (Insert/Remove) unlocks it
 	n.lock.Lock()
 	if n.deleted.Load() || n.next.Load() != succ {
 		n.lock.Unlock()
@@ -79,6 +80,7 @@ func (n *node) lockNextAtValue(v int64, preValidate bool) bool {
 	if preValidate && (n.deleted.Load() || n.next.Load().val != v) {
 		return false
 	}
+	//lint:ignore locksafe on validation success the lock deliberately escapes: the contract is "returns true holding n.lock" and every caller (Remove) unlocks it
 	n.lock.Lock()
 	if n.deleted.Load() || n.next.Load().val != v {
 		n.lock.Unlock()

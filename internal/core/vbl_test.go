@@ -228,13 +228,17 @@ func TestQuickEquivalentToMap(t *testing.T) {
 func TestConcurrentSmokeVBL(t *testing.T) {
 	s := New()
 	const keyRange = 24
+	iterations := 20000
+	if testing.Short() {
+		iterations = 2000
+	}
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
 		go func(seed int64) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
-			for i := 0; i < 20000; i++ {
+			for i := 0; i < iterations; i++ {
 				k := int64(rng.Intn(keyRange))
 				switch rng.Intn(3) {
 				case 0:

@@ -42,6 +42,7 @@ func benchHistory(threads, opsPerThread int, keys int64, seed int64) History {
 // realistic recorded histories.
 func BenchmarkCheckPartitioned(b *testing.B) {
 	h := benchHistory(6, 1000, 8, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := Check(h, nil); err != nil {
@@ -54,6 +55,7 @@ func BenchmarkCheckPartitioned(b *testing.B) {
 // history (it is exponential in concurrency; keep it small).
 func BenchmarkCheckMonolithic(b *testing.B) {
 	h := benchHistory(3, 60, 4, 2)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if !CheckMonolithic(h, nil) {

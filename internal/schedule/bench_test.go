@@ -6,6 +6,8 @@ import "testing"
 // operation pair.
 func BenchmarkGeneratePair(b *testing.B) {
 	ops := []OpSpec{{Kind: OpInsert, Arg: 2}, {Kind: OpRemove, Arg: 1}}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if got := GenerateAll([]int64{1}, ops, false, 0); len(got) == 0 {
 			b.Fatal("no schedules generated")
@@ -16,6 +18,8 @@ func BenchmarkGeneratePair(b *testing.B) {
 // BenchmarkOracle measures the Definition-1 verdict on Figure 2.
 func BenchmarkOracle(b *testing.B) {
 	s := Figure2()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if ok, _ := Correct(s); !ok {
 			b.Fatal("Figure 2 should be correct")
@@ -27,6 +31,8 @@ func BenchmarkOracle(b *testing.B) {
 // accepting run).
 func BenchmarkAcceptVBL(b *testing.B) {
 	s := Figure2()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if !Accepts(AlgVBL, s) {
 			b.Fatal("VBL should accept Figure 2")
@@ -38,6 +44,8 @@ func BenchmarkAcceptVBL(b *testing.B) {
 // Lazy (an exhaustive rejecting run — the expensive direction).
 func BenchmarkRejectLazy(b *testing.B) {
 	s := Figure2()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if Accepts(AlgLazy, s) {
 			b.Fatal("Lazy should reject Figure 2")
@@ -48,6 +56,8 @@ func BenchmarkRejectLazy(b *testing.B) {
 // BenchmarkRejectHarris measures the rejecting search on Figure 3.
 func BenchmarkRejectHarris(b *testing.B) {
 	s := Figure3()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if Accepts(AlgHarris, s) {
 			b.Fatal("Harris should reject Figure 3")

@@ -104,6 +104,7 @@ func lockPreds(preds, succs *[maxLevel]*lazyNode, top int, victim *lazyNode) boo
 	for l := 0; valid && l <= top; l++ {
 		pred, succ := preds[l], succs[l]
 		if pred != prevPred {
+			//lint:ignore locksafe the acquired set intentionally survives the loop and the function: on success the caller holds every lock in `locked` and releases them with unlockPreds; on failure the loop below unlocks them all
 			pred.lock.Lock()
 			locked = append(locked, pred)
 			prevPred = pred
@@ -188,6 +189,7 @@ func (s *Lazy) Remove(v int64) bool {
 				}
 				continue
 			}
+			//lint:ignore locksafe the victim lock is intentionally held across retry iterations once marked (the `marked` flag guards re-locking) and is released on the success path below
 			victim.lock.Lock()
 			if victim.marked.Load() {
 				victim.lock.Unlock()

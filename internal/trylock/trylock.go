@@ -53,6 +53,7 @@ var uniprocessor = runtime.GOMAXPROCS(0) == 1
 // Lock acquires l, spinning until it is available.
 func (l *SpinLock) Lock() {
 	for spins := 0; ; spins++ {
+		//lint:ignore locksafe this IS Lock's implementation: a successful CAS acquisition is the postcondition, released by the caller via Unlock
 		if l.TryLock() {
 			return
 		}

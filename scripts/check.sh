@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-2 verification gate: build, vet, the vblvet concurrency-invariant
+# suite, and a short race-enabled pass over the lock-based lists.
+#
+# Usage: scripts/check.sh            (from the repo root or anywhere)
+#
+# Mirrors .github/workflows/ci.yml; keep the two in sync.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+step() { printf '\n== %s\n' "$*"; }
+
+step "go build ./..."
+go build ./...
+
+step "go vet ./..."
+go vet ./...
+
+step "vblvet (concurrency-invariant static analysis)"
+go run ./cmd/vblvet ./...
+
+step "unit tests"
+go test -count=1 ./...
+
+step "race gate (short stress, lock-based lists)"
+go test -race -short -count=1 ./internal/core ./internal/lazy ./internal/harris ./internal/trylock
+
+printf '\nAll checks passed.\n'
