@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +38,8 @@ func main() {
 		threads  = flag.String("threads", "", "comma-separated thread counts (default: powers of two up to 2x cores)")
 		seed     = flag.Int64("seed", 42, "base RNG seed")
 		csv      = flag.Bool("csv", false, "emit CSV instead of tables")
+		jsonOut  = flag.Bool("json", false, "emit one JSON array of per-cell reports (with contention events)")
+		quiet    = flag.Bool("quiet", false, "print one self-describing line per cell instead of tables")
 	)
 	flag.Parse()
 
@@ -51,7 +54,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	proto := protocol{duration: *duration, warmup: *warmup, runs: *runs, seed: *seed, threads: threadList, csv: *csv}
+	proto := protocol{duration: *duration, warmup: *warmup, runs: *runs, seed: *seed, threads: threadList, csv: *csv, quiet: *quiet}
+	if *jsonOut {
+		proto.reports = new([]harness.JSONReport)
+	}
 	switch *fig {
 	case "1":
 		figure1(proto)
@@ -73,6 +79,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "figures: unknown -fig %q (have: 1, 4, rtti, survey, skiplist, all)\n", *fig)
 		os.Exit(2)
 	}
+	if proto.reports != nil {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(*proto.reports); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 }
 
 type protocol struct {
@@ -82,6 +96,19 @@ type protocol struct {
 	seed     int64
 	threads  []int
 	csv      bool
+	quiet    bool
+	// reports, when non-nil, collects every cell's JSON report instead
+	// of printing tables; main flushes the array once at exit so stdout
+	// stays a single valid JSON document.
+	reports *[]harness.JSONReport
+}
+
+// header prints a section banner unless a machine-readable mode owns
+// stdout.
+func (p protocol) header(s string) {
+	if p.reports == nil && !p.quiet {
+		fmt.Println(s)
+	}
 }
 
 func parseThreads(s string) ([]int, error) {
@@ -126,28 +153,41 @@ func runAndReport(p protocol, title string, cands []harness.Candidate, wl worklo
 		Warmup:     p.warmup,
 		Runs:       p.runs,
 		Seed:       p.seed,
+		// JSON reports carry the events section, so give those sweeps
+		// per-cell probes.
+		Observe: p.reports != nil,
 	}
 	res, err := harness.RunSweep(sweep)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if p.csv {
+	switch {
+	case p.reports != nil:
+		*p.reports = append(*p.reports, res.JSONReports()...)
+	case p.quiet:
+		for _, row := range res.Results {
+			for _, cell := range row {
+				fmt.Printf("%s %s %d %s %.0f\n",
+					title, cell.Config.Name, cell.Config.Threads, cell.Config.Workload, cell.Summary.Mean)
+			}
+		}
+	case p.csv:
 		res.WriteCSV(os.Stdout)
-		return
+	default:
+		res.WriteTable(os.Stdout)
+		if reference != "" {
+			res.WriteSpeedups(os.Stdout, reference)
+		}
+		fmt.Println()
 	}
-	res.WriteTable(os.Stdout)
-	if reference != "" {
-		res.WriteSpeedups(os.Stdout, reference)
-	}
-	fmt.Println()
 }
 
 // figure1 reproduces Figure 1: a ~25-node list (key range 50) under 20%
 // updates; the paper shows Lazy collapsing past ~40 threads while VBL
 // keeps scaling, reaching ~1.6x at 72 threads.
 func figure1(p protocol) {
-	fmt.Println("=== Figure 1: Lazy vs VBL, 20% updates, key range 50 (~25 nodes) ===")
+	p.header("=== Figure 1: Lazy vs VBL, 20% updates, key range 50 (~25 nodes) ===")
 	runAndReport(p, "figure-1", candidates("vbl", "lazy"),
 		workload.Config{UpdatePercent: 20, Range: 50}, "vbl")
 }
@@ -156,7 +196,7 @@ func figure1(p protocol) {
 // key ranges {50, 200, 2000, 20000} for VBL, Lazy and both
 // Harris-Michael variants.
 func figure4(p protocol) {
-	fmt.Println("=== Figure 4: throughput grid, Intel protocol ===")
+	p.header("=== Figure 4: throughput grid, Intel protocol ===")
 	cands := candidates("vbl", "lazy", "harris", "harris-amr")
 	for _, update := range []int{0, 20, 100} {
 		for _, keyRange := range []int64{50, 200, 2000, 20000} {
@@ -172,7 +212,7 @@ func figure4(p protocol) {
 // algorithms (Fomitchev-Ruppert, Optimistic) and the ablation variants
 // — on the paper's standard 20%-update workload.
 func figureSurvey(p protocol) {
-	fmt.Println("=== Survey: all implementations, 20% updates, key range 200 ===")
+	p.header("=== Survey: all implementations, 20% updates, key range 200 ===")
 	var names []string
 	for _, im := range listset.Implementations() {
 		if im.ThreadSafe {
@@ -187,7 +227,7 @@ func figureSurvey(p protocol) {
 // list against the LazySkipList baseline on a range where the index
 // dominates, with the flat VBL for scale.
 func figureSkipList(p protocol) {
-	fmt.Println("=== §5 conjecture: value-aware skip list vs LazySkipList ===")
+	p.header("=== §5 conjecture: value-aware skip list vs LazySkipList ===")
 	for _, keyRange := range []int64{20000, 200000} {
 		names := []string{"vbskip", "lazyskip"}
 		if keyRange <= 20000 {
@@ -203,7 +243,7 @@ func figureSkipList(p protocol) {
 // indirection costs traversal-heavy workloads dearly, which the
 // RTTI/marker variant repairs.
 func figureRTTI(p protocol) {
-	fmt.Println("=== RTTI ablation: Harris-Michael AMR vs marker, read-only ===")
+	p.header("=== RTTI ablation: Harris-Michael AMR vs marker, read-only ===")
 	cands := candidates("harris", "harris-amr")
 	for _, keyRange := range []int64{200, 20000} {
 		title := fmt.Sprintf("rtti ablation r=%d", keyRange)

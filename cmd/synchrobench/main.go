@@ -9,18 +9,30 @@
 //	synchrobench -impl vbl -threads 8 -update-ratio 20 -range 50 \
 //	    -duration 5s -warmup 5s -runs 5
 //
+// Observability:
+//
+//	-probes        count contention events (restarts, lock contention,
+//	               validation failures, CAS failures, unlinks)
+//	-sample-every  time every Nth operation into latency histograms
+//	-json          emit the full machine-readable report (implies both)
+//	-metricsaddr   serve live expvar counters and pprof over HTTP
+//
 // Use -list to see the available implementations.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"time"
 
 	"listset"
 	"listset/internal/harness"
+	"listset/internal/obs"
 	"listset/internal/stats"
 	"listset/internal/workload"
 )
@@ -36,8 +48,14 @@ func main() {
 		runs        = flag.Int("runs", 3, "number of (warmup, measure) repetitions")
 		seed        = flag.Int64("seed", 42, "base RNG seed")
 		list        = flag.Bool("list", false, "list available implementations and exit")
-		quiet       = flag.Bool("quiet", false, "print only the mean throughput (ops/sec)")
+		quiet       = flag.Bool("quiet", false, "print one self-describing line per run configuration")
+		jsonOut     = flag.Bool("json", false, "emit the report as JSON (implies -probes; default -sample-every 64)")
+		probesOn    = flag.Bool("probes", false, "count contention events during measured runs")
+		sampleEvery = flag.Int("sample-every", -1, "time every Nth op into latency histograms; 0 disables (default: 64 with -json, else 0)")
+		metricsAddr = flag.String("metricsaddr", "", "serve expvar metrics and pprof over HTTP at this address (implies -probes)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the measured runs to this file")
+		mutexprof   = flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
+		blockprof   = flag.String("blockprofile", "", "write a blocking profile to this file")
 	)
 	flag.Parse()
 
@@ -62,15 +80,46 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Flag resolution: -json wants the full report, so it switches the
+	// probes on and defaults sampling to a light 1-in-64; -metricsaddr
+	// is pointless without counters to serve.
+	if *sampleEvery < 0 {
+		if *jsonOut {
+			*sampleEvery = 64
+		} else {
+			*sampleEvery = 0
+		}
+	}
+	if *jsonOut || *metricsAddr != "" {
+		*probesOn = true
+	}
+
 	cfg := harness.Config{
-		Name:     im.Name,
-		New:      func() harness.Set { return im.New() },
-		Threads:  *threads,
-		Workload: workload.Config{UpdatePercent: *updateRatio, Range: *keyRange},
-		Duration: *duration,
-		Warmup:   *warmup,
-		Runs:     *runs,
-		Seed:     *seed,
+		Name:               im.Name,
+		New:                func() harness.Set { return im.New() },
+		Threads:            *threads,
+		Workload:           workload.Config{UpdatePercent: *updateRatio, Range: *keyRange},
+		Duration:           *duration,
+		Warmup:             *warmup,
+		Runs:               *runs,
+		Seed:               *seed,
+		LatencySampleEvery: *sampleEvery,
+	}
+	if *probesOn {
+		cfg.Probes = obs.NewProbes()
+		if !obs.Compiled {
+			fmt.Fprintln(os.Stderr, "synchrobench: warning: built with -tags obsoff; probe counts will be zero")
+		}
+	}
+	if *metricsAddr != "" {
+		obs.Publish("listset.events", cfg.Probes)
+		go func() {
+			// DefaultServeMux already carries /debug/vars (expvar) and
+			// /debug/pprof (net/http/pprof).
+			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "synchrobench: metrics server: %v\n", err)
+			}
+		}()
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -85,17 +134,38 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
+	if *mutexprof != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer writeProfile("mutex", *mutexprof)
+	}
+	if *blockprof != "" {
+		runtime.SetBlockProfileRate(1)
+		defer writeProfile("block", *blockprof)
+	}
 	res, err := harness.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	if *quiet {
-		fmt.Printf("%.0f\n", res.Summary.Mean)
-		return
+	switch {
+	case *jsonOut:
+		if err := harness.WriteJSON(os.Stdout, res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	case *quiet:
+		// One self-describing line so sweeps driven by shell loops stay
+		// greppable: impl, threads, workload, mean ops/sec.
+		fmt.Printf("%s %d %s %.0f\n", im.Name, cfg.Threads, cfg.Workload, res.Summary.Mean)
+	default:
+		printHuman(im.Name, cfg, res)
 	}
-	fmt.Printf("impl          %s\n", im.Name)
+}
+
+// printHuman renders the default human-readable report.
+func printHuman(name string, cfg harness.Config, res harness.Result) {
+	fmt.Printf("impl          %s\n", name)
 	fmt.Printf("threads       %d\n", cfg.Threads)
 	fmt.Printf("workload      %s\n", cfg.Workload)
 	fmt.Printf("protocol      %v measured after %v warm-up, %d runs\n", cfg.Duration, cfg.Warmup, cfg.Runs)
@@ -106,4 +176,41 @@ func main() {
 	fmt.Printf("operations    %d total: %d/%d contains hit/miss, %d/%d insert ok/fail, %d/%d remove ok/fail\n",
 		c.Total(), c.ContainsHit, c.ContainsMiss, c.InsertOK, c.InsertFail, c.RemoveOK, c.RemoveFail)
 	fmt.Printf("effective     %.2f%% of operations modified the structure\n", 100*c.EffectiveUpdateRatio())
+	if cfg.Probes != nil {
+		fmt.Printf("events        ")
+		first := true
+		for ev := obs.Event(0); ev < obs.NumEvents; ev++ {
+			if !first {
+				fmt.Printf(", ")
+			}
+			fmt.Printf("%s=%d", ev, res.Events[ev])
+			first = false
+		}
+		fmt.Println()
+	}
+	if res.Latency != nil {
+		for op := obs.OpKind(0); op < obs.NumOps; op++ {
+			p := res.Latency.Percentiles(op)
+			if p.Count == 0 {
+				continue
+			}
+			fmt.Printf("latency       %-8s n=%-8d p50=%s p90=%s p99=%s p999=%s\n",
+				op, p.Count,
+				time.Duration(p.P50), time.Duration(p.P90),
+				time.Duration(p.P99), time.Duration(p.P999))
+		}
+	}
+}
+
+// writeProfile dumps the named runtime profile (mutex, block) to path.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "synchrobench: %s profile: %v\n", name, err)
+	}
 }

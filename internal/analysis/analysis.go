@@ -12,7 +12,9 @@
 //   - valimmutable: a concurrent node's val field is written only at
 //     its composite-literal construction site (see valimmutable.go);
 //   - benchhygiene: benchmarks call b.ReportAllocs and b.ResetTimer
-//     after setup (see benchhygiene.go).
+//     after setup (see benchhygiene.go);
+//   - obshygiene: observability probe calls inside traversal loops sit
+//     behind the obs.On enabled-guard (see obshygiene.go).
 //
 // The engine deliberately uses only go/ast, go/parser, go/types and
 // go/importer (plus `go list` for package metadata): the build
@@ -86,7 +88,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns the full suite in a fixed order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{LockSafe, CopyLock, ValImmutable, BenchHygiene}
+	return []*Analyzer{LockSafe, CopyLock, ValImmutable, BenchHygiene, ObsHygiene}
 }
 
 // Run applies every analyzer to every package, filters suppressed

@@ -74,6 +74,7 @@ func TestAnalyzers(t *testing.T) {
 		{"testdata/src/copylock", CopyLock},
 		{"testdata/src/valimmutable", ValImmutable},
 		{"testdata/src/benchhygiene", BenchHygiene},
+		{"testdata/src/obshygiene", ObsHygiene},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {

@@ -1,0 +1,224 @@
+// The obshygiene analyzer: probe calls on hot paths must sit behind
+// the enabled-guard.
+//
+// The observability layer (internal/obs) is designed so that a
+// disabled probe costs one predictable branch: every call to
+// Probes.Inc or Recorder.Record inside an algorithm's traversal or
+// retry loop is supposed to be wrapped in the guard idiom
+//
+//	if p := s.probes; obs.On(p) {
+//		p.Inc(obs.EvRestartPrev, v)
+//	}
+//
+// which the obsoff build tag compiles away entirely. An unguarded
+// probe call inside a loop defeats both properties — it dereferences a
+// possibly-nil pointer and survives the probe-free build — so the
+// analyzer flags exactly that: Inc/Record calls lexically inside a
+// for/range statement of the same function with no enclosing
+// enabled-guard between the loop's function and the call.
+//
+// Two guard forms are recognized, matching the two layers that record
+// events: the obs.On(...) call guard used by algorithm code, and a
+// plain nil comparison against a value of an obs pointer type
+// (`if shard != nil { ... }`, or the inverted `if shard == nil`
+// routing the enabled path into the else branch), which the harness
+// uses where the probe pointer is a local chosen once per run.
+// Test files are exempt: their loops are not measured hot paths.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// obsPkgSuffix matches this module's observability package whether the
+// import path is "listset/internal/obs" or a testdata variant.
+const obsPkgSuffix = "internal/obs"
+
+// ObsHygiene is the probe-guard hygiene analyzer.
+var ObsHygiene = &Analyzer{
+	Name: "obshygiene",
+	Doc:  "probe calls in loops sit behind the obs.On enabled-guard",
+	Run:  runObsHygiene,
+}
+
+func runObsHygiene(pass *Pass) {
+	if strings.HasSuffix(pass.ImportPath, obsPkgSuffix) {
+		return // the obs package itself exercises probes unguarded by design
+	}
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		// Walk with an explicit ancestor stack: ast.Inspect signals a
+		// pop with a nil node.
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if call, ok := n.(*ast.CallExpr); ok {
+				if method, isProbe := probeCall(pass, call); isProbe {
+					checkProbeCall(pass, stack, call, method)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// probeCall reports whether call is Probes.Inc or Recorder.Record and
+// returns the method name.
+func probeCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	method := sel.Sel.Name
+	if method != "Inc" && method != "Record" {
+		return "", false
+	}
+	selection := pass.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return "", false
+	}
+	named := namedObsType(selection.Recv())
+	if named == nil {
+		return "", false
+	}
+	switch {
+	case method == "Inc" && named.Obj().Name() == "Probes":
+		return method, true
+	case method == "Record" && named.Obj().Name() == "Recorder":
+		return method, true
+	}
+	return "", false
+}
+
+// namedObsType unwraps t (through one pointer) to a named type of the
+// obs package, or nil.
+func namedObsType(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), obsPkgSuffix) {
+		return nil
+	}
+	return named
+}
+
+// checkProbeCall walks the ancestor stack of one probe call (innermost
+// last) and reports it when a for/range statement encloses it within
+// its function and no enabled-guard sits between that function and the
+// call.
+func checkProbeCall(pass *Pass, stack []ast.Node, call *ast.CallExpr, method string) {
+	inLoop := false
+	// child is the node the path descends into below stack[i].
+	for i := len(stack) - 2; i >= 0; i-- {
+		child := stack[i+1]
+		switch nn := stack[i].(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			// Loops outside the closure run it, not the probe call,
+			// per iteration; the guard likewise must be inside.
+			if inLoop {
+				pass.Reportf(call.Pos(), "%s call inside a loop without the obs.On enabled-guard (see internal/obs)", method)
+			}
+			return
+		case *ast.ForStmt, *ast.RangeStmt:
+			inLoop = true
+		case *ast.IfStmt:
+			if guardEnables(pass, nn, child) {
+				return // the enabled-guard dominates the call
+			}
+		}
+	}
+	if inLoop {
+		pass.Reportf(call.Pos(), "%s call inside a loop without the obs.On enabled-guard (see internal/obs)", method)
+	}
+}
+
+// guardEnables reports whether descending from ifStmt into child stays
+// on the probes-enabled side of an enabled-guard: the then-branch of
+// `obs.On(...)` or `x != nil`, or the else-branch of `x == nil`, with
+// x of an obs pointer type.
+func guardEnables(pass *Pass, ifStmt *ast.IfStmt, child ast.Node) bool {
+	switch child {
+	case ifStmt.Body:
+		return condHasOnCall(pass, ifStmt.Cond) || nilCheckOnObs(pass, ifStmt.Cond, token.NEQ)
+	case ifStmt.Else:
+		return nilCheckOnObs(pass, ifStmt.Cond, token.EQL)
+	}
+	return false
+}
+
+// condHasOnCall reports whether cond contains a call to the obs
+// package's On guard.
+func condHasOnCall(pass *Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "On" {
+			return true
+		}
+		// Package-qualified function: the selector's identifier must
+		// resolve to a package whose path is the obs package.
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+		if ok && strings.HasSuffix(pkgName.Imported().Path(), obsPkgSuffix) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// nilCheckOnObs reports whether cond is `x <op> nil` (either operand
+// order) with x of a pointer-to-obs type.
+func nilCheckOnObs(pass *Pass, cond ast.Expr, op token.Token) bool {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || be.Op != op {
+		return false
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil" && pass.Info.Uses[id] == types.Universe.Lookup("nil")
+	}
+	other := be.X
+	switch {
+	case isNil(be.X):
+		other = be.Y
+	case isNil(be.Y):
+		// other already be.X
+	default:
+		return false
+	}
+	t := pass.Info.TypeOf(other)
+	if t == nil {
+		return false
+	}
+	if _, ok := t.(*types.Pointer); !ok {
+		return false
+	}
+	return namedObsType(t) != nil
+}

@@ -1,0 +1,111 @@
+// Seeded-bad corpus for the obshygiene analyzer. Every "// want"
+// marker is asserted by TestAnalyzers to be reported at exactly that
+// line — and nothing else in the file may be reported.
+package obshygiene
+
+import (
+	"time"
+
+	"listset/internal/obs"
+)
+
+type node struct {
+	val  int64
+	next *node
+}
+
+type set struct {
+	head   *node
+	probes *obs.Probes
+}
+
+// unguardedInLoop is the bug class: a probe call on the traversal hot
+// path with no enabled-guard — nil panic when probes are detached, and
+// the call survives the obsoff build.
+func unguardedInLoop(s *set, v int64) {
+	for n := s.head; n != nil; n = n.next {
+		s.probes.Inc(obs.EvRestartPrev, v) // want "without the obs.On enabled-guard"
+	}
+}
+
+// unguardedRecordInRange is the same bug on the latency recorder.
+func unguardedRecordInRange(r *obs.Recorder, ds []time.Duration) {
+	for _, d := range ds {
+		r.Record(obs.OpContains, d) // want "without the obs.On enabled-guard"
+	}
+}
+
+// guardOnWrongBranch: the enabled path must be the then-branch of a
+// != nil check; probing when the pointer is nil is still a bug.
+func guardOnWrongBranch(s *set, v int64) {
+	for n := s.head; n != nil; n = n.next {
+		if s.probes != nil {
+			_ = n
+		} else {
+			s.probes.Inc(obs.EvRestartHead, v) // want "without the obs.On enabled-guard"
+		}
+	}
+}
+
+// closureInGuardedLoop: a guard outside the closure does not dominate
+// the call inside it — the closure may escape the guard.
+func closureInGuardedLoop(s *set, v int64) func() {
+	var f func()
+	if p := s.probes; obs.On(p) {
+		for n := s.head; n != nil; n = n.next {
+			f = func() {
+				for i := 0; i < 2; i++ {
+					p.Inc(obs.EvCASFail, v) // want "without the obs.On enabled-guard"
+				}
+			}
+		}
+	}
+	return f
+}
+
+// ---- true negatives: nothing below may be reported ----
+
+// canonicalGuard is the idiom the algorithms use.
+func canonicalGuard(s *set, v int64) {
+	for n := s.head; n != nil; n = n.next {
+		if p := s.probes; obs.On(p) {
+			p.Inc(obs.EvRestartPrev, v)
+		}
+	}
+}
+
+// guardOutsideLoop dominates the whole loop; also fine.
+func guardOutsideLoop(s *set, v int64) {
+	if p := s.probes; obs.On(p) {
+		for n := s.head; n != nil; n = n.next {
+			p.Inc(obs.EvRestartHead, v)
+		}
+	}
+}
+
+// nilCheckGuard is the harness idiom: a plain nil comparison on an obs
+// pointer, enabled path in the then-branch.
+func nilCheckGuard(r *obs.Recorder, ds []time.Duration) {
+	for _, d := range ds {
+		if r != nil {
+			r.Record(obs.OpInsert, d)
+		}
+	}
+}
+
+// invertedNilCheckGuard routes the enabled path into the else branch.
+func invertedNilCheckGuard(r *obs.Recorder, ds []time.Duration) {
+	for _, d := range ds {
+		if r == nil {
+			_ = d
+		} else {
+			r.Record(obs.OpRemove, d)
+		}
+	}
+}
+
+// outsideAnyLoop: straight-line probe calls are not hot paths; the
+// guard is still good practice but not this analyzer's business.
+func outsideAnyLoop(s *set, v int64) {
+	s.probes.Inc(obs.EvLogicalDelete, v)
+}

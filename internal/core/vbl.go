@@ -28,6 +28,7 @@ package core
 import (
 	"sync/atomic"
 
+	"listset/internal/obs"
 	"listset/internal/trylock"
 )
 
@@ -58,17 +59,58 @@ type node struct {
 // is no point bouncing the lock's cache line. This is the "validate
 // before locking, not after" property the paper credits for VBL's
 // behaviour under contention.
-func (n *node) lockNextAt(succ *node, preValidate bool) bool {
+func (n *node) lockNextAt(succ *node, preValidate bool, p *obs.Probes) bool {
 	if preValidate && (n.deleted.Load() || n.next.Load() != succ) {
+		if obs.On(p) {
+			n.countIdentityFail(p)
+		}
 		return false
 	}
-	//lint:ignore locksafe on validation success the lock deliberately escapes: the contract is "returns true holding n.lock" and every caller (Insert/Remove) unlocks it
-	n.lock.Lock()
+	n.acquire(p)
 	if n.deleted.Load() || n.next.Load() != succ {
 		n.lock.Unlock()
+		if obs.On(p) {
+			n.countIdentityFail(p)
+		}
 		return false
 	}
 	return true
+}
+
+// acquire takes n's lock, counting a contended acquisition when probes
+// are attached. Like the lock helpers it wraps, it returns holding the
+// lock by contract.
+func (n *node) acquire(p *obs.Probes) {
+	if obs.On(p) {
+		//lint:ignore locksafe the lock deliberately escapes: the contract is "returns holding n.lock" and the lock helpers' callers unlock it
+		if n.lock.LockContended() {
+			p.Inc(obs.EvTryLockContended, n.val)
+		}
+		return
+	}
+	//lint:ignore locksafe the lock deliberately escapes: the contract is "returns holding n.lock" and the lock helpers' callers unlock it
+	n.lock.Lock()
+}
+
+// countIdentityFail classifies a failed identity validation for the
+// probe report: the locked-for node was logically deleted, or its
+// successor changed. The re-read is racy — a borderline case may be
+// classified either way — which is fine for a counter.
+func (n *node) countIdentityFail(p *obs.Probes) {
+	if n.deleted.Load() {
+		p.Inc(obs.EvValFailDeleted, n.val)
+	} else {
+		p.Inc(obs.EvValFailSucc, n.val)
+	}
+}
+
+// countValueFail classifies a failed value validation analogously.
+func (n *node) countValueFail(p *obs.Probes) {
+	if n.deleted.Load() {
+		p.Inc(obs.EvValFailDeleted, n.val)
+	} else {
+		p.Inc(obs.EvValFailValue, n.val)
+	}
 }
 
 // lockNextAtValue implements the value-validating half of the try-lock
@@ -76,14 +118,19 @@ func (n *node) lockNextAt(succ *node, preValidate bool) bool {
 // not logically deleted and that the *value* of n's successor is v. The
 // successor node's identity is allowed to have changed — that is the
 // value-awareness that distinguishes VBL from the Lazy list.
-func (n *node) lockNextAtValue(v int64, preValidate bool) bool {
+func (n *node) lockNextAtValue(v int64, preValidate bool, p *obs.Probes) bool {
 	if preValidate && (n.deleted.Load() || n.next.Load().val != v) {
+		if obs.On(p) {
+			n.countValueFail(p)
+		}
 		return false
 	}
-	//lint:ignore locksafe on validation success the lock deliberately escapes: the contract is "returns true holding n.lock" and every caller (Remove) unlocks it
-	n.lock.Lock()
+	n.acquire(p)
 	if n.deleted.Load() || n.next.Load().val != v {
 		n.lock.Unlock()
+		if obs.On(p) {
+			n.countValueFail(p)
+		}
 		return false
 	}
 	return true
@@ -97,7 +144,15 @@ type VBL struct {
 	// Ablation knobs (see Option); both false for the paper's algorithm.
 	headRestart   bool // restart failed validations from head, not prev
 	noPreValidate bool // skip the lock-free check before locking
+
+	// probes, when non-nil, receives contention events (internal/obs).
+	probes *obs.Probes
 }
+
+// SetProbes attaches (or with nil detaches) the contention-event
+// counters. Call it before sharing the set between goroutines: the
+// field is read without synchronization by every operation.
+func (s *VBL) SetProbes(p *obs.Probes) { s.probes = p }
 
 // New returns an empty VBL set.
 func New() *VBL {
@@ -161,15 +216,29 @@ func (s *VBL) Insert(v int64) bool {
 		}
 		n := &node{val: v}
 		n.next.Store(curr)
-		if !prev.lockNextAt(curr, !s.noPreValidate) {
+		if !prev.lockNextAt(curr, !s.noPreValidate, s.probes) {
 			if s.headRestart {
 				prev = s.head
 			}
+			s.countRestart(v)
 			continue // revalidate from prev (traverse handles deleted prev)
 		}
 		prev.next.Store(n)
 		prev.lock.Unlock()
 		return true
+	}
+}
+
+// countRestart records one failed-validation traversal restart, split
+// by where the retry resumes (the paper's locality optimization is
+// exactly the prev-vs-head distinction).
+func (s *VBL) countRestart(v int64) {
+	if p := s.probes; obs.On(p) {
+		if s.headRestart {
+			p.Inc(obs.EvRestartHead, v)
+		} else {
+			p.Inc(obs.EvRestartPrev, v)
+		}
 	}
 }
 
@@ -187,10 +256,11 @@ func (s *VBL) Remove(v int64) bool {
 		// Lock prev validating BY VALUE: any node holding v will do,
 		// even if the one we saw during traversal was removed and a new
 		// one inserted meanwhile.
-		if !prev.lockNextAtValue(v, !s.noPreValidate) {
+		if !prev.lockNextAtValue(v, !s.noPreValidate, s.probes) {
 			if s.headRestart {
 				prev = s.head
 			}
+			s.countRestart(v)
 			continue
 		}
 		// Re-read the successor under prev's lock (Algorithm 2, line 40):
@@ -202,17 +272,22 @@ func (s *VBL) Remove(v int64) bool {
 		// Lock curr validating that its successor is still the next read
 		// at line 38, so the unlink below cannot lose a concurrent
 		// insert after curr (line 41).
-		if !curr.lockNextAt(next, !s.noPreValidate) {
+		if !curr.lockNextAt(next, !s.noPreValidate, s.probes) {
 			prev.lock.Unlock()
 			if s.headRestart {
 				prev = s.head
 			}
+			s.countRestart(v)
 			continue
 		}
 		curr.deleted.Store(true) // logical deletion
 		prev.next.Store(next)    // physical unlink
 		curr.lock.Unlock()
 		prev.lock.Unlock()
+		if p := s.probes; obs.On(p) {
+			p.Inc(obs.EvLogicalDelete, v)
+			p.Inc(obs.EvPhysicalUnlink, v)
+		}
 		return true
 	}
 }

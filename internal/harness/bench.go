@@ -11,11 +11,15 @@
 package harness
 
 import (
+	"context"
 	"fmt"
+	"math/bits"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"listset/internal/obs"
 	"listset/internal/stats"
 	"listset/internal/workload"
 )
@@ -50,6 +54,16 @@ type Config struct {
 	Runs int
 	// Seed makes population and op streams reproducible.
 	Seed int64
+	// Probes, when non-nil, is attached to every freshly constructed
+	// set that implements obs.Instrumented; Result.Events reports the
+	// counter deltas accumulated over the measured intervals (warm-up
+	// events are excluded).
+	Probes *obs.Probes
+	// LatencySampleEvery, when positive, times every Nth operation of
+	// each worker (N rounded up to a power of two) into per-worker
+	// histogram shards, merged into Result.Latency. 0 disables
+	// sampling, which is the zero-overhead default.
+	LatencySampleEvery int
 }
 
 // Validate reports whether the configuration is well-formed.
@@ -115,6 +129,13 @@ type Result struct {
 	Counts Counts
 	// InitialSize is the set size after pre-population of the last run.
 	InitialSize int
+	// Events holds the probe-counter deltas over the measured runs;
+	// all zero unless Config.Probes was set (and the implementation
+	// implements obs.Instrumented).
+	Events obs.Snapshot
+	// Latency holds the sampled per-operation-kind latency histograms;
+	// nil unless Config.LatencySampleEvery was positive.
+	Latency *obs.Recorder
 }
 
 // Run executes the full protocol for cfg: Runs × (populate fresh set,
@@ -124,13 +145,28 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	res := Result{Config: cfg}
+	if cfg.LatencySampleEvery > 0 {
+		res.Latency = obs.NewRecorder()
+	}
 	for r := 0; r < cfg.Runs; r++ {
 		set := cfg.New()
+		if cfg.Probes != nil {
+			obs.Attach(set, cfg.Probes)
+		}
 		res.InitialSize = workload.Prepopulate(cfg.Workload, cfg.Seed+int64(r), set.Insert)
 		if cfg.Warmup > 0 {
-			_, _ = drive(set, cfg, cfg.Warmup, uint64(cfg.Seed)+uint64(r)*1000)
+			_, _ = drive(set, cfg, cfg.Warmup, uint64(cfg.Seed)+uint64(r)*1000, nil)
 		}
-		counts, elapsed := drive(set, cfg, cfg.Duration, uint64(cfg.Seed)+uint64(r)*1000+500)
+		// Bracket the measured interval with counter snapshots so that
+		// warm-up and population events are excluded from the report.
+		var before obs.Snapshot
+		if cfg.Probes != nil {
+			before = cfg.Probes.Snapshot()
+		}
+		counts, elapsed := drive(set, cfg, cfg.Duration, uint64(cfg.Seed)+uint64(r)*1000+500, res.Latency)
+		if cfg.Probes != nil {
+			res.Events = res.Events.Add(cfg.Probes.Snapshot().Sub(before))
+		}
 		tput := float64(counts.Total()) / elapsed.Seconds()
 		res.Throughputs = append(res.Throughputs, tput)
 		res.Counts.add(counts)
@@ -139,10 +175,61 @@ func Run(cfg Config) (Result, error) {
 	return res, nil
 }
 
+// applyOp applies one generated operation to set and tallies the result.
+func applyOp(set Set, op workload.Op, k int64, c *Counts) {
+	switch op {
+	case workload.Contains:
+		if set.Contains(k) {
+			c.ContainsHit++
+		} else {
+			c.ContainsMiss++
+		}
+	case workload.Insert:
+		if set.Insert(k) {
+			c.InsertOK++
+		} else {
+			c.InsertFail++
+		}
+	case workload.Remove:
+		if set.Remove(k) {
+			c.RemoveOK++
+		} else {
+			c.RemoveFail++
+		}
+	}
+}
+
+// opKind maps a workload op to its latency-recorder kind.
+func opKind(op workload.Op) obs.OpKind {
+	switch op {
+	case workload.Insert:
+		return obs.OpInsert
+	case workload.Remove:
+		return obs.OpRemove
+	default:
+		return obs.OpContains
+	}
+}
+
+// sampleMask returns the and-mask implementing "every Nth op" with N
+// rounded up to a power of two, so the sampling decision on the hot
+// path is a single mask-and-compare instead of a modulo.
+func sampleMask(every int) uint64 {
+	if every <= 1 {
+		return 0 // sample every op
+	}
+	return 1<<bits.Len64(uint64(every-1)) - 1
+}
+
 // drive runs cfg.Threads workers against set for roughly d and returns
 // the merged counts and the actual elapsed time measured from the start
 // barrier's release to the last worker's finish line crossing.
-func drive(set Set, cfg Config, d time.Duration, seedBase uint64) (Counts, time.Duration) {
+//
+// When rec is non-nil, each worker times every Nth of its operations
+// (N = cfg.LatencySampleEvery rounded up to a power of two) into a
+// private obs.Recorder shard; shards are merged into rec after the
+// workers drain, so the hot path never shares histogram cache lines.
+func drive(set Set, cfg Config, d time.Duration, seedBase uint64, rec *obs.Recorder) (Counts, time.Duration) {
 	var (
 		stop  atomic.Bool
 		start = make(chan struct{})
@@ -150,43 +237,61 @@ func drive(set Set, cfg Config, d time.Duration, seedBase uint64) (Counts, time.
 		mu    sync.Mutex
 		total Counts
 	)
+	labels := pprof.Labels(
+		"impl", cfg.Name,
+		"workload", cfg.Workload.String(),
+		"threads", fmt.Sprint(cfg.Threads),
+	)
 	for t := 0; t < cfg.Threads; t++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			gen := workload.NewGenerator(cfg.Workload, seedBase+uint64(id)*0x9E37+1)
-			var local Counts
-			<-start
-			for !stop.Load() {
-				// A small batch per stop-check keeps the flag read off
-				// the hot path without stretching run tails.
-				for i := 0; i < 32; i++ {
-					op, k := gen.Next()
-					switch op {
-					case workload.Contains:
-						if set.Contains(k) {
-							local.ContainsHit++
-						} else {
-							local.ContainsMiss++
+			// Labels make worker samples separable in CPU, mutex and
+			// block profiles when several cells run in one process.
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				gen := workload.NewGenerator(cfg.Workload, seedBase+uint64(id)*0x9E37+1)
+				var (
+					local Counts
+					shard *obs.Recorder
+					mask  uint64
+					n     uint64
+				)
+				if rec != nil {
+					shard = obs.NewRecorder()
+					mask = sampleMask(cfg.LatencySampleEvery)
+				}
+				<-start
+				if shard == nil {
+					for !stop.Load() {
+						// A small batch per stop-check keeps the flag read off
+						// the hot path without stretching run tails.
+						for i := 0; i < 32; i++ {
+							op, k := gen.Next()
+							applyOp(set, op, k, &local)
 						}
-					case workload.Insert:
-						if set.Insert(k) {
-							local.InsertOK++
-						} else {
-							local.InsertFail++
-						}
-					case workload.Remove:
-						if set.Remove(k) {
-							local.RemoveOK++
-						} else {
-							local.RemoveFail++
+					}
+				} else {
+					for !stop.Load() {
+						for i := 0; i < 32; i++ {
+							op, k := gen.Next()
+							if n&mask == 0 {
+								t0 := time.Now()
+								applyOp(set, op, k, &local)
+								shard.Record(opKind(op), time.Since(t0))
+							} else {
+								applyOp(set, op, k, &local)
+							}
+							n++
 						}
 					}
 				}
-			}
-			mu.Lock()
-			total.add(local)
-			mu.Unlock()
+				mu.Lock()
+				total.add(local)
+				if shard != nil {
+					rec.Merge(shard)
+				}
+				mu.Unlock()
+			})
 		}(t)
 	}
 	begin := time.Now()

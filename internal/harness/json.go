@@ -1,0 +1,159 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+
+	"listset/internal/obs"
+)
+
+// ReportSchema identifies the JSON layout emitted by this package.
+// Bump the suffix when a field is renamed or removed; adding fields is
+// compatible and does not bump it.
+const ReportSchema = "listset/bench/v1"
+
+// JSONReport is the machine-readable form of one Result, stable enough
+// to be committed as BENCH_*.json and diffed across revisions. All maps
+// carry every key every time (zeros included), so consumers need no
+// presence checks.
+type JSONReport struct {
+	Schema   string       `json:"schema"`
+	Impl     string       `json:"impl"`
+	Threads  int          `json:"threads"`
+	Workload JSONWorkload `json:"workload"`
+	Protocol JSONProtocol `json:"protocol"`
+	// InitialSize is the pre-population size of the last run.
+	InitialSize int             `json:"initial_size"`
+	Throughput  JSONThroughput  `json:"throughput"`
+	Counts      JSONCounts      `json:"counts"`
+	// Events maps stable event names (obs.Event.String) to counts over
+	// the measured intervals; nil when the run had no probes attached.
+	Events map[string]uint64 `json:"events,omitempty"`
+	// LatencyNS maps op kind (contains/insert/remove) to sampled
+	// percentiles in nanoseconds; nil when sampling was off.
+	LatencyNS map[string]JSONLatency `json:"latency_ns,omitempty"`
+}
+
+// JSONWorkload mirrors workload.Config.
+type JSONWorkload struct {
+	UpdatePercent int   `json:"update_percent"`
+	Range         int64 `json:"range"`
+}
+
+// JSONProtocol records the measurement protocol of the run.
+type JSONProtocol struct {
+	DurationSec float64 `json:"duration_s"`
+	WarmupSec   float64 `json:"warmup_s"`
+	Runs        int     `json:"runs"`
+	Seed        int64   `json:"seed"`
+	// SampleEvery is the latency sampling period (0 = off).
+	SampleEvery int `json:"sample_every"`
+}
+
+// JSONThroughput summarizes per-run throughputs in ops/sec.
+type JSONThroughput struct {
+	Mean   float64   `json:"mean"`
+	StdDev float64   `json:"stddev"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	Median float64   `json:"median"`
+	Runs   []float64 `json:"runs"`
+}
+
+// JSONCounts mirrors Counts plus the derived totals.
+type JSONCounts struct {
+	ContainsHit          int64   `json:"contains_hit"`
+	ContainsMiss         int64   `json:"contains_miss"`
+	InsertOK             int64   `json:"insert_ok"`
+	InsertFail           int64   `json:"insert_fail"`
+	RemoveOK             int64   `json:"remove_ok"`
+	RemoveFail           int64   `json:"remove_fail"`
+	Total                int64   `json:"total"`
+	EffectiveUpdateRatio float64 `json:"effective_update_ratio"`
+}
+
+// JSONLatency is one op kind's sampled latency distribution.
+type JSONLatency struct {
+	Count uint64 `json:"count"`
+	P50   uint64 `json:"p50"`
+	P90   uint64 `json:"p90"`
+	P99   uint64 `json:"p99"`
+	P999  uint64 `json:"p999"`
+}
+
+// Report converts a Result into its JSON form.
+func Report(res Result) JSONReport {
+	cfg := res.Config
+	rep := JSONReport{
+		Schema:  ReportSchema,
+		Impl:    cfg.Name,
+		Threads: cfg.Threads,
+		Workload: JSONWorkload{
+			UpdatePercent: cfg.Workload.UpdatePercent,
+			Range:         cfg.Workload.Range,
+		},
+		Protocol: JSONProtocol{
+			DurationSec: cfg.Duration.Seconds(),
+			WarmupSec:   cfg.Warmup.Seconds(),
+			Runs:        cfg.Runs,
+			Seed:        cfg.Seed,
+			SampleEvery: cfg.LatencySampleEvery,
+		},
+		InitialSize: res.InitialSize,
+		Throughput: JSONThroughput{
+			Mean:   res.Summary.Mean,
+			StdDev: res.Summary.StdDev,
+			Min:    res.Summary.Min,
+			Max:    res.Summary.Max,
+			Median: res.Summary.Median,
+			Runs:   res.Throughputs,
+		},
+		Counts: JSONCounts{
+			ContainsHit:          res.Counts.ContainsHit,
+			ContainsMiss:         res.Counts.ContainsMiss,
+			InsertOK:             res.Counts.InsertOK,
+			InsertFail:           res.Counts.InsertFail,
+			RemoveOK:             res.Counts.RemoveOK,
+			RemoveFail:           res.Counts.RemoveFail,
+			Total:                res.Counts.Total(),
+			EffectiveUpdateRatio: res.Counts.EffectiveUpdateRatio(),
+		},
+	}
+	if cfg.Probes != nil {
+		rep.Events = res.Events.Map()
+	}
+	if res.Latency != nil {
+		rep.LatencyNS = make(map[string]JSONLatency, int(obs.NumOps))
+		for op := obs.OpKind(0); op < obs.NumOps; op++ {
+			p := res.Latency.Percentiles(op)
+			rep.LatencyNS[op.String()] = JSONLatency{
+				Count: p.Count,
+				P50:   uint64(p.P50),
+				P90:   uint64(p.P90),
+				P99:   uint64(p.P99),
+				P999:  uint64(p.P999),
+			}
+		}
+	}
+	return rep
+}
+
+// WriteJSON writes res as one indented JSON object followed by a
+// newline — the format of the committed BENCH_*.json files.
+func WriteJSON(w io.Writer, res Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Report(res))
+}
+
+// JSONReports flattens a sweep into one report per cell, in candidate-
+// major order (matching SweepResult.Results).
+func (r SweepResult) JSONReports() []JSONReport {
+	var out []JSONReport
+	for _, row := range r.Results {
+		for _, res := range row {
+			out = append(out, Report(res))
+		}
+	}
+	return out
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"listset/internal/obs"
 	"listset/internal/workload"
 )
 
@@ -28,6 +29,12 @@ type Sweep struct {
 	Seed       int64
 	// Progress, if non-nil, receives a line per completed cell.
 	Progress io.Writer
+	// Observe gives every cell a fresh obs.Probes so per-cell event
+	// counts land in each Result.Events (cells run sequentially, so a
+	// shared counter set would conflate them).
+	Observe bool
+	// LatencySampleEvery forwards to Config.LatencySampleEvery.
+	LatencySampleEvery int
 }
 
 // SweepResult holds one sweep's results indexed [candidate][thread].
@@ -44,14 +51,18 @@ func RunSweep(s Sweep) (SweepResult, error) {
 		var row []Result
 		for _, th := range s.Threads {
 			cfg := Config{
-				Name:     cand.Name,
-				New:      cand.New,
-				Threads:  th,
-				Workload: s.Workload,
-				Duration: s.Duration,
-				Warmup:   s.Warmup,
-				Runs:     s.Runs,
-				Seed:     s.Seed,
+				Name:               cand.Name,
+				New:                cand.New,
+				Threads:            th,
+				Workload:           s.Workload,
+				Duration:           s.Duration,
+				Warmup:             s.Warmup,
+				Runs:               s.Runs,
+				Seed:               s.Seed,
+				LatencySampleEvery: s.LatencySampleEvery,
+			}
+			if s.Observe {
+				cfg.Probes = obs.NewProbes()
 			}
 			res, err := Run(cfg)
 			if err != nil {

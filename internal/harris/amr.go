@@ -23,6 +23,8 @@ package harris
 import (
 	"math"
 	"sync/atomic"
+
+	"listset/internal/obs"
 )
 
 // Sentinel values stored in the head and tail nodes.
@@ -55,7 +57,14 @@ func newAMRNode(v int64, next *amrNode) *amrNode {
 type AMR struct {
 	head *amrNode
 	tail *amrNode
+
+	// probes, when non-nil, receives contention events (internal/obs).
+	probes *obs.Probes
 }
+
+// SetProbes attaches (or with nil detaches) the contention-event
+// counters. Call it before sharing the set between goroutines.
+func (s *AMR) SetProbes(p *obs.Probes) { s.probes = p }
 
 // NewAMR returns an empty Harris-Michael (AMR variant) set.
 func NewAMR() *AMR {
@@ -84,7 +93,14 @@ retry:
 				// otherwise correct schedule.
 				snipped := &amrCell{next: currCell.next}
 				if !prev.cell.CompareAndSwap(prevCell, snipped) {
+					if p := s.probes; obs.On(p) {
+						p.Inc(obs.EvCASFail, curr.val)
+						p.Inc(obs.EvRestartHead, curr.val)
+					}
 					continue retry
+				}
+				if p := s.probes; obs.On(p) {
+					p.Inc(obs.EvHelpedUnlink, curr.val)
 				}
 				prevCell = snipped
 				curr = currCell.next
@@ -122,6 +138,10 @@ func (s *AMR) Insert(v int64) bool {
 		if prev.cell.CompareAndSwap(prevCell, &amrCell{next: n}) {
 			return true
 		}
+		if p := s.probes; obs.On(p) {
+			p.Inc(obs.EvCASFail, v)
+			p.Inc(obs.EvRestartHead, v)
+		}
 	}
 }
 
@@ -139,14 +159,29 @@ func (s *AMR) Remove(v int64) bool {
 		if currCell.marked {
 			// Deleted by a competitor after find validated it; retry to
 			// settle who removed it.
+			if p := s.probes; obs.On(p) {
+				p.Inc(obs.EvRestartHead, v)
+			}
 			continue
 		}
 		marked := &amrCell{next: currCell.next, marked: true}
 		if !curr.cell.CompareAndSwap(currCell, marked) {
+			if p := s.probes; obs.On(p) {
+				p.Inc(obs.EvCASFail, v)
+				p.Inc(obs.EvRestartHead, v)
+			}
 			continue
 		}
 		// Best-effort physical removal; failure delegates the unlink.
-		prev.cell.CompareAndSwap(prevCell, &amrCell{next: currCell.next})
+		// (A failed attempt forces no retry, so it is not a CAS-failure
+		// event — the unlink becomes a future helper's EvHelpedUnlink.)
+		unlinked := prev.cell.CompareAndSwap(prevCell, &amrCell{next: currCell.next})
+		if p := s.probes; obs.On(p) {
+			p.Inc(obs.EvLogicalDelete, v)
+			if unlinked {
+				p.Inc(obs.EvPhysicalUnlink, v)
+			}
+		}
 		return true
 	}
 }

@@ -1,6 +1,10 @@
 package harris
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"listset/internal/obs"
+)
 
 // The Marker variant reproduces the RTTI optimization of the paper's
 // Java implementation. In Java, marked and unmarked states are two
@@ -35,7 +39,14 @@ func newMarkNode(v int64, next *markNode) *markNode {
 type Marker struct {
 	head *markNode
 	tail *markNode
+
+	// probes, when non-nil, receives contention events (internal/obs).
+	probes *obs.Probes
 }
+
+// SetProbes attaches (or with nil detaches) the contention-event
+// counters. Call it before sharing the set between goroutines.
+func (s *Marker) SetProbes(p *obs.Probes) { s.probes = p }
 
 // NewMarker returns an empty Harris-Michael (marker variant) set.
 func NewMarker() *Marker {
@@ -61,7 +72,14 @@ retry:
 			for succ.marker {
 				// curr is deleted; snip curr and its marker together.
 				if !prev.next.CompareAndSwap(curr, succ.next.Load()) {
+					if p := s.probes; obs.On(p) {
+						p.Inc(obs.EvCASFail, curr.val)
+						p.Inc(obs.EvRestartHead, curr.val)
+					}
 					continue retry
+				}
+				if p := s.probes; obs.On(p) {
+					p.Inc(obs.EvHelpedUnlink, curr.val)
 				}
 				curr = succ.next.Load()
 				succ = curr.next.Load()
@@ -108,6 +126,10 @@ func (s *Marker) Insert(v int64) bool {
 		if prev.next.CompareAndSwap(curr, n) {
 			return true
 		}
+		if p := s.probes; obs.On(p) {
+			p.Inc(obs.EvCASFail, v)
+			p.Inc(obs.EvRestartHead, v)
+		}
 	}
 }
 
@@ -122,15 +144,30 @@ func (s *Marker) Remove(v int64) bool {
 		}
 		succ := curr.next.Load()
 		if succ.marker {
-			continue // lost the race to a competing remove; re-find
+			// Lost the race to a competing remove; re-find.
+			if p := s.probes; obs.On(p) {
+				p.Inc(obs.EvRestartHead, v)
+			}
+			continue
 		}
 		m := &markNode{val: curr.val, marker: true}
 		m.next.Store(succ)
 		if !curr.next.CompareAndSwap(succ, m) {
+			if p := s.probes; obs.On(p) {
+				p.Inc(obs.EvCASFail, v)
+				p.Inc(obs.EvRestartHead, v)
+			}
 			continue
 		}
-		// Best-effort physical removal of curr and its marker.
-		prev.next.CompareAndSwap(curr, succ)
+		// Best-effort physical removal of curr and its marker; a failed
+		// attempt is left to a future helper (EvHelpedUnlink there).
+		unlinked := prev.next.CompareAndSwap(curr, succ)
+		if p := s.probes; obs.On(p) {
+			p.Inc(obs.EvLogicalDelete, v)
+			if unlinked {
+				p.Inc(obs.EvPhysicalUnlink, v)
+			}
+		}
 		return true
 	}
 }

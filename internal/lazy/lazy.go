@@ -19,6 +19,7 @@ package lazy
 import (
 	"sync/atomic"
 
+	"listset/internal/obs"
 	"listset/internal/trylock"
 )
 
@@ -39,7 +40,14 @@ type node struct {
 type List struct {
 	head *node
 	tail *node
+
+	// probes, when non-nil, receives contention events (internal/obs).
+	probes *obs.Probes
 }
+
+// SetProbes attaches (or with nil detaches) the contention-event
+// counters. Call it before sharing the list between goroutines.
+func (l *List) SetProbes(p *obs.Probes) { l.probes = p }
 
 // New returns an empty Lazy list.
 func New() *List {
@@ -70,6 +78,42 @@ func validate(prev, curr *node) bool {
 	return !prev.marked.Load() && !curr.marked.Load() && prev.next.Load() == curr
 }
 
+// lockWindow locks prev then curr, counting contended acquisitions
+// when probes are attached. It returns holding both locks by contract;
+// the callers release them on every path.
+func (l *List) lockWindow(prev, curr *node) {
+	if p := l.probes; obs.On(p) {
+		//lint:ignore locksafe the locks deliberately escape: the contract is "returns holding prev.lock and curr.lock" and Insert/Remove unlock both on every path
+		if prev.lock.LockContended() {
+			p.Inc(obs.EvTryLockContended, prev.val)
+		}
+		if curr.lock.LockContended() {
+			p.Inc(obs.EvTryLockContended, curr.val)
+		}
+		return
+	}
+	//lint:ignore locksafe the locks deliberately escape: the contract is "returns holding prev.lock and curr.lock" and Insert/Remove unlock both on every path
+	prev.lock.Lock()
+	//lint:ignore locksafe the locks deliberately escape: the contract is "returns holding prev.lock and curr.lock" and Insert/Remove unlock both on every path
+	curr.lock.Lock()
+}
+
+// countValFail classifies a failed window validation for the probe
+// report: a marked node (logical deletion won the race) or a changed
+// successor. The re-read is racy; a counter tolerates that. Every Lazy
+// validation failure restarts from head — the locality the paper's VBL
+// recovers with its prev-restart.
+func (l *List) countValFail(prev, curr *node, v int64) {
+	if p := l.probes; obs.On(p) {
+		if prev.marked.Load() || curr.marked.Load() {
+			p.Inc(obs.EvValFailDeleted, curr.val)
+		} else {
+			p.Inc(obs.EvValFailSucc, curr.val)
+		}
+		p.Inc(obs.EvRestartHead, v)
+	}
+}
+
 // Contains reports whether v is in the set. Wait-free.
 func (l *List) Contains(v int64) bool {
 	curr := l.head
@@ -83,11 +127,11 @@ func (l *List) Contains(v int64) bool {
 func (l *List) Insert(v int64) bool {
 	for {
 		prev, curr := l.find(v)
-		prev.lock.Lock()
-		curr.lock.Lock()
+		l.lockWindow(prev, curr)
 		if !validate(prev, curr) {
 			curr.lock.Unlock()
 			prev.lock.Unlock()
+			l.countValFail(prev, curr, v)
 			continue
 		}
 		if curr.val == v {
@@ -109,11 +153,11 @@ func (l *List) Insert(v int64) bool {
 func (l *List) Remove(v int64) bool {
 	for {
 		prev, curr := l.find(v)
-		prev.lock.Lock()
-		curr.lock.Lock()
+		l.lockWindow(prev, curr)
 		if !validate(prev, curr) {
 			curr.lock.Unlock()
 			prev.lock.Unlock()
+			l.countValFail(prev, curr, v)
 			continue
 		}
 		if curr.val != v {
@@ -125,6 +169,10 @@ func (l *List) Remove(v int64) bool {
 		prev.next.Store(curr.next.Load()) // physical unlink
 		curr.lock.Unlock()
 		prev.lock.Unlock()
+		if p := l.probes; obs.On(p) {
+			p.Inc(obs.EvLogicalDelete, v)
+			p.Inc(obs.EvPhysicalUnlink, v)
+		}
 		return true
 	}
 }

@@ -1,0 +1,35 @@
+package obs
+
+import "expvar"
+
+// Publish registers p's live counter snapshot under name in the
+// process-wide expvar registry, so a metrics HTTP endpoint
+// (/debug/vars) exposes the events of a running benchmark. Like
+// expvar.Publish it panics on a duplicate name — call once per
+// process per name.
+func Publish(name string, p *Probes) {
+	expvar.Publish(name, expvar.Func(func() any {
+		return p.Snapshot().Map()
+	}))
+}
+
+// PublishRecorder registers r's live per-operation percentile digest
+// under name in the expvar registry. Percentile extraction walks 64
+// buckets per kind — trivial next to a benchmark run, but the values
+// are racy snapshots until the run quiesces.
+func PublishRecorder(name string, r *Recorder) {
+	expvar.Publish(name, expvar.Func(func() any {
+		out := make(map[string]any, NumOps)
+		for k := OpKind(0); k < NumOps; k++ {
+			s := r.Percentiles(k)
+			out[k.String()] = map[string]any{
+				"count":   s.Count,
+				"p50_ns":  s.P50,
+				"p90_ns":  s.P90,
+				"p99_ns":  s.P99,
+				"p999_ns": s.P999,
+			}
+		}
+		return out
+	}))
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"time"
+
+	"listset/internal/stats"
+)
+
+// OpKind classifies a set operation for latency reporting.
+type OpKind uint8
+
+const (
+	// OpContains is a membership query.
+	OpContains OpKind = iota
+	// OpInsert is an insertion.
+	OpInsert
+	// OpRemove is a removal.
+	OpRemove
+
+	// NumOps is the number of operation kinds.
+	NumOps
+)
+
+// String returns the kind's stable report identifier.
+func (k OpKind) String() string {
+	switch k {
+	case OpContains:
+		return "contains"
+	case OpInsert:
+		return "insert"
+	case OpRemove:
+		return "remove"
+	default:
+		return "op(?)"
+	}
+}
+
+// Recorder holds one latency histogram per operation kind. The
+// histograms are lock-free, but the intended use is one Recorder per
+// worker goroutine, merged into a run-level Recorder afterwards, so
+// sampling never bounces a shared cache line mid-measurement. The
+// zero value is ready to use; a Recorder must not be copied after
+// first use.
+type Recorder struct {
+	hists [NumOps]stats.Histogram
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record adds one sampled operation latency.
+func (r *Recorder) Record(op OpKind, d time.Duration) {
+	r.hists[op].Record(int64(d))
+}
+
+// Hist returns the histogram of one operation kind.
+func (r *Recorder) Hist(op OpKind) *stats.Histogram {
+	return &r.hists[op]
+}
+
+// Merge folds o's histograms into r.
+func (r *Recorder) Merge(o *Recorder) {
+	for i := range r.hists {
+		r.hists[i].Merge(&o.hists[i])
+	}
+}
+
+// Count returns the total number of samples across all kinds.
+func (r *Recorder) Count() uint64 {
+	var n uint64
+	for i := range r.hists {
+		n += r.hists[i].Count()
+	}
+	return n
+}
+
+// Percentiles digests one operation kind's histogram.
+func (r *Recorder) Percentiles(op OpKind) stats.LatencySummary {
+	return r.hists[op].Percentiles()
+}

@@ -1,0 +1,10 @@
+//go:build obsoff
+
+package obs
+
+// Compiled reports whether probe sites are compiled into this binary.
+const Compiled = false
+
+// On is constant false in the probe-free build: every guarded probe
+// site is dead code and the compiler deletes it.
+func On[T any](*T) bool { return false }

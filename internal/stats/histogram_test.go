@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if n := h.Count(); n != 0 {
+		t.Fatalf("empty histogram Count = %d", n)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	p := h.Percentiles()
+	if p != (LatencySummary{}) {
+		t.Errorf("empty histogram Percentiles = %+v, want zero", p)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Record(1000) // bucket [512, 1024)
+	if n := h.Count(); n != 1 {
+		t.Fatalf("Count = %d, want 1", n)
+	}
+	lo, hi := BucketBounds(bucketOf(1000))
+	if lo != 512 || hi != 1024 {
+		t.Fatalf("bucketOf(1000) bounds = [%v, %v), want [512, 1024)", lo, hi)
+	}
+	// Every quantile of a single sample must land in its bucket.
+	for _, q := range []float64{0, 0.5, 0.999, 1} {
+		got := h.Quantile(q)
+		if got < lo || got > hi {
+			t.Errorf("Quantile(%v) = %v, want within [%v, %v]", q, got, lo, hi)
+		}
+	}
+}
+
+func TestHistogramNegativeAndZero(t *testing.T) {
+	var h Histogram
+	h.Record(-5) // clock step: counts as zero
+	h.Record(0)
+	if got := h.Buckets()[0]; got != 2 {
+		t.Fatalf("bucket 0 = %d, want 2 (zero and negative samples)", got)
+	}
+	if got := h.Quantile(0.5); got < 0 || got >= 1 {
+		t.Errorf("Quantile(0.5) = %v, want in [0, 1)", got)
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	var h Histogram
+	for ns := int64(1); ns < 1<<20; ns *= 3 {
+		h.Record(ns)
+	}
+	prev := -1.0
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 0.999} {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Errorf("Quantile(%v) = %v < Quantile at lower q = %v", q, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestBucketBoundsPartition(t *testing.T) {
+	// The buckets must tile [0, 2^63) with no gaps or overlaps.
+	_, hi := BucketBounds(0)
+	for i := 1; i < HistBuckets; i++ {
+		lo, next := BucketBounds(i)
+		if lo != hi {
+			t.Fatalf("bucket %d starts at %v, previous ended at %v", i, lo, hi)
+		}
+		if next <= lo {
+			t.Fatalf("bucket %d empty: [%v, %v)", i, lo, next)
+		}
+		hi = next
+	}
+	// And bucketOf must agree with the bounds on the edges.
+	for _, ns := range []int64{0, 1, 2, 3, 511, 512, 1023, 1024} {
+		b := bucketOf(ns)
+		lo, hi := BucketBounds(b)
+		if float64(ns) < lo || float64(ns) >= hi {
+			t.Errorf("bucketOf(%d) = %d with bounds [%v, %v): sample outside", ns, b, lo, hi)
+		}
+	}
+	// MaxInt64 rounds up to 2^63 in float64, so check its bucket index
+	// directly rather than via the float bounds.
+	if b := bucketOf(math.MaxInt64); b != HistBuckets-1 {
+		t.Errorf("bucketOf(MaxInt64) = %d, want %d", b, HistBuckets-1)
+	}
+}
+
+// TestHistogramMergeAssociative checks that merging per-worker shards is
+// order-independent: (a+b)+c and a+(b+c) must agree bucket for bucket.
+func TestHistogramMergeAssociative(t *testing.T) {
+	fill := func(h *Histogram, samples []int64) {
+		for _, s := range samples {
+			h.Record(s)
+		}
+	}
+	check := func(sa, sb, sc []int64) bool {
+		var a1, b1, c1, a2, b2, c2 Histogram
+		fill(&a1, sa)
+		fill(&b1, sb)
+		fill(&c1, sc)
+		fill(&a2, sa)
+		fill(&b2, sb)
+		fill(&c2, sc)
+		// left: (a+b)+c, folded into a1
+		a1.Merge(&b1)
+		a1.Merge(&c1)
+		// right: a+(b+c), folded into b2 then a2
+		b2.Merge(&c2)
+		a2.Merge(&b2)
+		return a1.Buckets() == a2.Buckets()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramMergePreservesCount(t *testing.T) {
+	var a, b Histogram
+	for i := int64(0); i < 100; i++ {
+		a.Record(i * 7)
+		b.Record(i * 13)
+	}
+	a.Merge(&b)
+	if n := a.Count(); n != 200 {
+		t.Fatalf("merged Count = %d, want 200", n)
+	}
+	if n := b.Count(); n != 100 {
+		t.Fatalf("Merge mutated its argument: Count = %d, want 100", n)
+	}
+}

@@ -73,6 +73,21 @@ func (l *SpinLock) Lock() {
 	}
 }
 
+// LockContended acquires l like Lock and additionally reports whether
+// the immediate first attempt failed — the "try-lock acquisition
+// failure" signal the observability layer (internal/obs) counts. The
+// extra return is the only difference from Lock; use it at probe-
+// enabled call sites and plain Lock everywhere else.
+func (l *SpinLock) LockContended() (contended bool) {
+	//lint:ignore locksafe this IS an acquisition primitive like Lock: a successful CAS is the postcondition, released by the caller via Unlock
+	if l.TryLock() {
+		return false
+	}
+	//lint:ignore locksafe acquisition primitive: the held lock is the postcondition, released by the caller via Unlock
+	l.Lock()
+	return true
+}
+
 // Unlock releases l. It must only be called while holding the lock;
 // unlocking an unlocked SpinLock panics, mirroring sync.Mutex.
 func (l *SpinLock) Unlock() {
@@ -99,6 +114,17 @@ func (l *MutexLock) TryLock() bool { return l.mu.TryLock() }
 
 // Lock acquires l, blocking until it is available.
 func (l *MutexLock) Lock() { l.mu.Lock() }
+
+// LockContended acquires l, reporting whether the immediate first
+// attempt failed (SpinLock parity for the observability layer).
+func (l *MutexLock) LockContended() (contended bool) {
+	//lint:ignore locksafe this IS an acquisition primitive like Lock: the held mutex is the postcondition, released by the caller via Unlock
+	if l.TryLock() {
+		return false
+	}
+	l.mu.Lock()
+	return true
+}
 
 // Unlock releases l.
 func (l *MutexLock) Unlock() { l.mu.Unlock() }

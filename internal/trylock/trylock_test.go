@@ -214,3 +214,47 @@ func BenchmarkMutexLockContended(b *testing.B) {
 	})
 	_ = shared
 }
+
+func TestSpinLockLockContended(t *testing.T) {
+	var l SpinLock
+	if l.LockContended() {
+		t.Fatal("LockContended on a free lock reported contention")
+	}
+	if !l.Locked() {
+		t.Fatal("LockContended did not acquire the lock")
+	}
+	acquired := make(chan bool, 1)
+	go func() {
+		//lint:ignore locksafe deliberate cross-goroutine transfer: the main test goroutine unlocks after reading `acquired`
+		acquired <- l.LockContended()
+	}()
+	// Give the second acquirer time to fail its first try-lock, then
+	// release; it must then acquire and report the contention.
+	time.Sleep(10 * time.Millisecond)
+	l.Unlock()
+	if contended := <-acquired; !contended {
+		t.Fatal("LockContended on a held lock reported no contention")
+	}
+	if !l.Locked() {
+		t.Fatal("second LockContended did not end up holding the lock")
+	}
+	l.Unlock()
+}
+
+func TestMutexLockLockContended(t *testing.T) {
+	var l MutexLock
+	if l.LockContended() {
+		t.Fatal("LockContended on a free mutex reported contention")
+	}
+	acquired := make(chan bool, 1)
+	go func() {
+		//lint:ignore locksafe deliberate cross-goroutine transfer: the main test goroutine unlocks after reading `acquired`
+		acquired <- l.LockContended()
+	}()
+	time.Sleep(10 * time.Millisecond)
+	l.Unlock()
+	if contended := <-acquired; !contended {
+		t.Fatal("LockContended on a held mutex reported no contention")
+	}
+	l.Unlock()
+}

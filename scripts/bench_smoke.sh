@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Benchmark smoke test: a ~2-second probe-enabled run over the paper's
+# three protagonists (VBL, Lazy, Harris-Michael), emitting one JSON
+# array of schema-stable reports to BENCH_smoke.json.
+#
+# Usage: scripts/bench_smoke.sh [outfile]       (default BENCH_smoke.json)
+#
+# This is a smoke test, not a benchmark: it exists so CI exercises the
+# full observability path (probes, latency sampling, JSON report) end to
+# end and so the report schema breaks loudly, not silently. Numbers from
+# CI machines are noise — see EXPERIMENTS.md for the real protocol.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_smoke.json}"
+impls=(vbl lazy harris)
+
+go build -o /tmp/listset-synchrobench ./cmd/synchrobench
+
+# Wrap the per-impl JSON objects into one array without external tools.
+{
+  printf '[\n'
+  for i in "${!impls[@]}"; do
+    [ "$i" -gt 0 ] && printf ',\n'
+    /tmp/listset-synchrobench \
+      -impl "${impls[$i]}" -threads 4 -update-ratio 20 -range 2048 \
+      -duration 500ms -warmup 100ms -runs 1 -json
+  done
+  printf ']\n'
+} >"$out"
+
+# Minimal schema sanity: every report carries the schema tag and the
+# events section the probes fill in.
+for key in '"schema": "listset/bench/v1"' '"events"' '"latency_ns"'; do
+  n=$(grep -c "$key" "$out") || true
+  if [ "$n" -lt "${#impls[@]}" ]; then
+    echo "bench_smoke: expected $key in every report of $out (found $n)" >&2
+    exit 1
+  fi
+done
+
+echo "bench_smoke: wrote $out (${#impls[@]} reports)"

@@ -14,6 +14,9 @@ step() { printf '\n== %s\n' "$*"; }
 step "go build ./..."
 go build ./...
 
+step "go build -tags obsoff ./... (probe-free build)"
+go build -tags obsoff ./...
+
 step "go vet ./..."
 go vet ./...
 
@@ -24,6 +27,9 @@ step "unit tests"
 go test -count=1 ./...
 
 step "race gate (short stress, lock-based lists)"
-go test -race -short -count=1 ./internal/core ./internal/lazy ./internal/harris ./internal/trylock
+go test -race -short -count=1 ./internal/core ./internal/lazy ./internal/harris ./internal/trylock ./internal/obs ./internal/stats
+
+step "benchmark smoke (probes + JSON report, end to end)"
+scripts/bench_smoke.sh
 
 printf '\nAll checks passed.\n'
