@@ -1,10 +1,12 @@
 // Command figures regenerates the evaluation exhibits of "Optimal
 // Concurrency for List-Based Sets" (PACT 2021):
 //
-//	-fig 1     Figure 1  — Lazy vs VBL, 20% updates, 25-node list
-//	-fig 4     Figure 4  — 3 update ratios × 4 key ranges, all lists
-//	-fig rtti  §4 ablation — Harris AMR vs RTTI-style marker variant
-//	-fig all   everything
+//	-fig 1        Figure 1  — Lazy vs VBL, 20% updates, 25-node list
+//	-fig 4        Figure 4  — 3 update ratios × 4 key ranges, all lists
+//	-fig rtti     §4 ablation — Harris AMR vs RTTI-style marker variant
+//	-fig sharded  beyond the paper — VBL behind the order-preserving
+//	              range partitioner, shard counts from -shards
+//	-fig all      everything
 //
 // Default durations are scaled down so the full grid finishes in
 // minutes; pass -paper for the paper's protocol (5 s runs × 5 after a
@@ -36,6 +38,7 @@ func main() {
 		warmup   = flag.Duration("warmup", 150*time.Millisecond, "warm-up before each run")
 		runs     = flag.Int("runs", 3, "repetitions per cell")
 		threads  = flag.String("threads", "", "comma-separated thread counts (default: powers of two up to 2x cores)")
+		shards   = flag.String("shards", "1,4,16,64", "comma-separated shard counts for -fig sharded")
 		seed     = flag.Int64("seed", 42, "base RNG seed")
 		csv      = flag.Bool("csv", false, "emit CSV instead of tables")
 		jsonOut  = flag.Bool("json", false, "emit one JSON array of per-cell reports (with contention events)")
@@ -49,6 +52,11 @@ func main() {
 		*runs = 5
 	}
 	threadList, err := parseThreads(*threads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	shardList, err := parseCounts("shard count", *shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -69,14 +77,17 @@ func main() {
 		figureSurvey(proto)
 	case "skiplist":
 		figureSkipList(proto)
+	case "sharded":
+		figureSharded(proto, shardList)
 	case "all":
 		figure1(proto)
 		figure4(proto)
 		figureRTTI(proto)
 		figureSurvey(proto)
 		figureSkipList(proto)
+		figureSharded(proto, shardList)
 	default:
-		fmt.Fprintf(os.Stderr, "figures: unknown -fig %q (have: 1, 4, rtti, survey, skiplist, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "figures: unknown -fig %q (have: 1, 4, rtti, survey, skiplist, sharded, all)\n", *fig)
 		os.Exit(2)
 	}
 	if proto.reports != nil {
@@ -120,11 +131,16 @@ func parseThreads(s string) ([]int, error) {
 		}
 		return out, nil
 	}
+	return parseCounts("thread count", s)
+}
+
+// parseCounts parses a comma-separated list of positive integers.
+func parseCounts(what, s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("figures: bad thread count %q", part)
+			return nil, fmt.Errorf("figures: bad %s %q", what, part)
 		}
 		out = append(out, n)
 	}
@@ -236,6 +252,39 @@ func figureSkipList(p protocol) {
 		title := fmt.Sprintf("skiplist r=%d", keyRange)
 		runAndReport(p, title, candidates(names...),
 			workload.Config{UpdatePercent: 20, Range: keyRange}, "vbskip")
+	}
+}
+
+// figureSharded prices the order-preserving range partitioner on a
+// long list (key range 16384, 20% updates): the flat VBL, Lazy and
+// Harris lists set the scale, then VBL runs behind the sharded façade
+// at each requested shard count. With traversals dominating at this
+// range, throughput should track O(n/S) until the partition outgrows
+// the set.
+func figureSharded(p protocol, shardCounts []int) {
+	p.header("=== Sharded VBL: order-preserving range partitioner, 20% updates, key range 16384 ===")
+	wl := workload.Config{UpdatePercent: 20, Range: 16384}
+	cands := candidates("vbl", "lazy", "harris")
+	for _, s := range shardCounts {
+		cands = append(cands, shardedCandidate("vbl", s, wl.Range))
+	}
+	runAndReport(p, "sharded r=16384", cands, wl, "vbl")
+}
+
+// shardedCandidate enters the named implementation's sharded form,
+// partitioned over [0, keyRange), as e.g. "vbl-s16".
+func shardedCandidate(name string, shards int, keyRange int64) harness.Candidate {
+	im, err := listset.Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	if im.NewSharded == nil {
+		panic(fmt.Sprintf("figures: %s has no sharded form", im.Name))
+	}
+	return harness.Candidate{
+		Name:   fmt.Sprintf("%s-s%d", im.Name, shards),
+		New:    func() harness.Set { return im.NewSharded(shards, 0, keyRange) },
+		Shards: shards,
 	}
 }
 

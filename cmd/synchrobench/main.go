@@ -17,6 +17,10 @@
 //	-json          emit the full machine-readable report (implies both)
 //	-metricsaddr   serve live expvar counters and pprof over HTTP
 //
+// Sharding: -shards N (or -impl vbl-sharded) routes keys through the
+// order-preserving range partitioner of internal/shard, so each of N
+// independent lists owns range/N keys and traversals walk O(n/N) nodes.
+//
 // Use -list to see the available implementations.
 package main
 
@@ -28,6 +32,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"listset"
@@ -41,6 +46,7 @@ func main() {
 	var (
 		implName    = flag.String("impl", "vbl", "implementation to benchmark (see -list)")
 		threads     = flag.Int("threads", 4, "number of worker goroutines")
+		shards      = flag.Int("shards", 0, "split the key range across N independent lists (0 = unsharded; *-sharded impls default to 16)")
 		updateRatio = flag.Int("update-ratio", 20, "percent of update operations (x/2% inserts, x/2% removes)")
 		keyRange    = flag.Int64("range", 2048, "key range; steady-state set size is about range/2")
 		duration    = flag.Duration("duration", 1*time.Second, "measured duration per run")
@@ -80,6 +86,23 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Shard resolution: an explicit -shards N wins; the *-sharded
+	// registry entries default to DefaultShards when the flag is absent,
+	// so `-impl vbl-sharded` alone gets a partition fitted to -range
+	// rather than the constructors' generic focus range.
+	nShards := *shards
+	if nShards < 0 {
+		fmt.Fprintf(os.Stderr, "synchrobench: -shards %d must be non-negative\n", nShards)
+		os.Exit(2)
+	}
+	if nShards == 0 && strings.HasSuffix(im.Name, "-sharded") {
+		nShards = listset.DefaultShards
+	}
+	if nShards > 0 && im.NewSharded == nil {
+		fmt.Fprintf(os.Stderr, "synchrobench: %s has no sharded form; drop -shards or pick vbl, lazy or harris\n", im.Name)
+		os.Exit(2)
+	}
+
 	// Flag resolution: -json wants the full report, so it switches the
 	// probes on and defaults sampling to a light 1-in-64; -metricsaddr
 	// is pointless without counters to serve.
@@ -94,9 +117,17 @@ func main() {
 		*probesOn = true
 	}
 
+	newSet := func() harness.Set { return im.New() }
+	if nShards > 0 {
+		// The partition splits exactly the workload's key range, so
+		// every shard owns range/S keys and traversals shrink O(n/S).
+		n, hi := nShards, *keyRange
+		newSet = func() harness.Set { return im.NewSharded(n, 0, hi) }
+	}
 	cfg := harness.Config{
 		Name:               im.Name,
-		New:                func() harness.Set { return im.New() },
+		New:                newSet,
+		Shards:             nShards,
 		Threads:            *threads,
 		Workload:           workload.Config{UpdatePercent: *updateRatio, Range: *keyRange},
 		Duration:           *duration,
@@ -167,6 +198,9 @@ func main() {
 func printHuman(name string, cfg harness.Config, res harness.Result) {
 	fmt.Printf("impl          %s\n", name)
 	fmt.Printf("threads       %d\n", cfg.Threads)
+	if cfg.Shards > 0 {
+		fmt.Printf("shards        %d (range partitioned over [0, %d))\n", cfg.Shards, cfg.Workload.Range)
+	}
 	fmt.Printf("workload      %s\n", cfg.Workload)
 	fmt.Printf("protocol      %v measured after %v warm-up, %d runs\n", cfg.Duration, cfg.Warmup, cfg.Runs)
 	fmt.Printf("initial size  %d\n", res.InitialSize)

@@ -210,6 +210,63 @@ func TestMapOracle(t *testing.T) {
 	})
 }
 
+// TestShardedBoundaryOracle drives every implementation's sharded form
+// with a tight partition (4 shards over [0, 32), boundaries at 8, 16,
+// 24) against a map oracle, biasing keys to land on and around the
+// shard boundaries and outside the focus range, so routing errors at
+// the seams — a key owned by two shards, or by none — surface as
+// semantic failures.
+func TestShardedBoundaryOracle(t *testing.T) {
+	forEachImpl(t, func(t *testing.T, im Impl) {
+		if im.NewSharded == nil {
+			t.Skip("no sharded form")
+		}
+		s := im.NewSharded(4, 0, 32)
+		rng := rand.New(rand.NewSource(7))
+		// Candidate keys cluster on the boundaries ±1, the focus edges,
+		// and a few keys beyond them (clamped to the edge shards).
+		candidates := []int64{
+			-40, -1, 0, 1, 7, 8, 9, 15, 16, 17, 23, 24, 25, 30, 31, 32, 33, 90,
+		}
+		oracle := map[int64]bool{}
+		for i := 0; i < 20000; i++ {
+			v := candidates[rng.Intn(len(candidates))]
+			switch rng.Intn(3) {
+			case 0:
+				want := !oracle[v]
+				if got := s.Insert(v); got != want {
+					t.Fatalf("step %d: Insert(%d) = %v, want %v", i, v, got, want)
+				}
+				oracle[v] = true
+			case 1:
+				want := oracle[v]
+				if got := s.Remove(v); got != want {
+					t.Fatalf("step %d: Remove(%d) = %v, want %v", i, v, got, want)
+				}
+				delete(oracle, v)
+			case 2:
+				if got := s.Contains(v); got != oracle[v] {
+					t.Fatalf("step %d: Contains(%d) = %v, want %v", i, v, got, oracle[v])
+				}
+			}
+		}
+		if s.Len() != len(oracle) {
+			t.Fatalf("final Len = %d, want %d", s.Len(), len(oracle))
+		}
+		snap := s.Snapshot()
+		for i := 1; i < len(snap); i++ {
+			if snap[i-1] >= snap[i] {
+				t.Fatalf("Snapshot not strictly ascending across shard seams: %v", snap)
+			}
+		}
+		for _, v := range snap {
+			if !oracle[v] {
+				t.Fatalf("Snapshot contains %d which the oracle lacks", v)
+			}
+		}
+	})
+}
+
 // TestGrowShrinkCycles fills and drains the set repeatedly, a pattern
 // that exercises unlink-behind-traversal paths.
 func TestGrowShrinkCycles(t *testing.T) {

@@ -89,6 +89,66 @@ func FuzzSequentialVsOracle(f *testing.F) {
 	})
 }
 
+// FuzzShardedVsOracle runs the program on every implementation's
+// sharded form with the partition squeezed onto the fuzz key domain
+// (4 shards over [0, 32), boundaries 8/16/24), so fuzzed op sequences
+// constantly cross shard seams; results must match the map oracle
+// exactly and the snapshot must stay ascending across shards.
+func FuzzShardedVsOracle(f *testing.F) {
+	seedCorpus(f)
+	var shardable []Impl
+	for _, im := range Implementations() {
+		if im.NewSharded != nil {
+			shardable = append(shardable, im)
+		}
+	}
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		if len(prog) > 4096 {
+			t.Skip()
+		}
+		for _, im := range shardable {
+			s := im.NewSharded(4, 0, 32)
+			oracle := map[int64]bool{}
+			for i := 0; i+1 < len(prog); i += 2 {
+				kind, k := decodeOp(prog[i], prog[i+1])
+				switch kind {
+				case 0:
+					want := !oracle[k]
+					if got := s.Insert(k); got != want {
+						t.Fatalf("%s/4x8: step %d Insert(%d) = %v, want %v", im.Name, i/2, k, got, want)
+					}
+					oracle[k] = true
+				case 1:
+					want := oracle[k]
+					if got := s.Remove(k); got != want {
+						t.Fatalf("%s/4x8: step %d Remove(%d) = %v, want %v", im.Name, i/2, k, got, want)
+					}
+					delete(oracle, k)
+				default:
+					if got := s.Contains(k); got != oracle[k] {
+						t.Fatalf("%s/4x8: step %d Contains(%d) = %v, want %v", im.Name, i/2, k, got, oracle[k])
+					}
+				}
+			}
+			if s.Len() != len(oracle) {
+				t.Fatalf("%s/4x8: final Len = %d, want %d", im.Name, s.Len(), len(oracle))
+			}
+			snap := s.Snapshot()
+			if len(snap) != len(oracle) {
+				t.Fatalf("%s/4x8: final Snapshot size %d, want %d", im.Name, len(snap), len(oracle))
+			}
+			for i, v := range snap {
+				if !oracle[v] {
+					t.Fatalf("%s/4x8: Snapshot holds %d which the oracle lacks", im.Name, v)
+				}
+				if i > 0 && snap[i-1] >= v {
+					t.Fatalf("%s/4x8: Snapshot not strictly ascending: %v", im.Name, snap)
+				}
+			}
+		}
+	})
+}
+
 // FuzzImplementationsAgree splits the program into two goroutine-bound
 // halves operating on DISJOINT key halves concurrently, then checks all
 // implementations converge to the same final contents.

@@ -8,8 +8,9 @@
 // setup into ns/op, and one that never reports allocations hides the
 // per-operation garbage that the paper's GC-reliant reclamation trades
 // on. The analyzer scopes itself to the benchmark entry points —
-// files named bench_test.go and the internal/harness package — so
-// one-off micro-benchmarks elsewhere are not bothered.
+// files named bench_test.go plus every file of the measurement-path
+// packages internal/harness and internal/shard — so one-off
+// micro-benchmarks elsewhere are not bothered.
 //
 // A "bench body" is any function or function literal with a
 // *testing.B parameter. It is *measuring* when it references b.N or
@@ -35,10 +36,11 @@ var BenchHygiene = &Analyzer{
 }
 
 func runBenchHygiene(pass *Pass) {
-	inHarness := strings.HasSuffix(pass.ImportPath, "internal/harness")
+	inScope := strings.HasSuffix(pass.ImportPath, "internal/harness") ||
+		strings.HasSuffix(pass.ImportPath, "internal/shard")
 	for _, file := range pass.Files {
 		name := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
-		if !inHarness && name != "bench_test.go" {
+		if !inScope && name != "bench_test.go" {
 			continue
 		}
 		ast.Inspect(file, func(n ast.Node) bool {

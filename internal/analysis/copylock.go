@@ -59,7 +59,7 @@ func runCopyLock(pass *Pass) {
 					checkCopyRead(pass, v, "assignment copies")
 				}
 			case *ast.CallExpr:
-				if isBuiltinCall(pass, nn) {
+				if isBuiltinCall(pass, nn) || isUnsafeCall(pass, nn) {
 					break
 				}
 				for _, arg := range nn.Args {
@@ -143,4 +143,21 @@ func isBuiltinCall(pass *Pass, call *ast.CallExpr) bool {
 	}
 	_, isBuiltin := pass.Info.Uses[id].(*types.Builtin)
 	return isBuiltin
+}
+
+// isUnsafeCall reports whether call invokes a package unsafe operator
+// (Sizeof, Offsetof, Alignof). Like the builtins, these are compile-
+// time measurements of their operand's type — nothing is copied at
+// run time, so layout tests may pass lock-bearing values to them.
+func isUnsafeCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == "unsafe"
 }

@@ -45,20 +45,20 @@ type Pkg struct {
 
 // listedPkg is the subset of `go list -json` output the loader needs.
 type listedPkg struct {
-	ImportPath    string
-	Dir           string
-	Name          string
-	Export        string
-	GoFiles       []string
-	TestGoFiles   []string
-	XTestGoFiles  []string
-	ForTest       string
-	DepsErrors    []struct{ Err string }
-	Error         *struct{ Err string }
-	Incomplete    bool
-	Standard      bool
-	TestImports   []string
-	XTestImports  []string
+	ImportPath   string
+	Dir          string
+	Name         string
+	Export       string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	ForTest      string
+	DepsErrors   []struct{ Err string }
+	Error        *struct{ Err string }
+	Incomplete   bool
+	Standard     bool
+	TestImports  []string
+	XTestImports []string
 }
 
 // goList runs `go list` in dir with the given arguments and decodes

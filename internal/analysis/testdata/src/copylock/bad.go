@@ -3,6 +3,7 @@ package copylock
 
 import (
 	"sync/atomic"
+	"unsafe"
 
 	"listset/internal/trylock"
 )
@@ -75,4 +76,13 @@ func okIndex(ns []node) int64 {
 		s += ns[i].val
 	}
 	return s
+}
+
+// okUnsafe measures lock-bearing types with the unsafe operators; like
+// the builtins these are compile-time type measurements, not run-time
+// copies (the layout tests of internal/core and internal/lazy rely on
+// this).
+func okUnsafe(p *node) uintptr {
+	var n node
+	return unsafe.Sizeof(n) + unsafe.Offsetof(p.lock) + unsafe.Alignof(n.lock)
 }

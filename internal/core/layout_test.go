@@ -1,0 +1,29 @@
+package core
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestSentinelLayout pins the cache-line padding of the sentinel
+// allocation so the layout cannot silently regress: a paddedNode must
+// stay a whole number of cache lines with the node's hot fields at its
+// front, and a fresh list's head and tail must land on distinct lines.
+func TestSentinelLayout(t *testing.T) {
+	if sz := unsafe.Sizeof(paddedNode{}); sz%cacheLine != 0 {
+		t.Fatalf("paddedNode size %d is not a multiple of the %d-byte cache line", sz, cacheLine)
+	}
+	var p paddedNode
+	if off := unsafe.Offsetof(p.node); off != 0 {
+		t.Fatalf("embedded node at offset %d, want 0 (padding must trail the hot fields)", off)
+	}
+	if unsafe.Sizeof(paddedNode{}) < unsafe.Sizeof(node{}) {
+		t.Fatal("paddedNode smaller than node")
+	}
+	s := New()
+	h := uintptr(unsafe.Pointer(s.head))
+	tl := uintptr(unsafe.Pointer(s.tail))
+	if h/cacheLine == tl/cacheLine {
+		t.Fatalf("head (%#x) and tail (%#x) share a cache line", h, tl)
+	}
+}

@@ -27,6 +27,7 @@ package core
 
 import (
 	"sync/atomic"
+	"unsafe"
 
 	"listset/internal/obs"
 	"listset/internal/trylock"
@@ -47,6 +48,30 @@ type node struct {
 	next    atomic.Pointer[node]
 	deleted atomic.Bool
 	lock    trylock.SpinLock
+}
+
+// cacheLine is the coherence granularity the sentinel layout targets;
+// 64 bytes covers x86-64 and the common arm64 parts.
+const cacheLine = 64
+
+// paddedNode embeds a node and rounds its size up to a whole number of
+// cache lines. Only the sentinels are allocated this way: interior
+// nodes are numerous and churn through the GC, but the head is the
+// hottest allocation in the structure — every operation's traversal
+// starts by loading head.next, and updates near the front contend on
+// head.lock. An unpadded head (a ~40-byte allocation) can share its
+// line with a neighbouring small object — in particular with another
+// list's head when many lists sit side by side (internal/shard) —
+// turning independent per-list traffic into false sharing.
+type paddedNode struct {
+	node
+	_ [(cacheLine - unsafe.Sizeof(node{})%cacheLine) % cacheLine]byte
+}
+
+// newSentinel allocates one cache-line-padded sentinel node.
+func newSentinel(v int64) *node {
+	p := &paddedNode{node: node{val: v}}
+	return &p.node
 }
 
 // lockNextAt implements the identity-validating half of the value-aware
@@ -157,8 +182,8 @@ func (s *VBL) SetProbes(p *obs.Probes) { s.probes = p }
 // New returns an empty VBL set.
 func New() *VBL {
 	s := &VBL{
-		head: &node{val: MinSentinel},
-		tail: &node{val: MaxSentinel},
+		head: newSentinel(MinSentinel),
+		tail: newSentinel(MaxSentinel),
 	}
 	s.head.next.Store(s.tail)
 	return s

@@ -42,6 +42,11 @@ type Config struct {
 	New func() Set
 	// Threads is the number of worker goroutines.
 	Threads int
+	// Shards records the shard count of the partitioned façade New
+	// constructs, so reports can distinguish sharded cells. 0 means
+	// unsharded; the harness itself only validates and reports it —
+	// the sharding happens inside New.
+	Shards int
 	// Workload is the operation mix and key range.
 	Workload workload.Config
 	// Duration is the measured interval per run.
@@ -73,6 +78,9 @@ func (c Config) Validate() error {
 	}
 	if c.Threads <= 0 {
 		return fmt.Errorf("harness: Threads = %d, must be positive", c.Threads)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("harness: Shards = %d, must be non-negative", c.Shards)
 	}
 	if c.Duration <= 0 {
 		return fmt.Errorf("harness: Duration = %v, must be positive", c.Duration)

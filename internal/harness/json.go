@@ -17,15 +17,19 @@ const ReportSchema = "listset/bench/v1"
 // carry every key every time (zeros included), so consumers need no
 // presence checks.
 type JSONReport struct {
-	Schema   string       `json:"schema"`
-	Impl     string       `json:"impl"`
-	Threads  int          `json:"threads"`
+	Schema  string `json:"schema"`
+	Impl    string `json:"impl"`
+	Threads int    `json:"threads"`
+	// Shards is the shard count of the partitioned façade (0 =
+	// unsharded). Added for the sharded VBL; a new field, so the
+	// schema string is unchanged.
+	Shards   int          `json:"shards"`
 	Workload JSONWorkload `json:"workload"`
 	Protocol JSONProtocol `json:"protocol"`
 	// InitialSize is the pre-population size of the last run.
-	InitialSize int             `json:"initial_size"`
-	Throughput  JSONThroughput  `json:"throughput"`
-	Counts      JSONCounts      `json:"counts"`
+	InitialSize int            `json:"initial_size"`
+	Throughput  JSONThroughput `json:"throughput"`
+	Counts      JSONCounts     `json:"counts"`
 	// Events maps stable event names (obs.Event.String) to counts over
 	// the measured intervals; nil when the run had no probes attached.
 	Events map[string]uint64 `json:"events,omitempty"`
@@ -88,6 +92,7 @@ func Report(res Result) JSONReport {
 		Schema:  ReportSchema,
 		Impl:    cfg.Name,
 		Threads: cfg.Threads,
+		Shards:  cfg.Shards,
 		Workload: JSONWorkload{
 			UpdatePercent: cfg.Workload.UpdatePercent,
 			Range:         cfg.Workload.Range,

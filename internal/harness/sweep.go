@@ -9,10 +9,13 @@ import (
 	"listset/internal/workload"
 )
 
-// Candidate names one implementation entered into a sweep.
+// Candidate names one implementation entered into a sweep. Shards is
+// the shard count of the partitioned façade New constructs (0 =
+// unsharded); it flows into each cell's Config and report unchanged.
 type Candidate struct {
-	Name string
-	New  func() Set
+	Name   string
+	New    func() Set
+	Shards int
 }
 
 // Sweep describes a grid of benchmark cells: every candidate × every
@@ -53,6 +56,7 @@ func RunSweep(s Sweep) (SweepResult, error) {
 			cfg := Config{
 				Name:               cand.Name,
 				New:                cand.New,
+				Shards:             cand.Shards,
 				Threads:            th,
 				Workload:           s.Workload,
 				Duration:           s.Duration,

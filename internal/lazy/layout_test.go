@@ -1,0 +1,25 @@
+package lazy
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestSentinelLayout pins the cache-line padding of the sentinel
+// allocation (see the core list's twin test): whole cache lines, hot
+// fields first, head and tail on distinct lines.
+func TestSentinelLayout(t *testing.T) {
+	if sz := unsafe.Sizeof(paddedNode{}); sz%cacheLine != 0 {
+		t.Fatalf("paddedNode size %d is not a multiple of the %d-byte cache line", sz, cacheLine)
+	}
+	var p paddedNode
+	if off := unsafe.Offsetof(p.node); off != 0 {
+		t.Fatalf("embedded node at offset %d, want 0 (padding must trail the hot fields)", off)
+	}
+	l := New()
+	h := uintptr(unsafe.Pointer(l.head))
+	tl := uintptr(unsafe.Pointer(l.tail))
+	if h/cacheLine == tl/cacheLine {
+		t.Fatalf("head (%#x) and tail (%#x) share a cache line", h, tl)
+	}
+}

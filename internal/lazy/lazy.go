@@ -18,6 +18,7 @@ package lazy
 
 import (
 	"sync/atomic"
+	"unsafe"
 
 	"listset/internal/obs"
 	"listset/internal/trylock"
@@ -36,6 +37,25 @@ type node struct {
 	lock   trylock.SpinLock
 }
 
+// cacheLine is the coherence granularity the sentinel layout targets.
+const cacheLine = 64
+
+// paddedNode rounds a node up to a whole number of cache lines; the
+// two sentinels are allocated this way so the head's hot fields (next,
+// lock) never share a line with the tail or a neighbouring allocation
+// — in particular with another list's head when many Lazy lists sit
+// side by side behind the internal/shard partitioner.
+type paddedNode struct {
+	node
+	_ [(cacheLine - unsafe.Sizeof(node{})%cacheLine) % cacheLine]byte
+}
+
+// newSentinel allocates one cache-line-padded sentinel node.
+func newSentinel(v int64) *node {
+	p := &paddedNode{node: node{val: v}}
+	return &p.node
+}
+
 // List is the Lazy Linked List.
 type List struct {
 	head *node
@@ -52,8 +72,8 @@ func (l *List) SetProbes(p *obs.Probes) { l.probes = p }
 // New returns an empty Lazy list.
 func New() *List {
 	l := &List{
-		head: &node{val: MinSentinel},
-		tail: &node{val: MaxSentinel},
+		head: newSentinel(MinSentinel),
+		tail: newSentinel(MaxSentinel),
 	}
 	l.head.next.Store(l.tail)
 	return l

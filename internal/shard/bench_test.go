@@ -1,0 +1,36 @@
+package shard
+
+import "testing"
+
+// nopSet is an empty Set whose operations do nothing, so benchmarks
+// over it measure the façade's own routing and dispatch cost.
+type nopSet struct{}
+
+func (nopSet) Insert(int64) bool   { return true }
+func (nopSet) Remove(int64) bool   { return true }
+func (nopSet) Contains(int64) bool { return true }
+func (nopSet) Len() int            { return 0 }
+func (nopSet) Snapshot() []int64   { return nil }
+
+// BenchmarkRoutingOverhead prices one façade hop — shardOf plus the
+// interface call — which is the per-operation tax every sharded
+// configuration pays on top of its shard's list work.
+func BenchmarkRoutingOverhead(b *testing.B) {
+	b.ReportAllocs()
+	s := NewRange(16, 0, 1<<14, func() Set { return nopSet{} })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Contains(int64(i) & (1<<14 - 1))
+	}
+}
+
+// BenchmarkRoutingOverheadEdges routes keys outside the focus range,
+// exercising the clamp paths.
+func BenchmarkRoutingOverheadEdges(b *testing.B) {
+	b.ReportAllocs()
+	s := NewRange(16, 0, 1<<14, func() Set { return nopSet{} })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Contains(int64(i%2)<<40 - 1) // alternates below lo / far above hi
+	}
+}

@@ -50,26 +50,50 @@ func (l *SpinLock) TryLock() bool {
 // Lock yields immediately instead of spinning.
 var uniprocessor = runtime.GOMAXPROCS(0) == 1
 
-// Lock acquires l, spinning until it is available.
+// Bounds of the contended path's exponential backoff. A waiter that
+// loses the acquisition CAS watches the lock word for up to its
+// current spin budget, doubling the budget each contended round from
+// minSpin loads up to maxSpin; once the budget is maxed the waiter
+// yields to the scheduler between attempts instead of burning the
+// core. The doubling desynchronizes waiters — after a release, the
+// waiter with the smallest budget retries first while the others are
+// still backing off — so N spinners do not stampede the lock word with
+// N simultaneous CASes, each of which would bounce the cache line even
+// when it fails. The critical sections these locks guard are a handful
+// of instructions, so the budget starts small: the lock usually frees
+// up within the first round.
+const (
+	minSpin = 4
+	maxSpin = 1 << 9
+)
+
+// Lock acquires l, spinning with bounded exponential backoff until it
+// is available.
 func (l *SpinLock) Lock() {
-	for spins := 0; ; spins++ {
+	spin := minSpin
+	for {
 		//lint:ignore locksafe this IS Lock's implementation: a successful CAS acquisition is the postcondition, released by the caller via Unlock
 		if l.TryLock() {
 			return
 		}
-		// Brief busy-wait first: the critical sections guarded by these
-		// locks are a handful of instructions, so the lock usually frees
-		// up before parking is worthwhile. On a uniprocessor the holder
-		// cannot run while we spin — yield straight away.
-		if !uniprocessor && spins < 8 {
-			for i := 0; i < 1<<uint(spins); i++ {
-				if l.state.Load() == unlocked {
-					break
-				}
-			}
+		// On a uniprocessor the holder cannot run while we spin —
+		// yield straight away.
+		if uniprocessor {
+			runtime.Gosched()
 			continue
 		}
-		runtime.Gosched()
+		// Contended: watch the lock word for up to the current budget,
+		// leaving early if it frees up, then escalate.
+		for i := 0; i < spin; i++ {
+			if l.state.Load() == unlocked {
+				break
+			}
+		}
+		if spin < maxSpin {
+			spin <<= 1
+		} else {
+			runtime.Gosched()
+		}
 	}
 }
 

@@ -61,6 +61,29 @@ func runLinearizabilityTrial(t *testing.T, im Impl, trial int64) {
 	}
 }
 
+// TestLinearizabilitySharded records concurrent executions against
+// sharded façades whose partition is squeezed into the trial's 12-key
+// range (4 shards over [0, 12), spans of 4), so operations race on
+// both sides of every shard seam. The registry's *-sharded entries are
+// already checked by TestLinearizability, but with their wide default
+// focus range all 12 keys fall in one shard; this pins the composition
+// argument (DESIGN.md §8) where it actually bites.
+func TestLinearizabilitySharded(t *testing.T) {
+	shardedImpls := []Impl{
+		{Name: "vbl-sharded-tight", New: func() Set { return NewVBLShardedRange(4, 0, 12) }},
+		{Name: "lazy-sharded-tight", New: func() Set { return NewLazyShardedRange(4, 0, 12) }},
+		{Name: "harris-sharded-tight", New: func() Set { return NewHarrisShardedRange(4, 0, 12) }},
+	}
+	for _, im := range shardedImpls {
+		im := im
+		t.Run(im.Name, func(t *testing.T) {
+			for trial := 0; trial < 3; trial++ {
+				runLinearizabilityTrial(t, im, int64(trial))
+			}
+		})
+	}
+}
+
 // TestLinearizabilityHighContention narrows the key range to 3 so nearly
 // every operation contends — the regime in which validation bugs (lost
 // updates, phantom members) would surface.

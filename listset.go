@@ -38,6 +38,7 @@ import (
 	"listset/internal/lazy"
 	"listset/internal/optimistic"
 	"listset/internal/seqlist"
+	"listset/internal/shard"
 	"listset/internal/skiplist"
 )
 
@@ -144,3 +145,53 @@ func NewHOH() Set { return hoh.New() }
 // sorted linked list LL. It is NOT safe for concurrent use; it exists as
 // the semantic reference and single-thread baseline.
 func NewSequential() Set { return seqlist.New() }
+
+// DefaultShards is the shard count the convenience sharded
+// constructors use, re-exported from internal/shard for tools.
+const DefaultShards = shard.DefaultShards
+
+// NewVBLSharded returns shards independent VBL lists behind the
+// order-preserving range partitioner of internal/shard: each key is
+// owned by exactly one shard, so traversals walk O(n/S) nodes and
+// contended try-locks spread across S separate head regions, while the
+// Set contract is preserved end to end (Snapshot stays ascending, Len
+// sums, per-shard contention events aggregate into one probe set).
+// The shard count is rounded up to a power of two; the partition
+// splits the default focus range [0, 65536) evenly, with out-of-range
+// keys clamping to the edge shards. Workloads over a different key
+// range should use NewVBLShardedRange so the partition fits their
+// keys.
+func NewVBLSharded(shards int) Set {
+	return shard.New(shards, func() shard.Set { return core.New() })
+}
+
+// NewVBLShardedRange is NewVBLSharded with the focus range [lo, hi)
+// the partitioner splits evenly across shards. Keys outside [lo, hi)
+// remain valid; they route to the first or last shard.
+func NewVBLShardedRange(shards int, lo, hi int64) Set {
+	return shard.NewRange(shards, lo, hi, func() shard.Set { return core.New() })
+}
+
+// NewLazySharded returns the Lazy list behind the same sharded façade,
+// so the partitioner's effect can be priced on the paper's lock-based
+// baseline under identical routing.
+func NewLazySharded(shards int) Set {
+	return shard.New(shards, func() shard.Set { return lazy.New() })
+}
+
+// NewLazyShardedRange is NewLazySharded with an explicit focus range.
+func NewLazyShardedRange(shards int, lo, hi int64) Set {
+	return shard.NewRange(shards, lo, hi, func() shard.Set { return lazy.New() })
+}
+
+// NewHarrisSharded returns the lock-free Harris-Michael marker list
+// behind the sharded façade. The façade adds no locks, so the
+// composition remains lock-free.
+func NewHarrisSharded(shards int) Set {
+	return shard.New(shards, func() shard.Set { return harris.NewMarker() })
+}
+
+// NewHarrisShardedRange is NewHarrisSharded with an explicit focus range.
+func NewHarrisShardedRange(shards int, lo, hi int64) Set {
+	return shard.NewRange(shards, lo, hi, func() shard.Set { return harris.NewMarker() })
+}

@@ -15,6 +15,12 @@ type Impl struct {
 	Aliases []string
 	// New constructs a fresh empty instance.
 	New func() Set
+	// NewSharded, when non-nil, constructs the implementation behind
+	// the order-preserving range partitioner of internal/shard: shards
+	// independent lists splitting the focus range [lo, hi) evenly, with
+	// out-of-range keys clamping to the edge shards. Tools pass the
+	// workload's key range as [lo, hi) so traversals walk O(n/S) nodes.
+	NewSharded func(shards int, lo, hi int64) Set
 	// ThreadSafe reports whether the implementation may be used from
 	// multiple goroutines. Only the sequential reference list is not.
 	ThreadSafe bool
@@ -30,12 +36,14 @@ var impls = []Impl{
 	{
 		Name:       "vbl",
 		New:        NewVBL,
+		NewSharded: NewVBLShardedRange,
 		ThreadSafe: true,
 		Desc:       "VBL — concurrency-optimal value-based list (this paper)",
 	},
 	{
 		Name:       "lazy",
 		New:        NewLazy,
+		NewSharded: NewLazyShardedRange,
 		ThreadSafe: true,
 		Desc:       "Lazy Linked List (Heller et al. 2006)",
 	},
@@ -43,6 +51,7 @@ var impls = []Impl{
 		Name:       "harris",
 		Aliases:    []string{"harris-marker", "harris-rtti"},
 		New:        NewHarrisMarker,
+		NewSharded: NewHarrisShardedRange,
 		ThreadSafe: true,
 		LockFree:   true,
 		Desc:       "Harris-Michael, RTTI-style marker nodes (paper's optimized Java variant)",
@@ -119,6 +128,29 @@ var impls = []Impl{
 		New:        NewVBLMutex,
 		ThreadSafe: true,
 		Desc:       "ablation: VBL with sync.Mutex node locks instead of the CAS try-lock",
+	},
+	{
+		Name:       "vbl-sharded",
+		Aliases:    []string{"sharded"},
+		New:        func() Set { return NewVBLSharded(DefaultShards) },
+		NewSharded: NewVBLShardedRange,
+		ThreadSafe: true,
+		Desc:       "VBL behind the order-preserving range partitioner (O(n/S) traversals)",
+	},
+	{
+		Name:       "lazy-sharded",
+		New:        func() Set { return NewLazySharded(DefaultShards) },
+		NewSharded: NewLazyShardedRange,
+		ThreadSafe: true,
+		Desc:       "Lazy list behind the range partitioner",
+	},
+	{
+		Name:       "harris-sharded",
+		New:        func() Set { return NewHarrisSharded(DefaultShards) },
+		NewSharded: NewHarrisShardedRange,
+		ThreadSafe: true,
+		LockFree:   true,
+		Desc:       "Harris-Michael marker list behind the range partitioner (lock-free preserved)",
 	},
 }
 

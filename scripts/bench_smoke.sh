@@ -1,43 +1,86 @@
 #!/usr/bin/env bash
-# Benchmark smoke test: a ~2-second probe-enabled run over the paper's
-# three protagonists (VBL, Lazy, Harris-Michael), emitting one JSON
-# array of schema-stable reports to BENCH_smoke.json.
+# Benchmark smoke test: short probe-enabled runs over the paper's three
+# protagonists (VBL, Lazy, Harris-Michael) and the sharded VBL façade,
+# emitting one JSON array of schema-stable reports to BENCH_smoke.json.
 #
 # Usage: scripts/bench_smoke.sh [outfile]       (default BENCH_smoke.json)
 #
 # This is a smoke test, not a benchmark: it exists so CI exercises the
 # full observability path (probes, latency sampling, JSON report) end to
 # end and so the report schema breaks loudly, not silently. Numbers from
-# CI machines are noise — see EXPERIMENTS.md for the real protocol.
+# CI machines are noise — see EXPERIMENTS.md for the real protocol. The
+# one exception is the sharding gate at the bottom: the O(n/S)
+# traversal saving is large and machine-independent enough to assert
+# even here (S=16 at ≥3x the flat list on a 10^4-node range, and the
+# S=1 façade within 10% of it).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_smoke.json}"
-impls=(vbl lazy harris)
 
 go build -o /tmp/listset-synchrobench ./cmd/synchrobench
 
-# Wrap the per-impl JSON objects into one array without external tools.
+# Row layout (index: impl/shards @ range) — the gate below indexes into
+# this order, so keep it in sync:
+#   0 vbl          @ 2048
+#   1 lazy         @ 2048
+#   2 harris       @ 2048
+#   3 vbl-sharded 8  @ 2048
+#   4 vbl          @ 20000
+#   5 vbl-sharded 1  @ 20000   (façade overhead: within 10% of row 4)
+#   6 vbl-sharded 16 @ 20000   (O(n/S) payoff: >= 3x row 4)
+rows=(
+  "-impl vbl          -range 2048  -duration 500ms -warmup 100ms -runs 1"
+  "-impl lazy         -range 2048  -duration 500ms -warmup 100ms -runs 1"
+  "-impl harris       -range 2048  -duration 500ms -warmup 100ms -runs 1"
+  "-impl vbl-sharded  -range 2048  -duration 500ms -warmup 100ms -runs 1 -shards 8"
+  "-impl vbl          -range 20000 -duration 900ms -warmup 300ms -runs 3"
+  "-impl vbl-sharded  -range 20000 -duration 900ms -warmup 300ms -runs 3 -shards 1"
+  "-impl vbl-sharded  -range 20000 -duration 900ms -warmup 300ms -runs 3 -shards 16"
+)
+
+# Wrap the per-row JSON objects into one array without external tools.
 {
   printf '[\n'
-  for i in "${!impls[@]}"; do
+  for i in "${!rows[@]}"; do
     [ "$i" -gt 0 ] && printf ',\n'
-    /tmp/listset-synchrobench \
-      -impl "${impls[$i]}" -threads 4 -update-ratio 20 -range 2048 \
-      -duration 500ms -warmup 100ms -runs 1 -json
+    # shellcheck disable=SC2086  # rows are flag lists, word-split on purpose
+    /tmp/listset-synchrobench ${rows[$i]} -threads 4 -update-ratio 20 -json
   done
   printf ']\n'
 } >"$out"
 
-# Minimal schema sanity: every report carries the schema tag and the
-# events section the probes fill in.
-for key in '"schema": "listset/bench/v1"' '"events"' '"latency_ns"'; do
+# Minimal schema sanity: every report carries the schema tag, the shard
+# count, and the events section the probes fill in.
+for key in '"schema": "listset/bench/v1"' '"shards"' '"events"' '"latency_ns"'; do
   n=$(grep -c "$key" "$out") || true
-  if [ "$n" -lt "${#impls[@]}" ]; then
+  if [ "$n" -lt "${#rows[@]}" ]; then
     echo "bench_smoke: expected $key in every report of $out (found $n)" >&2
     exit 1
   fi
 done
 
-echo "bench_smoke: wrote $out (${#impls[@]} reports)"
+# Sharding gate: extract the median throughputs in file order (one
+# "median" per report; the median shrugs off the odd descheduled run
+# on shared CI machines) and check rows 4..6 against each other.
+awk -F': ' '/"median"/ { gsub(/,/, "", $2); m[n++] = $2 }
+END {
+  if (n != '"${#rows[@]}"') {
+    printf "bench_smoke: expected %d mean entries, found %d\n", '"${#rows[@]}"', n > "/dev/stderr"
+    exit 1
+  }
+  flat = m[4]; facade = m[5]; sharded = m[6]
+  if (sharded < 3 * flat) {
+    printf "bench_smoke: vbl-sharded S=16 (%.0f ops/s) is below 3x flat vbl (%.0f ops/s) at range 20000\n", sharded, flat > "/dev/stderr"
+    exit 1
+  }
+  rel = (facade - flat) / flat; if (rel < 0) rel = -rel
+  if (rel > 0.10) {
+    printf "bench_smoke: vbl-sharded S=1 (%.0f ops/s) deviates %.1f%% from flat vbl (%.0f ops/s), want <= 10%%\n", facade, 100 * rel, flat > "/dev/stderr"
+    exit 1
+  }
+  printf "bench_smoke: sharding gate ok — S=16 %.1fx flat, S=1 within %.1f%%\n", sharded / flat, 100 * rel
+}' "$out"
+
+echo "bench_smoke: wrote $out (${#rows[@]} reports)"

@@ -276,6 +276,76 @@ func TestConcurrentRemoversSameKey(t *testing.T) {
 	})
 }
 
+// TestConcurrentShardBoundaryChurn hammers the seams of a tight
+// sharded partition (4 shards over [0, 64), boundaries 16/32/48):
+// writers churn the key pairs straddling each boundary plus keys
+// outside the focus range (which clamp to the edge shards), while
+// readers verify a permanent key in the middle of every shard. A
+// routing bug — boundary key owned by two shards or by none — shows up
+// as a lost permanent key, a failed owned-key reinsert, or a
+// non-ascending snapshot.
+func TestConcurrentShardBoundaryChurn(t *testing.T) {
+	forEachConcurrentImpl(t, func(t *testing.T, im Impl) {
+		if im.NewSharded == nil {
+			t.Skip("no sharded form")
+		}
+		s := im.NewSharded(4, 0, 64)
+		permanent := []int64{8, 24, 40, 56} // one mid-shard key per shard
+		for _, k := range permanent {
+			s.Insert(k)
+		}
+		// Each writer exclusively owns one boundary-straddling or
+		// out-of-range key, so both halves of its churn must succeed.
+		churn := []int64{15, 16, 31, 32, 47, 48, -5, 70}
+		const rounds = 10000
+		var stop atomic.Bool
+		var writerWG, readerWG sync.WaitGroup
+		errs := make(chan string, len(churn)+2)
+		for _, k := range churn {
+			writerWG.Add(1)
+			go func(k int64) {
+				defer writerWG.Done()
+				for i := 0; i < rounds; i++ {
+					if !s.Insert(k) || !s.Remove(k) {
+						errs <- "owned boundary-key churn failed"
+						return
+					}
+				}
+			}(k)
+		}
+		for r := 0; r < 2; r++ {
+			readerWG.Add(1)
+			go func(seed int64) {
+				defer readerWG.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for !stop.Load() {
+					k := permanent[rng.Intn(len(permanent))]
+					if !s.Contains(k) {
+						errs <- "mid-shard permanent key vanished during boundary churn"
+						return
+					}
+				}
+			}(int64(r) + 300)
+		}
+		writerWG.Wait()
+		stop.Store(true)
+		readerWG.Wait()
+		close(errs)
+		for e := range errs {
+			t.Fatal(e)
+		}
+		if got, want := s.Len(), len(permanent); got != want {
+			t.Fatalf("final Len = %d, want %d", got, want)
+		}
+		snap := s.Snapshot()
+		for i := 1; i < len(snap); i++ {
+			if snap[i-1] >= snap[i] {
+				t.Fatalf("Snapshot not strictly ascending across seams: %v", snap)
+			}
+		}
+	})
+}
+
 // TestConcurrentNeighbourUpdates stresses the windows the paper's
 // validation arguments are about: adjacent keys inserted and removed
 // concurrently, so unlinks race with links into the same window.
