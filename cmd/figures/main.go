@@ -6,6 +6,8 @@
 //	-fig rtti     §4 ablation — Harris AMR vs RTTI-style marker variant
 //	-fig sharded  beyond the paper — VBL behind the order-preserving
 //	              range partitioner, shard counts from -shards
+//	-fig chaos    robustness — injected restart-trigger failures at
+//	              increasing probability, bounded-retry ladder armed
 //	-fig all      everything
 //
 // Default durations are scaled down so the full grid finishes in
@@ -26,6 +28,7 @@ import (
 	"time"
 
 	"listset"
+	"listset/internal/failpoint"
 	"listset/internal/harness"
 	"listset/internal/workload"
 )
@@ -79,6 +82,8 @@ func main() {
 		figureSkipList(proto)
 	case "sharded":
 		figureSharded(proto, shardList)
+	case "chaos":
+		figureChaos(proto)
 	case "all":
 		figure1(proto)
 		figure4(proto)
@@ -86,8 +91,9 @@ func main() {
 		figureSurvey(proto)
 		figureSkipList(proto)
 		figureSharded(proto, shardList)
+		figureChaos(proto)
 	default:
-		fmt.Fprintf(os.Stderr, "figures: unknown -fig %q (have: 1, 4, rtti, survey, skiplist, sharded, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "figures: unknown -fig %q (have: 1, 4, rtti, survey, skiplist, sharded, chaos, all)\n", *fig)
 		os.Exit(2)
 	}
 	if proto.reports != nil {
@@ -108,6 +114,11 @@ type protocol struct {
 	threads  []int
 	csv      bool
 	quiet    bool
+	// chaos, retryBudget and watchdog forward to every cell of the
+	// sweeps this protocol drives; figureChaos varies them per sweep.
+	chaos       []failpoint.Scenario
+	retryBudget int
+	watchdog    time.Duration
 	// reports, when non-nil, collects every cell's JSON report instead
 	// of printing tables; main flushes the array once at exit so stdout
 	// stays a single valid JSON document.
@@ -171,7 +182,10 @@ func runAndReport(p protocol, title string, cands []harness.Candidate, wl worklo
 		Seed:       p.seed,
 		// JSON reports carry the events section, so give those sweeps
 		// per-cell probes.
-		Observe: p.reports != nil,
+		Observe:     p.reports != nil,
+		Chaos:       p.chaos,
+		RetryBudget: p.retryBudget,
+		Watchdog:    p.watchdog,
 	}
 	res, err := harness.RunSweep(sweep)
 	if err != nil {
@@ -285,6 +299,40 @@ func shardedCandidate(name string, shards int, keyRange int64) harness.Candidate
 		Name:   fmt.Sprintf("%s-s%d", im.Name, shards),
 		New:    func() harness.Set { return im.NewSharded(shards, 0, keyRange) },
 		Shards: shards,
+	}
+}
+
+// figureChaos prices fault tolerance: the three paper algorithms under
+// injected failures of their own restart triggers — VBL's lockNextAt
+// validation, Lazy's validate, Harris's CAS — at increasing
+// probability, with the bounded-retry ladder armed (budget 4). Each
+// implementation only ever executes its own site, so one scenario list
+// covers all three columns; the p=0 row (no arms) sets the scale and
+// the degradation shape below it shows how each restart discipline
+// absorbs faults. The watchdog guards the sweep against a scenario
+// that tips a cell into livelock.
+func figureChaos(p protocol) {
+	p.header("=== Chaos: injected restart-trigger failure, 20% updates, key range 200 ===")
+	wl := workload.Config{UpdatePercent: 20, Range: 200}
+	cands := candidates("vbl", "lazy", "harris")
+	p.retryBudget = 4
+	p.watchdog = 30 * time.Second
+	for _, prob := range []float64{0, 0.01, 0.1, 0.5} {
+		p.chaos = nil
+		if prob > 0 {
+			for _, site := range []failpoint.Site{
+				failpoint.SiteVBLLockNextAt,
+				failpoint.SiteLazyValidate,
+				failpoint.SiteHarrisCAS,
+			} {
+				p.chaos = append(p.chaos, failpoint.Scenario{
+					Site: site, Action: failpoint.ActFail,
+					Probability: prob, Seed: p.seed,
+				})
+			}
+		}
+		title := fmt.Sprintf("chaos p=%g", prob)
+		runAndReport(p, title, cands, wl, "vbl")
 	}
 }
 

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestDisabledFailpointOverhead is the acceptance gate on the chaos
+// layer's zero-cost claim: with no failpoint set attached (the
+// default), a binary carrying the injection sites must not be
+// meaningfully slower than a site-free build (-tags nofailpoint turns
+// failpoint.On into a constant false, deleting the sites at compile
+// time). Each guard is a nil-check branch on a field already in cache,
+// exactly the obs.On discipline — so any real gap means a site leaked
+// onto a hot path unguarded, which the failpointhygiene analyzer
+// should have caught first.
+//
+// The threshold is deliberately loose (25%) for the same reason as
+// TestDisabledProbeOverhead: CI machines are noisy and this
+// interleaves best-of-N runs of two subprocess binaries. The
+// documented ≤2% figure comes from the quiet-machine protocol in
+// DESIGN.md §9; this test only catches order-of-magnitude regressions.
+func TestDisabledFailpointOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and times subprocess binaries; skipped with -short")
+	}
+	dir := t.TempDir()
+	normal := filepath.Join(dir, "synchrobench")
+	siteFree := filepath.Join(dir, "synchrobench-nofailpoint")
+	build := func(out string, tags ...string) {
+		args := []string{"build", "-o", out}
+		args = append(args, tags...)
+		args = append(args, ".")
+		cmd := exec.Command("go", args...)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go %s: %v\n%s", strings.Join(args, " "), err, b)
+		}
+	}
+	build(normal)
+	build(siteFree, "-tags", "nofailpoint")
+
+	measure := func(bin string) float64 {
+		cmd := exec.Command(bin,
+			"-impl", "vbl", "-threads", "8", "-update-ratio", "20",
+			"-range", "2048", "-duration", "300ms", "-warmup", "100ms",
+			"-runs", "1", "-quiet")
+		out, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("%s: %v", bin, err)
+		}
+		fields := strings.Fields(strings.TrimSpace(string(out)))
+		tput, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("parsing throughput from %q: %v", out, err)
+		}
+		return tput
+	}
+
+	// Interleave the binaries and keep each one's best run, so a
+	// background hiccup hits both sides rather than biasing one.
+	var bestNormal, bestFree float64
+	for i := 0; i < 3; i++ {
+		if v := measure(normal); v > bestNormal {
+			bestNormal = v
+		}
+		if v := measure(siteFree); v > bestFree {
+			bestFree = v
+		}
+	}
+	t.Logf("detached failpoints: %.0f ops/s; site-free build: %.0f ops/s; ratio %.3f",
+		bestNormal, bestFree, bestNormal/bestFree)
+	if bestNormal < 0.75*bestFree {
+		t.Errorf("detached-failpoint build at %.0f ops/s is more than 25%% below the site-free build's %.0f ops/s; a site likely leaked past its On-guard",
+			bestNormal, bestFree)
+	}
+}

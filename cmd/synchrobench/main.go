@@ -17,6 +17,16 @@
 //	-json          emit the full machine-readable report (implies both)
 //	-metricsaddr   serve live expvar counters and pprof over HTTP
 //
+// Chaos (fault injection; see internal/failpoint):
+//
+//	-chaos         arm failpoint scenarios, comma-separated
+//	               site:action[:probability][:delay] specs or the
+//	               keyword "shipped" for the standard suite
+//	-retry-budget  bound failed-validation retries: past K restarts an
+//	               op escalates (head-restart, then backoff)
+//	-watchdog      fail the run with a goroutine dump when any worker
+//	               makes no progress for this long
+//
 // Sharding: -shards N (or -impl vbl-sharded) routes keys through the
 // order-preserving range partitioner of internal/shard, so each of N
 // independent lists owns range/N keys and traversals walk O(n/N) nodes.
@@ -36,6 +46,7 @@ import (
 	"time"
 
 	"listset"
+	"listset/internal/failpoint"
 	"listset/internal/harness"
 	"listset/internal/obs"
 	"listset/internal/stats"
@@ -62,6 +73,9 @@ func main() {
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the measured runs to this file")
 		mutexprof   = flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
 		blockprof   = flag.String("blockprofile", "", "write a blocking profile to this file")
+		chaosSpec   = flag.String("chaos", "", "failpoint scenarios: comma-separated site:action[:prob][:delay], or \"shipped\"")
+		retryBudget = flag.Int("retry-budget", 0, "failed-validation retry budget K before escalation (0 = unbounded)")
+		watchdog    = flag.Duration("watchdog", 0, "liveness deadline: fail the run if a worker stalls this long (0 = off)")
 	)
 	flag.Parse()
 
@@ -135,6 +149,19 @@ func main() {
 		Runs:               *runs,
 		Seed:               *seed,
 		LatencySampleEvery: *sampleEvery,
+		RetryBudget:        *retryBudget,
+		Watchdog:           *watchdog,
+	}
+	if *chaosSpec != "" {
+		scs, err := failpoint.ParseScenarios(*chaosSpec, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "synchrobench:", err)
+			os.Exit(2)
+		}
+		cfg.Chaos = scs
+		if !failpoint.Compiled {
+			fmt.Fprintln(os.Stderr, "synchrobench: warning: built with -tags nofailpoint; -chaos scenarios will never fire")
+		}
 	}
 	if *probesOn {
 		cfg.Probes = obs.NewProbes()
@@ -203,6 +230,16 @@ func printHuman(name string, cfg harness.Config, res harness.Result) {
 	}
 	fmt.Printf("workload      %s\n", cfg.Workload)
 	fmt.Printf("protocol      %v measured after %v warm-up, %d runs\n", cfg.Duration, cfg.Warmup, cfg.Runs)
+	if len(cfg.Chaos) > 0 {
+		specs := make([]string, len(cfg.Chaos))
+		for i, sc := range cfg.Chaos {
+			specs[i] = sc.String()
+		}
+		fmt.Printf("chaos         %s\n", strings.Join(specs, ", "))
+	}
+	if cfg.RetryBudget > 0 || cfg.Watchdog > 0 {
+		fmt.Printf("robustness    retry budget %d, watchdog %v\n", cfg.RetryBudget, cfg.Watchdog)
+	}
 	fmt.Printf("initial size  %d\n", res.InitialSize)
 	fmt.Printf("throughput    %s ops/sec (mean), %s (median), ±%.1f%% rel. stddev\n",
 		stats.HumanCount(res.Summary.Mean), stats.HumanCount(res.Summary.Median), 100*res.Summary.RelStdDev())
@@ -221,6 +258,11 @@ func printHuman(name string, cfg harness.Config, res harness.Result) {
 			first = false
 		}
 		fmt.Println()
+	}
+	if res.HasRetry && res.Retry.Ops > 0 {
+		r := res.Retry
+		fmt.Printf("retry         %d ops retried: %d restarts, %d escalated to head, %d backed off, worst op %d restarts\n",
+			r.Ops, r.Restarts, r.EscalatedHead, r.EscalatedBackoff, r.MaxRestarts)
 	}
 	if res.Latency != nil {
 		for op := obs.OpKind(0); op < obs.NumOps; op++ {

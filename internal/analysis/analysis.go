@@ -14,7 +14,9 @@
 //   - benchhygiene: benchmarks call b.ReportAllocs and b.ResetTimer
 //     after setup (see benchhygiene.go);
 //   - obshygiene: observability probe calls inside traversal loops sit
-//     behind the obs.On enabled-guard (see obshygiene.go).
+//     behind the obs.On enabled-guard (see obshygiene.go);
+//   - failpointhygiene: chaos injection sites sit behind the
+//     failpoint.On enabled-guard everywhere (see failpointhygiene.go).
 //
 // The engine deliberately uses only go/ast, go/parser, go/types and
 // go/importer (plus `go list` for package metadata): the build
@@ -88,7 +90,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns the full suite in a fixed order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{LockSafe, CopyLock, ValImmutable, BenchHygiene, ObsHygiene}
+	return []*Analyzer{LockSafe, CopyLock, ValImmutable, BenchHygiene, ObsHygiene, FailpointHygiene}
 }
 
 // Run applies every analyzer to every package, filters suppressed

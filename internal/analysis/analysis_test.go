@@ -75,6 +75,7 @@ func TestAnalyzers(t *testing.T) {
 		{"testdata/src/valimmutable", ValImmutable},
 		{"testdata/src/benchhygiene", BenchHygiene},
 		{"testdata/src/obshygiene", ObsHygiene},
+		{"testdata/src/failpointhygiene", FailpointHygiene},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {

@@ -1,0 +1,116 @@
+// The failpointhygiene analyzer: failpoint sites must sit behind the
+// enabled-guard — everywhere, not just in loops.
+//
+// The chaos layer (internal/failpoint) makes the same zero-cost
+// promise as internal/obs: a detached failpoint set is one predictable
+// nil-check branch, and the nofailpoint build tag compiles the sites
+// away outright. Both properties rest on every call to Set.Do or
+// Set.Fail in algorithm code sitting behind the guard idiom
+//
+//	if fp := s.fps; failpoint.On(fp) {
+//		if fp.Fail(failpoint.SiteVBLLockNextAt, v) { ... }
+//	}
+//
+// An unguarded site call dereferences a possibly-nil pointer and
+// survives the site-free build. Unlike probes (where only loops are
+// hot enough to police), every failpoint site marks a paper-relevant
+// decision point, so the analyzer flags unguarded Do/Fail calls
+// anywhere in non-test code outside the failpoint package itself.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// failpointPkgSuffix matches the module's fault-injection package
+// whether the import path is "listset/internal/failpoint" or a
+// testdata variant.
+const failpointPkgSuffix = "internal/failpoint"
+
+// FailpointHygiene is the failpoint-guard hygiene analyzer.
+var FailpointHygiene = &Analyzer{
+	Name: "failpointhygiene",
+	Doc:  "failpoint site calls (Set.Do, Set.Fail) sit behind the failpoint.On enabled-guard",
+	Run:  runFailpointHygiene,
+}
+
+func runFailpointHygiene(pass *Pass) {
+	if strings.HasSuffix(pass.ImportPath, failpointPkgSuffix) {
+		return // the failpoint package exercises its own sites unguarded by design
+	}
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue // tests drive sites directly (pause handles, forced hits)
+		}
+		// Walk with an explicit ancestor stack: ast.Inspect signals a
+		// pop with a nil node.
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if call, ok := n.(*ast.CallExpr); ok {
+				if method, isSite := failpointSiteCall(pass, call); isSite {
+					checkFailpointCall(pass, stack, call, method)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// failpointSiteCall reports whether call is failpoint Set.Do or
+// Set.Fail and returns the method name.
+func failpointSiteCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	method := sel.Sel.Name
+	if method != "Do" && method != "Fail" {
+		return "", false
+	}
+	selection := pass.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return "", false
+	}
+	named := namedPkgType(selection.Recv(), failpointPkgSuffix)
+	if named == nil || named.Obj().Name() != "Set" {
+		return "", false
+	}
+	return method, true
+}
+
+// checkFailpointCall walks the ancestor stack of one site call
+// (innermost last) and reports it unless an enabled-guard sits between
+// the call and its enclosing function. A guard outside a closure does
+// not dominate a call inside it — the closure may escape the guard.
+// Two guard positions are recognized: the branch forms of
+// guardEnablesPkg, and the short-circuit form the Lazy list uses,
+// where the site call sits to the right of failpoint.On in an &&
+// chain (`failpoint.On(fp) && ok && fp.Fail(...)`).
+func checkFailpointCall(pass *Pass, stack []ast.Node, call *ast.CallExpr, method string) {
+	for i := len(stack) - 2; i >= 0; i-- {
+		child := stack[i+1]
+		switch nn := stack[i].(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			pass.Reportf(call.Pos(), "%s call without the failpoint.On enabled-guard (see internal/failpoint)", method)
+			return
+		case *ast.BinaryExpr:
+			if nn.Op == token.LAND && child == nn.Y && condHasOnCall(pass, nn.X, failpointPkgSuffix) {
+				return // short-circuit: On must have returned true first
+			}
+		case *ast.IfStmt:
+			if guardEnablesPkg(pass, nn, child, failpointPkgSuffix) {
+				return // the enabled-guard dominates the call
+			}
+		}
+	}
+	pass.Reportf(call.Pos(), "%s call without the failpoint.On enabled-guard (see internal/failpoint)", method)
+}

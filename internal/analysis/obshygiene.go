@@ -103,6 +103,12 @@ func probeCall(pass *Pass, call *ast.CallExpr) (string, bool) {
 // namedObsType unwraps t (through one pointer) to a named type of the
 // obs package, or nil.
 func namedObsType(t types.Type) *types.Named {
+	return namedPkgType(t, obsPkgSuffix)
+}
+
+// namedPkgType unwraps t (through one pointer) to a named type of the
+// package whose import path ends in pkgSuffix, or nil.
+func namedPkgType(t types.Type, pkgSuffix string) *types.Named {
 	if ptr, ok := t.(*types.Pointer); ok {
 		t = ptr.Elem()
 	}
@@ -111,7 +117,7 @@ func namedObsType(t types.Type) *types.Named {
 		return nil
 	}
 	obj := named.Obj()
-	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), obsPkgSuffix) {
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), pkgSuffix) {
 		return nil
 	}
 	return named
@@ -152,18 +158,25 @@ func checkProbeCall(pass *Pass, stack []ast.Node, call *ast.CallExpr, method str
 // `obs.On(...)` or `x != nil`, or the else-branch of `x == nil`, with
 // x of an obs pointer type.
 func guardEnables(pass *Pass, ifStmt *ast.IfStmt, child ast.Node) bool {
+	return guardEnablesPkg(pass, ifStmt, child, obsPkgSuffix)
+}
+
+// guardEnablesPkg is guardEnables generalized over the guarded
+// package: both internal/obs and internal/failpoint share the On-guard
+// idiom, differing only in which package's On and pointer types count.
+func guardEnablesPkg(pass *Pass, ifStmt *ast.IfStmt, child ast.Node, pkgSuffix string) bool {
 	switch child {
 	case ifStmt.Body:
-		return condHasOnCall(pass, ifStmt.Cond) || nilCheckOnObs(pass, ifStmt.Cond, token.NEQ)
+		return condHasOnCall(pass, ifStmt.Cond, pkgSuffix) || nilCheckOnPkgPtr(pass, ifStmt.Cond, token.NEQ, pkgSuffix)
 	case ifStmt.Else:
-		return nilCheckOnObs(pass, ifStmt.Cond, token.EQL)
+		return nilCheckOnPkgPtr(pass, ifStmt.Cond, token.EQL, pkgSuffix)
 	}
 	return false
 }
 
-// condHasOnCall reports whether cond contains a call to the obs
+// condHasOnCall reports whether cond contains a call to the named
 // package's On guard.
-func condHasOnCall(pass *Pass, cond ast.Expr) bool {
+func condHasOnCall(pass *Pass, cond ast.Expr, pkgSuffix string) bool {
 	found := false
 	ast.Inspect(cond, func(n ast.Node) bool {
 		if found {
@@ -184,7 +197,7 @@ func condHasOnCall(pass *Pass, cond ast.Expr) bool {
 			return true
 		}
 		pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
-		if ok && strings.HasSuffix(pkgName.Imported().Path(), obsPkgSuffix) {
+		if ok && strings.HasSuffix(pkgName.Imported().Path(), pkgSuffix) {
 			found = true
 			return false
 		}
@@ -193,9 +206,10 @@ func condHasOnCall(pass *Pass, cond ast.Expr) bool {
 	return found
 }
 
-// nilCheckOnObs reports whether cond is `x <op> nil` (either operand
-// order) with x of a pointer-to-obs type.
-func nilCheckOnObs(pass *Pass, cond ast.Expr, op token.Token) bool {
+// nilCheckOnPkgPtr reports whether cond is `x <op> nil` (either
+// operand order) with x a pointer to a named type of the package whose
+// import path ends in pkgSuffix.
+func nilCheckOnPkgPtr(pass *Pass, cond ast.Expr, op token.Token, pkgSuffix string) bool {
 	be, ok := cond.(*ast.BinaryExpr)
 	if !ok || be.Op != op {
 		return false
@@ -220,5 +234,5 @@ func nilCheckOnObs(pass *Pass, cond ast.Expr, op token.Token) bool {
 	if _, ok := t.(*types.Pointer); !ok {
 		return false
 	}
-	return namedObsType(t) != nil
+	return namedPkgType(t, pkgSuffix) != nil
 }

@@ -1,0 +1,111 @@
+// Seeded-bad corpus for the failpointhygiene analyzer. Every "// want"
+// marker is asserted by TestAnalyzers to be reported at exactly that
+// line — and nothing else in the file may be reported.
+package failpointhygiene
+
+import (
+	"listset/internal/failpoint"
+)
+
+type node struct {
+	val  int64
+	next *node
+}
+
+type set struct {
+	head *node
+	fps  *failpoint.Set
+}
+
+// unguardedFail is the bug class: a site consulted with no
+// enabled-guard — nil panic when failpoints are detached, and the call
+// survives the nofailpoint build.
+func unguardedFail(s *set, v int64) bool {
+	return s.fps.Fail(failpoint.SiteVBLLockNextAt, v) // want "without the failpoint.On enabled-guard"
+}
+
+// unguardedDoInLoop: loops are no excuse either.
+func unguardedDoInLoop(s *set, v int64) {
+	for n := s.head; n != nil; n = n.next {
+		s.fps.Do(failpoint.SiteVBLTraverse, v) // want "without the failpoint.On enabled-guard"
+	}
+}
+
+// guardOnWrongBranch: the enabled path must be the then-branch of a
+// != nil check; hitting the site when the pointer is nil is still a
+// bug.
+func guardOnWrongBranch(s *set, v int64) {
+	if s.fps != nil {
+		_ = v
+	} else {
+		s.fps.Do(failpoint.SiteUnlink, v) // want "without the failpoint.On enabled-guard"
+	}
+}
+
+// closureEscapesGuard: a guard outside the closure does not dominate
+// the call inside it.
+func closureEscapesGuard(s *set, v int64) func() {
+	var f func()
+	if fp := s.fps; failpoint.On(fp) {
+		f = func() {
+			fp.Do(failpoint.SiteShardRoute, v) // want "without the failpoint.On enabled-guard"
+		}
+	}
+	return f
+}
+
+// ---- true negatives: nothing below may be reported ----
+
+// canonicalGuard is the idiom the algorithms use.
+func canonicalGuard(s *set, v int64) bool {
+	injected := false
+	if fp := s.fps; failpoint.On(fp) {
+		injected = fp.Fail(failpoint.SiteVBLLockNextAtValue, v)
+	}
+	return injected
+}
+
+// nilCheckGuard is the plain-comparison form of the guard.
+func nilCheckGuard(fp *failpoint.Set, v int64) {
+	if fp != nil {
+		fp.Do(failpoint.SiteTryLockAcquire, v)
+	}
+}
+
+// invertedNilCheckGuard routes the enabled path into the else branch.
+func invertedNilCheckGuard(fp *failpoint.Set, v int64) {
+	if fp == nil {
+		_ = v
+	} else {
+		fp.Do(failpoint.SiteLazyValidate, v)
+	}
+}
+
+// shortCircuitGuard is the Lazy list's form: the site call evaluates
+// only after failpoint.On returned true earlier in the && chain.
+func shortCircuitGuard(s *set, v int64, ok bool) bool {
+	if fp := s.fps; failpoint.On(fp) && ok && fp.Fail(failpoint.SiteLazyValidate, v) {
+		ok = false
+	}
+	return ok
+}
+
+// guardDominatesLoop: one guard outside the loop covers every hit.
+func guardDominatesLoop(s *set, v int64) {
+	if fp := s.fps; failpoint.On(fp) {
+		for n := s.head; n != nil; n = n.next {
+			fp.Do(failpoint.SiteHarrisCAS, v)
+		}
+	}
+}
+
+// otherDoFail: Do/Fail methods on unrelated types are not sites.
+type other struct{}
+
+func (other) Do(failpoint.Site, int64)        {}
+func (other) Fail(failpoint.Site, int64) bool { return false }
+
+func unrelatedMethods(o other, v int64) {
+	o.Do(failpoint.SiteUnlink, v)
+	_ = o.Fail(failpoint.SiteUnlink, v)
+}

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"unsafe"
 
+	"listset/internal/failpoint"
 	"listset/internal/obs"
 	"listset/internal/trylock"
 )
@@ -172,12 +173,32 @@ type VBL struct {
 
 	// probes, when non-nil, receives contention events (internal/obs).
 	probes *obs.Probes
+	// fps, when non-nil, arms the chaos failpoints (internal/failpoint).
+	fps *failpoint.Set
+
+	// budget is the failed-validation retry budget K (0 = the paper's
+	// unbounded retries); retry aggregates what the escalators saw.
+	budget int
+	retry  obs.RetryCounter
 }
 
 // SetProbes attaches (or with nil detaches) the contention-event
 // counters. Call it before sharing the set between goroutines: the
 // field is read without synchronization by every operation.
 func (s *VBL) SetProbes(p *obs.Probes) { s.probes = p }
+
+// SetFailpoints attaches (or with nil detaches) the fault-injection
+// layer. Call it before sharing the set between goroutines.
+func (s *VBL) SetFailpoints(fp *failpoint.Set) { s.fps = fp }
+
+// SetRetryBudget sets the failed-validation retry budget K: after K
+// restarts an update escalates from the prev-restart to head-restarts,
+// and after 2K it also backs off between attempts. 0 restores the
+// paper's unbounded retry loop. Call before sharing the set.
+func (s *VBL) SetRetryBudget(k int) { s.budget = k }
+
+// RetryStats reports the aggregated restart/escalation tallies.
+func (s *VBL) RetryStats() obs.RetryStats { return s.retry.Stats() }
 
 // New returns an empty VBL set.
 func New() *VBL {
@@ -229,7 +250,11 @@ func (s *VBL) Contains(v int64) bool {
 // (Algorithm 2, lines 22-32).
 func (s *VBL) Insert(v int64) bool {
 	prev := s.head
+	esc := obs.Escalator{Budget: s.budget, HeadNative: s.headRestart}
 	for {
+		if fp := s.fps; failpoint.On(fp) {
+			fp.Do(failpoint.SiteVBLTraverse, v)
+		}
 		var curr *node
 		prev, curr = s.traverse(v, prev)
 		if curr.val == v {
@@ -237,55 +262,74 @@ func (s *VBL) Insert(v int64) bool {
 			// (The Lazy list would have locked prev first — this early
 			// return is exactly the schedule of Figure 2 that Lazy
 			// rejects and VBL accepts.)
+			esc.Done(&s.retry)
 			return false
 		}
 		n := &node{val: v}
 		n.next.Store(curr)
-		if !prev.lockNextAt(curr, !s.noPreValidate, s.probes) {
-			if s.headRestart {
-				prev = s.head
-			}
-			s.countRestart(v)
+		injected := false
+		if fp := s.fps; failpoint.On(fp) {
+			injected = fp.Fail(failpoint.SiteVBLLockNextAt, v)
+		}
+		if injected || !prev.lockNextAt(curr, !s.noPreValidate, s.probes) {
+			prev = s.restart(prev, &esc, v)
 			continue // revalidate from prev (traverse handles deleted prev)
 		}
 		prev.next.Store(n)
 		prev.lock.Unlock()
+		esc.Done(&s.retry)
 		return true
 	}
 }
 
-// countRestart records one failed-validation traversal restart, split
-// by where the retry resumes (the paper's locality optimization is
-// exactly the prev-vs-head distinction).
-func (s *VBL) countRestart(v int64) {
+// restart applies the restart policy after a failed validation — the
+// paper's prev-restart, the ablation's head-restart, or the escalation
+// ladder's forced head-restart once the retry budget is spent — and
+// records the restart, split by where the retry resumes (the paper's
+// locality optimization is exactly the prev-vs-head distinction).
+func (s *VBL) restart(prev *node, esc *obs.Escalator, v int64) *node {
+	head := esc.Failed(s.probes, v)
+	if s.headRestart {
+		head = true
+	}
 	if p := s.probes; obs.On(p) {
-		if s.headRestart {
+		if head {
 			p.Inc(obs.EvRestartHead, v)
 		} else {
 			p.Inc(obs.EvRestartPrev, v)
 		}
 	}
+	if head {
+		return s.head
+	}
+	return prev
 }
 
 // Remove deletes v from the set and reports whether v was present
 // (Algorithm 2, lines 33-48).
 func (s *VBL) Remove(v int64) bool {
 	prev := s.head
+	esc := obs.Escalator{Budget: s.budget, HeadNative: s.headRestart}
 	for {
+		if fp := s.fps; failpoint.On(fp) {
+			fp.Do(failpoint.SiteVBLTraverse, v)
+		}
 		var curr *node
 		prev, curr = s.traverse(v, prev)
 		if curr.val != v {
+			esc.Done(&s.retry)
 			return false
 		}
 		next := curr.next.Load()
 		// Lock prev validating BY VALUE: any node holding v will do,
 		// even if the one we saw during traversal was removed and a new
 		// one inserted meanwhile.
-		if !prev.lockNextAtValue(v, !s.noPreValidate, s.probes) {
-			if s.headRestart {
-				prev = s.head
-			}
-			s.countRestart(v)
+		injected := false
+		if fp := s.fps; failpoint.On(fp) {
+			injected = fp.Fail(failpoint.SiteVBLLockNextAtValue, v)
+		}
+		if injected || !prev.lockNextAtValue(v, !s.noPreValidate, s.probes) {
+			prev = s.restart(prev, &esc, v)
 			continue
 		}
 		// Re-read the successor under prev's lock (Algorithm 2, line 40):
@@ -297,13 +341,20 @@ func (s *VBL) Remove(v int64) bool {
 		// Lock curr validating that its successor is still the next read
 		// at line 38, so the unlink below cannot lose a concurrent
 		// insert after curr (line 41).
-		if !curr.lockNextAt(next, !s.noPreValidate, s.probes) {
+		injected = false
+		if fp := s.fps; failpoint.On(fp) {
+			injected = fp.Fail(failpoint.SiteVBLLockNextAt, v)
+		}
+		if injected || !curr.lockNextAt(next, !s.noPreValidate, s.probes) {
 			prev.lock.Unlock()
-			if s.headRestart {
-				prev = s.head
-			}
-			s.countRestart(v)
+			prev = s.restart(prev, &esc, v)
 			continue
+		}
+		// The unlink itself runs under both locks and must not be skipped
+		// — a missing unlink would leave a marked node reachable — so the
+		// site is Do-only: delays and pauses, never forced failure.
+		if fp := s.fps; failpoint.On(fp) {
+			fp.Do(failpoint.SiteUnlink, v)
 		}
 		curr.deleted.Store(true) // logical deletion
 		prev.next.Store(next)    // physical unlink
@@ -313,6 +364,7 @@ func (s *VBL) Remove(v int64) bool {
 			p.Inc(obs.EvLogicalDelete, v)
 			p.Inc(obs.EvPhysicalUnlink, v)
 		}
+		esc.Done(&s.retry)
 		return true
 	}
 }

@@ -1,0 +1,11 @@
+//go:build nofailpoint
+
+package failpoint
+
+// Compiled reports whether failpoint sites are compiled into this
+// binary.
+const Compiled = false
+
+// On is constant false in the injection-free build: every guarded
+// failpoint site is dead code and the compiler deletes it.
+func On(*Set) bool { return false }

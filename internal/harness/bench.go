@@ -19,8 +19,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"listset/internal/failpoint"
 	"listset/internal/obs"
 	"listset/internal/stats"
+	"listset/internal/trylock"
 	"listset/internal/workload"
 )
 
@@ -69,6 +71,21 @@ type Config struct {
 	// histogram shards, merged into Result.Latency. 0 disables
 	// sampling, which is the zero-overhead default.
 	LatencySampleEvery int
+	// Chaos, when non-empty, arms these failpoint scenarios on each
+	// run's freshly constructed set (via failpoint.Attach, plus
+	// trylock.SetChaos when a scenario targets SiteTryLockAcquire).
+	// Arming happens AFTER pre-population, so a hostile scenario can
+	// never livelock the setup phase it was not meant to test.
+	Chaos []failpoint.Scenario
+	// RetryBudget, when positive, is forwarded to implementations with
+	// a bounded-retry ladder (obs.RetryBudgeted); Result.Retry reports
+	// what the ladder saw over the set's whole lifetime (population and
+	// warm-up included — restarts there are still restarts).
+	RetryBudget int
+	// Watchdog, when positive, enables the liveness watchdog: a run in
+	// which any worker makes no progress for this long fails with a
+	// goroutine dump (see watchdog.go). 0 disables it.
+	Watchdog time.Duration
 }
 
 // Validate reports whether the configuration is well-formed.
@@ -87,6 +104,17 @@ func (c Config) Validate() error {
 	}
 	if c.Runs <= 0 {
 		return fmt.Errorf("harness: Runs = %d, must be positive", c.Runs)
+	}
+	if c.RetryBudget < 0 {
+		return fmt.Errorf("harness: RetryBudget = %d, must be non-negative", c.RetryBudget)
+	}
+	if c.Watchdog < 0 {
+		return fmt.Errorf("harness: Watchdog = %v, must be non-negative", c.Watchdog)
+	}
+	for _, sc := range c.Chaos {
+		if err := sc.Validate(); err != nil {
+			return err
+		}
 	}
 	return c.Workload.Validate()
 }
@@ -144,6 +172,12 @@ type Result struct {
 	// Latency holds the sampled per-operation-kind latency histograms;
 	// nil unless Config.LatencySampleEvery was positive.
 	Latency *obs.Recorder
+	// Retry aggregates the restart/escalation tallies over all runs;
+	// meaningful only when HasRetry is true.
+	Retry obs.RetryStats
+	// HasRetry reports whether the implementation exposes a retry
+	// ladder (obs.RetryBudgeted).
+	HasRetry bool
 }
 
 // Run executes the full protocol for cfg: Runs × (populate fresh set,
@@ -157,23 +191,9 @@ func Run(cfg Config) (Result, error) {
 		res.Latency = obs.NewRecorder()
 	}
 	for r := 0; r < cfg.Runs; r++ {
-		set := cfg.New()
-		if cfg.Probes != nil {
-			obs.Attach(set, cfg.Probes)
-		}
-		res.InitialSize = workload.Prepopulate(cfg.Workload, cfg.Seed+int64(r), set.Insert)
-		if cfg.Warmup > 0 {
-			_, _ = drive(set, cfg, cfg.Warmup, uint64(cfg.Seed)+uint64(r)*1000, nil)
-		}
-		// Bracket the measured interval with counter snapshots so that
-		// warm-up and population events are excluded from the report.
-		var before obs.Snapshot
-		if cfg.Probes != nil {
-			before = cfg.Probes.Snapshot()
-		}
-		counts, elapsed := drive(set, cfg, cfg.Duration, uint64(cfg.Seed)+uint64(r)*1000+500, res.Latency)
-		if cfg.Probes != nil {
-			res.Events = res.Events.Add(cfg.Probes.Snapshot().Sub(before))
+		counts, elapsed, err := runOnce(cfg, r, &res)
+		if err != nil {
+			return res, err
 		}
 		tput := float64(counts.Total()) / elapsed.Seconds()
 		res.Throughputs = append(res.Throughputs, tput)
@@ -181,6 +201,67 @@ func Run(cfg Config) (Result, error) {
 	}
 	res.Summary = stats.Summarize(res.Throughputs)
 	return res, nil
+}
+
+// runOnce executes one (populate, warm up, measure) cycle of the
+// protocol, folding probe/retry tallies into res as it goes.
+func runOnce(cfg Config, r int, res *Result) (Counts, time.Duration, error) {
+	set := cfg.New()
+	if cfg.Probes != nil {
+		obs.Attach(set, cfg.Probes)
+	}
+	var fps *failpoint.Set
+	if len(cfg.Chaos) > 0 {
+		fps = failpoint.NewSet()
+		failpoint.Attach(set, fps)
+		if chaosTargets(cfg.Chaos, failpoint.SiteTryLockAcquire) {
+			// The try-lock hook is process-wide (the lock is one word,
+			// with no room for a pointer); scope it to this run.
+			trylock.SetChaos(fps)
+			defer trylock.SetChaos(nil)
+		}
+	}
+	if cfg.RetryBudget > 0 {
+		obs.AttachRetryBudget(set, cfg.RetryBudget)
+	}
+	if rb, ok := set.(obs.RetryBudgeted); ok {
+		res.HasRetry = true
+		defer func() { res.Retry = res.Retry.Add(rb.RetryStats()) }()
+	}
+	res.InitialSize = workload.Prepopulate(cfg.Workload, cfg.Seed+int64(r), set.Insert)
+	// Arm only now, after population, so the setup phase is never the
+	// victim of the faults the measured phase is meant to absorb.
+	if fps != nil {
+		if err := fps.ArmAll(cfg.Chaos); err != nil {
+			return Counts{}, 0, err
+		}
+	}
+	if cfg.Warmup > 0 {
+		if _, _, err := drive(set, cfg, cfg.Warmup, uint64(cfg.Seed)+uint64(r)*1000, nil, fps); err != nil {
+			return Counts{}, 0, err
+		}
+	}
+	// Bracket the measured interval with counter snapshots so that
+	// warm-up and population events are excluded from the report.
+	var before obs.Snapshot
+	if cfg.Probes != nil {
+		before = cfg.Probes.Snapshot()
+	}
+	counts, elapsed, err := drive(set, cfg, cfg.Duration, uint64(cfg.Seed)+uint64(r)*1000+500, res.Latency, fps)
+	if cfg.Probes != nil {
+		res.Events = res.Events.Add(cfg.Probes.Snapshot().Sub(before))
+	}
+	return counts, elapsed, err
+}
+
+// chaosTargets reports whether any scenario arms the given site.
+func chaosTargets(scs []failpoint.Scenario, site failpoint.Site) bool {
+	for _, sc := range scs {
+		if sc.Site == site {
+			return true
+		}
+	}
+	return false
 }
 
 // applyOp applies one generated operation to set and tallies the result.
@@ -237,14 +318,24 @@ func sampleMask(every int) uint64 {
 // (N = cfg.LatencySampleEvery rounded up to a power of two) into a
 // private obs.Recorder shard; shards are merged into rec after the
 // workers drain, so the hot path never shares histogram cache lines.
-func drive(set Set, cfg Config, d time.Duration, seedBase uint64, rec *obs.Recorder) (Counts, time.Duration) {
+//
+// When cfg.Watchdog is positive, every worker bumps a padded beat
+// counter once per operation batch and a liveness watchdog samples
+// them; a worker stalled past the deadline fails the interval with a
+// goroutine dump, after disarming fps (may be nil) so the stalled
+// workers can drain.
+func drive(set Set, cfg Config, d time.Duration, seedBase uint64, rec *obs.Recorder, fps *failpoint.Set) (Counts, time.Duration, error) {
 	var (
 		stop  atomic.Bool
 		start = make(chan struct{})
 		wg    sync.WaitGroup
 		mu    sync.Mutex
 		total Counts
+		beats []beat
 	)
+	if cfg.Watchdog > 0 {
+		beats = make([]beat, cfg.Threads)
+	}
 	labels := pprof.Labels(
 		"impl", cfg.Name,
 		"workload", cfg.Workload.String(),
@@ -268,6 +359,10 @@ func drive(set Set, cfg Config, d time.Duration, seedBase uint64, rec *obs.Recor
 					shard = obs.NewRecorder()
 					mask = sampleMask(cfg.LatencySampleEvery)
 				}
+				var myBeat *beat
+				if beats != nil {
+					myBeat = &beats[id]
+				}
 				<-start
 				if shard == nil {
 					for !stop.Load() {
@@ -276,6 +371,9 @@ func drive(set Set, cfg Config, d time.Duration, seedBase uint64, rec *obs.Recor
 						for i := 0; i < 32; i++ {
 							op, k := gen.Next()
 							applyOp(set, op, k, &local)
+						}
+						if myBeat != nil {
+							myBeat.n.Add(1)
 						}
 					}
 				} else {
@@ -291,6 +389,9 @@ func drive(set Set, cfg Config, d time.Duration, seedBase uint64, rec *obs.Recor
 							}
 							n++
 						}
+						if myBeat != nil {
+							myBeat.n.Add(1)
+						}
 					}
 				}
 				mu.Lock()
@@ -302,11 +403,24 @@ func drive(set Set, cfg Config, d time.Duration, seedBase uint64, rec *obs.Recor
 			})
 		}(t)
 	}
+	var wd *watchdog
+	if beats != nil {
+		wd = newWatchdog(beats, cfg.Watchdog, func() {
+			stop.Store(true)
+			if fps != nil {
+				fps.DisarmAll()
+			}
+		})
+	}
 	begin := time.Now()
 	close(start)
 	time.Sleep(d)
 	stop.Store(true)
 	wg.Wait()
 	elapsed := time.Since(begin)
-	return total, elapsed
+	var err error
+	if wd != nil {
+		err = wd.stop()
+	}
+	return total, elapsed, err
 }

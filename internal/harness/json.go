@@ -36,6 +36,10 @@ type JSONReport struct {
 	// LatencyNS maps op kind (contains/insert/remove) to sampled
 	// percentiles in nanoseconds; nil when sampling was off.
 	LatencyNS map[string]JSONLatency `json:"latency_ns,omitempty"`
+	// Retry is the bounded-retry ladder's aggregate over the set's
+	// lifetime; nil when the implementation has no retry ladder. A new
+	// optional field, so the schema string is unchanged.
+	Retry *JSONRetry `json:"retry,omitempty"`
 }
 
 // JSONWorkload mirrors workload.Config.
@@ -52,6 +56,23 @@ type JSONProtocol struct {
 	Seed        int64   `json:"seed"`
 	// SampleEvery is the latency sampling period (0 = off).
 	SampleEvery int `json:"sample_every"`
+	// Chaos lists the armed failpoint scenarios in their flag syntax
+	// (site:action[:probability][:delay]); empty when the run was
+	// fault-free. New optional fields: schema string unchanged.
+	Chaos []string `json:"chaos,omitempty"`
+	// RetryBudget is the bounded-retry budget K (0 = unbounded).
+	RetryBudget int `json:"retry_budget,omitempty"`
+	// WatchdogSec is the liveness watchdog deadline (0 = off).
+	WatchdogSec float64 `json:"watchdog_s,omitempty"`
+}
+
+// JSONRetry mirrors obs.RetryStats.
+type JSONRetry struct {
+	Ops              uint64 `json:"ops"`
+	Restarts         uint64 `json:"restarts"`
+	EscalatedHead    uint64 `json:"escalated_head"`
+	EscalatedBackoff uint64 `json:"escalated_backoff"`
+	MaxRestarts      uint64 `json:"max_restarts"`
 }
 
 // JSONThroughput summarizes per-run throughputs in ops/sec.
@@ -103,6 +124,8 @@ func Report(res Result) JSONReport {
 			Runs:        cfg.Runs,
 			Seed:        cfg.Seed,
 			SampleEvery: cfg.LatencySampleEvery,
+			RetryBudget: cfg.RetryBudget,
+			WatchdogSec: cfg.Watchdog.Seconds(),
 		},
 		InitialSize: res.InitialSize,
 		Throughput: JSONThroughput{
@@ -123,6 +146,18 @@ func Report(res Result) JSONReport {
 			Total:                res.Counts.Total(),
 			EffectiveUpdateRatio: res.Counts.EffectiveUpdateRatio(),
 		},
+	}
+	for _, sc := range cfg.Chaos {
+		rep.Protocol.Chaos = append(rep.Protocol.Chaos, sc.String())
+	}
+	if res.HasRetry {
+		rep.Retry = &JSONRetry{
+			Ops:              res.Retry.Ops,
+			Restarts:         res.Retry.Restarts,
+			EscalatedHead:    res.Retry.EscalatedHead,
+			EscalatedBackoff: res.Retry.EscalatedBackoff,
+			MaxRestarts:      res.Retry.MaxRestarts,
+		}
 	}
 	if cfg.Probes != nil {
 		rep.Events = res.Events.Map()

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"listset/internal/failpoint"
 	"listset/internal/obs"
 	"listset/internal/workload"
 )
@@ -38,6 +39,11 @@ type Sweep struct {
 	Observe bool
 	// LatencySampleEvery forwards to Config.LatencySampleEvery.
 	LatencySampleEvery int
+	// Chaos, RetryBudget and Watchdog forward to the matching Config
+	// fields of every cell.
+	Chaos       []failpoint.Scenario
+	RetryBudget int
+	Watchdog    time.Duration
 }
 
 // SweepResult holds one sweep's results indexed [candidate][thread].
@@ -64,6 +70,9 @@ func RunSweep(s Sweep) (SweepResult, error) {
 				Runs:               s.Runs,
 				Seed:               s.Seed,
 				LatencySampleEvery: s.LatencySampleEvery,
+				Chaos:              s.Chaos,
+				RetryBudget:        s.RetryBudget,
+				Watchdog:           s.Watchdog,
 			}
 			if s.Observe {
 				cfg.Probes = obs.NewProbes()

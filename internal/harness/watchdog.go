@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// beat is one worker's progress counter, bumped once per operation
+// batch and sampled by the watchdog. Padded to a cache line so the
+// workers' bumps never share a line with each other (or with the
+// monitor's reads of a neighbour).
+type beat struct {
+	n atomic.Uint64
+	_ [120]byte
+}
+
+// watchdog is the harness's liveness monitor: a goroutine that samples
+// every worker's beat counter and fires when any worker makes no
+// progress for the configured deadline — the observable symptom of a
+// livelock (an update spinning through failed validations forever, a
+// goroutine parked at an unreleased pause gate) that a throughput
+// number alone would report as a mysteriously idle run.
+//
+// On firing it writes a full goroutine dump to stderr (the stacks ARE
+// the diagnosis: they name the site the stalled ops are spinning at),
+// invokes onFire — the harness uses this to raise the stop flag and
+// disarm every failpoint so the stalled workers drain instead of
+// hanging the process — and reports the breach as the run's error.
+type watchdog struct {
+	deadline time.Duration
+	beats    []beat
+	onFire   func()
+	quit     chan struct{}
+	done     chan struct{}
+	err      error // written by the monitor goroutine before done closes
+}
+
+// newWatchdog starts monitoring the given beat counters. The caller
+// must call stop exactly once to end monitoring and read the verdict.
+func newWatchdog(beats []beat, deadline time.Duration, onFire func()) *watchdog {
+	w := &watchdog{
+		deadline: deadline,
+		beats:    beats,
+		onFire:   onFire,
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go w.run()
+	return w
+}
+
+// run samples the beats at deadline/8 (clamped below at 1ms): fine
+// enough that a breach is detected within ~1/8 of the deadline of
+// becoming true, coarse enough that the monitor is invisible in the
+// profile.
+func (w *watchdog) run() {
+	defer close(w.done)
+	tick := w.deadline / 8
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	last := make([]uint64, len(w.beats))
+	since := make([]time.Time, len(w.beats))
+	now := time.Now()
+	for i := range since {
+		last[i] = w.beats[i].n.Load()
+		since[i] = now
+	}
+	for {
+		select {
+		case <-w.quit:
+			return
+		case now := <-t.C:
+			for i := range w.beats {
+				n := w.beats[i].n.Load()
+				if n != last[i] {
+					last[i], since[i] = n, now
+					continue
+				}
+				if stalled := now.Sub(since[i]); stalled > w.deadline {
+					w.fire(i, stalled)
+					return
+				}
+			}
+		}
+	}
+}
+
+// fire reports the liveness breach: goroutine dump to stderr, error for
+// the caller, onFire to unwedge the workers.
+func (w *watchdog) fire(worker int, stalled time.Duration) {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	fmt.Fprintf(os.Stderr,
+		"harness: liveness watchdog fired: worker %d made no progress for %v (deadline %v); goroutine dump:\n%s\n",
+		worker, stalled.Round(time.Millisecond), w.deadline, buf[:n])
+	w.err = fmt.Errorf(
+		"harness: liveness watchdog fired: worker %d made no progress for %v (deadline %v)",
+		worker, stalled.Round(time.Millisecond), w.deadline)
+	if w.onFire != nil {
+		w.onFire()
+	}
+}
+
+// stop ends monitoring and returns nil, or the breach if the watchdog
+// fired. Call exactly once, after the workers have drained.
+func (w *watchdog) stop() error {
+	close(w.quit)
+	<-w.done
+	return w.err
+}

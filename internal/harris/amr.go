@@ -24,6 +24,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"listset/internal/failpoint"
 	"listset/internal/obs"
 )
 
@@ -60,11 +61,31 @@ type AMR struct {
 
 	// probes, when non-nil, receives contention events (internal/obs).
 	probes *obs.Probes
+	// fps, when non-nil, arms the chaos failpoints (internal/failpoint).
+	fps *failpoint.Set
+
+	// budget is the failed-CAS retry budget K (0 = unbounded retries);
+	// retry aggregates what the escalators saw. Harris restarts natively
+	// from head, so the ladder's only live stage is the backoff at K.
+	budget int
+	retry  obs.RetryCounter
 }
 
 // SetProbes attaches (or with nil detaches) the contention-event
 // counters. Call it before sharing the set between goroutines.
 func (s *AMR) SetProbes(p *obs.Probes) { s.probes = p }
+
+// SetFailpoints attaches (or with nil detaches) the fault-injection
+// layer. Call it before sharing the set between goroutines.
+func (s *AMR) SetFailpoints(fp *failpoint.Set) { s.fps = fp }
+
+// SetRetryBudget sets the failed-CAS retry budget K: past K restarts an
+// update backs off between attempts. 0 restores unbounded retries.
+// Call before sharing the set.
+func (s *AMR) SetRetryBudget(k int) { s.budget = k }
+
+// RetryStats reports the aggregated restart/escalation tallies.
+func (s *AMR) RetryStats() obs.RetryStats { return s.retry.Stats() }
 
 // NewAMR returns an empty Harris-Michael (AMR variant) set.
 func NewAMR() *AMR {
@@ -76,9 +97,10 @@ func NewAMR() *AMR {
 // find locates the window (prev, curr) with prev.val < v <= curr.val,
 // physically removing every marked node it encounters on the way
 // (Michael's helping). If a removal CAS fails the traversal restarts
-// from head. It returns prev's cell as read, so callers can CAS against
-// the exact cell they validated.
-func (s *AMR) find(v int64) (prev *amrNode, prevCell *amrCell, curr *amrNode) {
+// from head — esc counts those internal restarts against the caller's
+// retry budget. It returns prev's cell as read, so callers can CAS
+// against the exact cell they validated.
+func (s *AMR) find(v int64, esc *obs.Escalator) (prev *amrNode, prevCell *amrCell, curr *amrNode) {
 retry:
 	for {
 		prev = s.head
@@ -90,13 +112,19 @@ retry:
 				// curr is logically deleted: help unlink it. Failure
 				// means a concurrent update changed prev's cell — the
 				// paper's Figure 3 shows this restart rejecting an
-				// otherwise correct schedule.
+				// otherwise correct schedule. An injected failure takes
+				// the same restart path without touching the list.
+				injected := false
+				if fp := s.fps; failpoint.On(fp) {
+					injected = fp.Fail(failpoint.SiteUnlink, curr.val)
+				}
 				snipped := &amrCell{next: currCell.next}
-				if !prev.cell.CompareAndSwap(prevCell, snipped) {
+				if injected || !prev.cell.CompareAndSwap(prevCell, snipped) {
 					if p := s.probes; obs.On(p) {
 						p.Inc(obs.EvCASFail, curr.val)
 						p.Inc(obs.EvRestartHead, curr.val)
 					}
+					esc.Failed(s.probes, curr.val)
 					continue retry
 				}
 				if p := s.probes; obs.On(p) {
@@ -129,19 +157,31 @@ func (s *AMR) Contains(v int64) bool {
 
 // Insert adds v to the set and reports whether v was absent.
 func (s *AMR) Insert(v int64) bool {
+	esc := obs.Escalator{Budget: s.budget, HeadNative: true}
 	for {
-		prev, prevCell, curr := s.find(v)
+		prev, prevCell, curr := s.find(v, &esc)
 		if curr.val == v {
+			esc.Done(&s.retry)
 			return false
 		}
-		n := newAMRNode(v, curr)
-		if prev.cell.CompareAndSwap(prevCell, &amrCell{next: n}) {
-			return true
+		// An injected CAS failure skips the real CAS (which would
+		// succeed) and takes the same restart path a lost race does.
+		injected := false
+		if fp := s.fps; failpoint.On(fp) {
+			injected = fp.Fail(failpoint.SiteHarrisCAS, v)
+		}
+		if !injected {
+			n := newAMRNode(v, curr)
+			if prev.cell.CompareAndSwap(prevCell, &amrCell{next: n}) {
+				esc.Done(&s.retry)
+				return true
+			}
 		}
 		if p := s.probes; obs.On(p) {
 			p.Inc(obs.EvCASFail, v)
 			p.Inc(obs.EvRestartHead, v)
 		}
+		esc.Failed(s.probes, v)
 	}
 }
 
@@ -150,9 +190,11 @@ func (s *AMR) Insert(v int64) bool {
 // physical removal is attempted once and otherwise left to future
 // traversals.
 func (s *AMR) Remove(v int64) bool {
+	esc := obs.Escalator{Budget: s.budget, HeadNative: true}
 	for {
-		prev, prevCell, curr := s.find(v)
+		prev, prevCell, curr := s.find(v, &esc)
 		if curr.val != v {
+			esc.Done(&s.retry)
 			return false
 		}
 		currCell := curr.cell.Load()
@@ -162,26 +204,40 @@ func (s *AMR) Remove(v int64) bool {
 			if p := s.probes; obs.On(p) {
 				p.Inc(obs.EvRestartHead, v)
 			}
+			esc.Failed(s.probes, v)
 			continue
 		}
+		// An injected failure of the mark-install CAS takes the same
+		// restart path a lost race does, without touching the list.
+		injected := false
+		if fp := s.fps; failpoint.On(fp) {
+			injected = fp.Fail(failpoint.SiteHarrisCAS, v)
+		}
 		marked := &amrCell{next: currCell.next, marked: true}
-		if !curr.cell.CompareAndSwap(currCell, marked) {
+		if injected || !curr.cell.CompareAndSwap(currCell, marked) {
 			if p := s.probes; obs.On(p) {
 				p.Inc(obs.EvCASFail, v)
 				p.Inc(obs.EvRestartHead, v)
 			}
+			esc.Failed(s.probes, v)
 			continue
 		}
 		// Best-effort physical removal; failure delegates the unlink.
 		// (A failed attempt forces no retry, so it is not a CAS-failure
 		// event — the unlink becomes a future helper's EvHelpedUnlink.)
-		unlinked := prev.cell.CompareAndSwap(prevCell, &amrCell{next: currCell.next})
+		// An injected failure here exercises exactly that delegation.
+		skipUnlink := false
+		if fp := s.fps; failpoint.On(fp) {
+			skipUnlink = fp.Fail(failpoint.SiteUnlink, v)
+		}
+		unlinked := !skipUnlink && prev.cell.CompareAndSwap(prevCell, &amrCell{next: currCell.next})
 		if p := s.probes; obs.On(p) {
 			p.Inc(obs.EvLogicalDelete, v)
 			if unlinked {
 				p.Inc(obs.EvPhysicalUnlink, v)
 			}
 		}
+		esc.Done(&s.retry)
 		return true
 	}
 }

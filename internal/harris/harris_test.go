@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"listset/internal/obs"
 )
 
 // --- AMR variant -----------------------------------------------------
@@ -13,7 +15,7 @@ func TestAMRLogicalDeletionIsLinearizationPoint(t *testing.T) {
 	s := NewAMR()
 	s.Insert(10)
 	s.Insert(20)
-	_, _, n10 := s.find(10)
+	_, _, n10 := s.find(10, &obs.Escalator{})
 	if n10.val != 10 {
 		t.Fatalf("find(10) landed on %d", n10.val)
 	}
@@ -27,7 +29,7 @@ func TestAMRLogicalDeletionIsLinearizationPoint(t *testing.T) {
 		t.Fatal("Contains(10) = true for logically deleted node")
 	}
 	// A traversing update helps: after find, 10 is physically gone.
-	_, _, curr := s.find(15)
+	_, _, curr := s.find(15, &obs.Escalator{})
 	if curr.val != 20 {
 		t.Fatalf("find after helping landed on %d, want 20", curr.val)
 	}
@@ -67,7 +69,7 @@ func TestMarkerDeletionInstallsMarker(t *testing.T) {
 	s := NewMarker()
 	s.Insert(10)
 	s.Insert(20)
-	_, n10 := s.find(10)
+	_, n10 := s.find(10, &obs.Escalator{})
 	if !s.Remove(10) {
 		t.Fatal("Remove(10) failed")
 	}
@@ -92,7 +94,7 @@ func TestMarkerContainsSkipsMarkers(t *testing.T) {
 	}
 	// Logically delete 20 by hand, leaving it linked: readers must skip
 	// through the marker and still find 30, and report 20 absent.
-	_, n20 := s.find(20)
+	_, n20 := s.find(20, &obs.Escalator{})
 	succ := n20.next.Load()
 	m := &markNode{val: 20, marker: true}
 	m.next.Store(succ)
@@ -115,7 +117,7 @@ func TestMarkerFindUnlinksDeleted(t *testing.T) {
 	for _, v := range []int64{10, 20, 30} {
 		s.Insert(v)
 	}
-	_, n20 := s.find(20)
+	_, n20 := s.find(20, &obs.Escalator{})
 	succ := n20.next.Load()
 	m := &markNode{val: 20, marker: true}
 	m.next.Store(succ)
@@ -123,7 +125,7 @@ func TestMarkerFindUnlinksDeleted(t *testing.T) {
 		t.Fatal("manual marker CAS failed")
 	}
 	// find for any key must snip 20 on its way past.
-	prev, curr := s.find(30)
+	prev, curr := s.find(30, &obs.Escalator{})
 	if prev.val != 10 || curr.val != 30 {
 		t.Fatalf("find(30) = (%d, %d), want (10, 30)", prev.val, curr.val)
 	}

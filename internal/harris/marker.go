@@ -3,6 +3,7 @@ package harris
 import (
 	"sync/atomic"
 
+	"listset/internal/failpoint"
 	"listset/internal/obs"
 )
 
@@ -42,11 +43,30 @@ type Marker struct {
 
 	// probes, when non-nil, receives contention events (internal/obs).
 	probes *obs.Probes
+	// fps, when non-nil, arms the chaos failpoints (internal/failpoint).
+	fps *failpoint.Set
+
+	// budget is the failed-CAS retry budget K (0 = unbounded retries);
+	// retry aggregates what the escalators saw. See AMR.
+	budget int
+	retry  obs.RetryCounter
 }
 
 // SetProbes attaches (or with nil detaches) the contention-event
 // counters. Call it before sharing the set between goroutines.
 func (s *Marker) SetProbes(p *obs.Probes) { s.probes = p }
+
+// SetFailpoints attaches (or with nil detaches) the fault-injection
+// layer. Call it before sharing the set between goroutines.
+func (s *Marker) SetFailpoints(fp *failpoint.Set) { s.fps = fp }
+
+// SetRetryBudget sets the failed-CAS retry budget K: past K restarts an
+// update backs off between attempts. 0 restores unbounded retries.
+// Call before sharing the set.
+func (s *Marker) SetRetryBudget(k int) { s.budget = k }
+
+// RetryStats reports the aggregated restart/escalation tallies.
+func (s *Marker) RetryStats() obs.RetryStats { return s.retry.Stats() }
 
 // NewMarker returns an empty Harris-Michael (marker variant) set.
 func NewMarker() *Marker {
@@ -61,8 +81,9 @@ func NewMarker() *Marker {
 // find locates the window (prev, curr), prev.val < v <= curr.val,
 // unlinking every logically deleted node (one whose successor is a
 // marker) it passes. A failed unlink CAS restarts from head, as in the
-// AMR variant.
-func (s *Marker) find(v int64) (prev, curr *markNode) {
+// AMR variant; esc counts those internal restarts against the caller's
+// retry budget.
+func (s *Marker) find(v int64, esc *obs.Escalator) (prev, curr *markNode) {
 retry:
 	for {
 		prev = s.head
@@ -70,12 +91,19 @@ retry:
 		for {
 			succ := curr.next.Load()
 			for succ.marker {
-				// curr is deleted; snip curr and its marker together.
-				if !prev.next.CompareAndSwap(curr, succ.next.Load()) {
+				// curr is deleted; snip curr and its marker together. An
+				// injected failure takes the same restart path a failed
+				// CAS does, without touching the list.
+				injected := false
+				if fp := s.fps; failpoint.On(fp) {
+					injected = fp.Fail(failpoint.SiteUnlink, curr.val)
+				}
+				if injected || !prev.next.CompareAndSwap(curr, succ.next.Load()) {
 					if p := s.probes; obs.On(p) {
 						p.Inc(obs.EvCASFail, curr.val)
 						p.Inc(obs.EvRestartHead, curr.val)
 					}
+					esc.Failed(s.probes, curr.val)
 					continue retry
 				}
 				if p := s.probes; obs.On(p) {
@@ -117,19 +145,31 @@ func (s *Marker) Contains(v int64) bool {
 
 // Insert adds v to the set and reports whether v was absent.
 func (s *Marker) Insert(v int64) bool {
+	esc := obs.Escalator{Budget: s.budget, HeadNative: true}
 	for {
-		prev, curr := s.find(v)
+		prev, curr := s.find(v, &esc)
 		if curr.val == v {
+			esc.Done(&s.retry)
 			return false
 		}
-		n := newMarkNode(v, curr)
-		if prev.next.CompareAndSwap(curr, n) {
-			return true
+		// An injected CAS failure skips the real CAS (which would
+		// succeed) and takes the same restart path a lost race does.
+		injected := false
+		if fp := s.fps; failpoint.On(fp) {
+			injected = fp.Fail(failpoint.SiteHarrisCAS, v)
+		}
+		if !injected {
+			n := newMarkNode(v, curr)
+			if prev.next.CompareAndSwap(curr, n) {
+				esc.Done(&s.retry)
+				return true
+			}
 		}
 		if p := s.probes; obs.On(p) {
 			p.Inc(obs.EvCASFail, v)
 			p.Inc(obs.EvRestartHead, v)
 		}
+		esc.Failed(s.probes, v)
 	}
 }
 
@@ -137,9 +177,11 @@ func (s *Marker) Insert(v int64) bool {
 // linearization point of a successful remove is the CAS that installs
 // the marker; the subsequent unlink is best-effort.
 func (s *Marker) Remove(v int64) bool {
+	esc := obs.Escalator{Budget: s.budget, HeadNative: true}
 	for {
-		prev, curr := s.find(v)
+		prev, curr := s.find(v, &esc)
 		if curr.val != v {
+			esc.Done(&s.retry)
 			return false
 		}
 		succ := curr.next.Load()
@@ -148,26 +190,40 @@ func (s *Marker) Remove(v int64) bool {
 			if p := s.probes; obs.On(p) {
 				p.Inc(obs.EvRestartHead, v)
 			}
+			esc.Failed(s.probes, v)
 			continue
+		}
+		// An injected failure of the marker-install CAS takes the same
+		// restart path a lost race does, without touching the list.
+		injected := false
+		if fp := s.fps; failpoint.On(fp) {
+			injected = fp.Fail(failpoint.SiteHarrisCAS, v)
 		}
 		m := &markNode{val: curr.val, marker: true}
 		m.next.Store(succ)
-		if !curr.next.CompareAndSwap(succ, m) {
+		if injected || !curr.next.CompareAndSwap(succ, m) {
 			if p := s.probes; obs.On(p) {
 				p.Inc(obs.EvCASFail, v)
 				p.Inc(obs.EvRestartHead, v)
 			}
+			esc.Failed(s.probes, v)
 			continue
 		}
 		// Best-effort physical removal of curr and its marker; a failed
-		// attempt is left to a future helper (EvHelpedUnlink there).
-		unlinked := prev.next.CompareAndSwap(curr, succ)
+		// attempt is left to a future helper (EvHelpedUnlink there). An
+		// injected failure here exercises exactly that delegation.
+		skipUnlink := false
+		if fp := s.fps; failpoint.On(fp) {
+			skipUnlink = fp.Fail(failpoint.SiteUnlink, v)
+		}
+		unlinked := !skipUnlink && prev.next.CompareAndSwap(curr, succ)
 		if p := s.probes; obs.On(p) {
 			p.Inc(obs.EvLogicalDelete, v)
 			if unlinked {
 				p.Inc(obs.EvPhysicalUnlink, v)
 			}
 		}
+		esc.Done(&s.retry)
 		return true
 	}
 }

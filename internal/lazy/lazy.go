@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"unsafe"
 
+	"listset/internal/failpoint"
 	"listset/internal/obs"
 	"listset/internal/trylock"
 )
@@ -63,11 +64,32 @@ type List struct {
 
 	// probes, when non-nil, receives contention events (internal/obs).
 	probes *obs.Probes
+	// fps, when non-nil, arms the chaos failpoints (internal/failpoint).
+	fps *failpoint.Set
+
+	// budget is the failed-validation retry budget K (0 = unbounded
+	// retries); retry aggregates what the escalators saw. Lazy's native
+	// restart already goes to head, so the ladder's only live stage is
+	// the backoff, which begins at K.
+	budget int
+	retry  obs.RetryCounter
 }
 
 // SetProbes attaches (or with nil detaches) the contention-event
 // counters. Call it before sharing the list between goroutines.
 func (l *List) SetProbes(p *obs.Probes) { l.probes = p }
+
+// SetFailpoints attaches (or with nil detaches) the fault-injection
+// layer. Call it before sharing the list between goroutines.
+func (l *List) SetFailpoints(fp *failpoint.Set) { l.fps = fp }
+
+// SetRetryBudget sets the failed-validation retry budget K: past K
+// restarts an update backs off between attempts. 0 restores unbounded
+// retries. Call before sharing the list.
+func (l *List) SetRetryBudget(k int) { l.budget = k }
+
+// RetryStats reports the aggregated restart/escalation tallies.
+func (l *List) RetryStats() obs.RetryStats { return l.retry.Stats() }
 
 // New returns an empty Lazy list.
 func New() *List {
@@ -145,19 +167,26 @@ func (l *List) Contains(v int64) bool {
 
 // Insert adds v to the set and reports whether v was absent.
 func (l *List) Insert(v int64) bool {
+	esc := obs.Escalator{Budget: l.budget, HeadNative: true}
 	for {
 		prev, curr := l.find(v)
 		l.lockWindow(prev, curr)
-		if !validate(prev, curr) {
+		ok := validate(prev, curr)
+		if fp := l.fps; failpoint.On(fp) && ok && fp.Fail(failpoint.SiteLazyValidate, v) {
+			ok = false
+		}
+		if !ok {
 			curr.lock.Unlock()
 			prev.lock.Unlock()
 			l.countValFail(prev, curr, v)
+			esc.Failed(l.probes, v)
 			continue
 		}
 		if curr.val == v {
 			// Value already present — but the locks were taken anyway.
 			curr.lock.Unlock()
 			prev.lock.Unlock()
+			esc.Done(&l.retry)
 			return false
 		}
 		n := &node{val: v}
@@ -165,25 +194,38 @@ func (l *List) Insert(v int64) bool {
 		prev.next.Store(n)
 		curr.lock.Unlock()
 		prev.lock.Unlock()
+		esc.Done(&l.retry)
 		return true
 	}
 }
 
 // Remove deletes v from the set and reports whether v was present.
 func (l *List) Remove(v int64) bool {
+	esc := obs.Escalator{Budget: l.budget, HeadNative: true}
 	for {
 		prev, curr := l.find(v)
 		l.lockWindow(prev, curr)
-		if !validate(prev, curr) {
+		ok := validate(prev, curr)
+		if fp := l.fps; failpoint.On(fp) && ok && fp.Fail(failpoint.SiteLazyValidate, v) {
+			ok = false
+		}
+		if !ok {
 			curr.lock.Unlock()
 			prev.lock.Unlock()
 			l.countValFail(prev, curr, v)
+			esc.Failed(l.probes, v)
 			continue
 		}
 		if curr.val != v {
 			curr.lock.Unlock()
 			prev.lock.Unlock()
+			esc.Done(&l.retry)
 			return false
+		}
+		// The mark+unlink run under both locks and must not be skipped,
+		// so the site is Do-only: delays and pauses, never forced failure.
+		if fp := l.fps; failpoint.On(fp) {
+			fp.Do(failpoint.SiteUnlink, v)
 		}
 		curr.marked.Store(true)           // logical deletion
 		prev.next.Store(curr.next.Load()) // physical unlink
@@ -193,6 +235,7 @@ func (l *List) Remove(v int64) bool {
 			p.Inc(obs.EvLogicalDelete, v)
 			p.Inc(obs.EvPhysicalUnlink, v)
 		}
+		esc.Done(&l.retry)
 		return true
 	}
 }

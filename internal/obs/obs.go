@@ -70,6 +70,15 @@ const (
 	// EvHelpedUnlink counts marked nodes unlinked by a traversing
 	// helper rather than their remover (Harris-Michael helping).
 	EvHelpedUnlink
+	// EvRetryEscalateHead counts operations that exhausted their
+	// failed-validation retry budget and escalated their restart
+	// locality from prev to head (meaningful for VBL, whose native
+	// policy is the prev-restart; head-native lists never fire it).
+	EvRetryEscalateHead
+	// EvRetryEscalateBackoff counts operations that kept failing past
+	// twice the retry budget and started backing off onto the
+	// scheduler between restarts.
+	EvRetryEscalateBackoff
 
 	// NumEvents is the number of distinct events.
 	NumEvents
@@ -78,16 +87,18 @@ const (
 // eventNames are the stable identifiers used in JSON reports and
 // expvar output. Treat them as a schema: append, never rename.
 var eventNames = [NumEvents]string{
-	EvRestartPrev:      "restart_prev",
-	EvRestartHead:      "restart_head",
-	EvTryLockContended: "trylock_contended",
-	EvValFailDeleted:   "valfail_deleted",
-	EvValFailSucc:      "valfail_succ",
-	EvValFailValue:     "valfail_value",
-	EvCASFail:          "cas_fail",
-	EvLogicalDelete:    "logical_delete",
-	EvPhysicalUnlink:   "physical_unlink",
-	EvHelpedUnlink:     "helped_unlink",
+	EvRestartPrev:          "restart_prev",
+	EvRestartHead:          "restart_head",
+	EvTryLockContended:     "trylock_contended",
+	EvValFailDeleted:       "valfail_deleted",
+	EvValFailSucc:          "valfail_succ",
+	EvValFailValue:         "valfail_value",
+	EvCASFail:              "cas_fail",
+	EvLogicalDelete:        "logical_delete",
+	EvPhysicalUnlink:       "physical_unlink",
+	EvHelpedUnlink:         "helped_unlink",
+	EvRetryEscalateHead:    "retry_escalate_head",
+	EvRetryEscalateBackoff: "retry_escalate_backoff",
 }
 
 // String returns the event's stable report identifier.

@@ -13,7 +13,7 @@ import (
 func TestProbesConcurrentSum(t *testing.T) {
 	const (
 		workers = 8
-		perW    = 10_000
+		perW    = 12_000
 	)
 	p := NewProbes()
 	var wg sync.WaitGroup
@@ -63,16 +63,18 @@ func TestSnapshotAddSubTotal(t *testing.T) {
 // breaks every committed BENCH_*.json, so a rename must fail here first.
 func TestEventNamesStable(t *testing.T) {
 	want := map[Event]string{
-		EvRestartPrev:      "restart_prev",
-		EvRestartHead:      "restart_head",
-		EvTryLockContended: "trylock_contended",
-		EvValFailDeleted:   "valfail_deleted",
-		EvValFailSucc:      "valfail_succ",
-		EvValFailValue:     "valfail_value",
-		EvCASFail:          "cas_fail",
-		EvLogicalDelete:    "logical_delete",
-		EvPhysicalUnlink:   "physical_unlink",
-		EvHelpedUnlink:     "helped_unlink",
+		EvRestartPrev:          "restart_prev",
+		EvRestartHead:          "restart_head",
+		EvTryLockContended:     "trylock_contended",
+		EvValFailDeleted:       "valfail_deleted",
+		EvValFailSucc:          "valfail_succ",
+		EvValFailValue:         "valfail_value",
+		EvCASFail:              "cas_fail",
+		EvLogicalDelete:        "logical_delete",
+		EvPhysicalUnlink:       "physical_unlink",
+		EvHelpedUnlink:         "helped_unlink",
+		EvRetryEscalateHead:    "retry_escalate_head",
+		EvRetryEscalateBackoff: "retry_escalate_backoff",
 	}
 	if len(want) != int(NumEvents) {
 		t.Fatalf("test covers %d events, package has %d", len(want), NumEvents)

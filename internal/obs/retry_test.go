@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestEscalatorZeroValueNeverEscalates(t *testing.T) {
+	var e Escalator
+	p := NewProbes()
+	for i := 0; i < 100; i++ {
+		if e.Failed(p, 1) {
+			t.Fatalf("zero-budget escalator demanded a head restart on restart %d", i)
+		}
+	}
+	s := p.Snapshot()
+	if s[EvRetryEscalateHead] != 0 || s[EvRetryEscalateBackoff] != 0 {
+		t.Fatalf("zero-budget escalator fired escalation events: %v", s)
+	}
+	var c RetryCounter
+	e.Done(&c)
+	got := c.Stats()
+	if got.Ops != 1 || got.Restarts != 100 || got.MaxRestarts != 100 {
+		t.Fatalf("Stats = %+v", got)
+	}
+	if got.EscalatedHead != 0 || got.EscalatedBackoff != 0 {
+		t.Fatalf("zero-budget op recorded as escalated: %+v", got)
+	}
+}
+
+func TestEscalatorLadder(t *testing.T) {
+	const k = 3
+	e := Escalator{Budget: k}
+	p := NewProbes()
+	// Restarts [1, K): native policy.
+	for i := 1; i < k; i++ {
+		if e.Failed(p, 7) {
+			t.Fatalf("restart %d escalated before the budget", i)
+		}
+	}
+	// Restart K: head escalation begins and the event fires exactly once.
+	if !e.Failed(p, 7) {
+		t.Fatal("restart K did not escalate to head")
+	}
+	for i := k + 1; i < 2*k; i++ {
+		if !e.Failed(p, 7) {
+			t.Fatalf("restart %d dropped back below head escalation", i)
+		}
+	}
+	s := p.Snapshot()
+	if s[EvRetryEscalateHead] != 1 {
+		t.Fatalf("retry_escalate_head = %d, want 1", s[EvRetryEscalateHead])
+	}
+	if s[EvRetryEscalateBackoff] != 0 {
+		t.Fatal("backoff event fired before 2K restarts")
+	}
+	// Restart 2K: backoff begins, one event, still head-restarting.
+	if !e.Failed(p, 7) {
+		t.Fatal("restart 2K did not stay escalated")
+	}
+	e.Failed(p, 7)
+	s = p.Snapshot()
+	if s[EvRetryEscalateBackoff] != 1 {
+		t.Fatalf("retry_escalate_backoff = %d, want 1", s[EvRetryEscalateBackoff])
+	}
+	var c RetryCounter
+	e.Done(&c)
+	got := c.Stats()
+	if got.EscalatedHead != 1 || got.EscalatedBackoff != 1 {
+		t.Fatalf("Stats = %+v", got)
+	}
+}
+
+func TestEscalatorHeadNativeSkipsStageOne(t *testing.T) {
+	const k = 2
+	e := Escalator{Budget: k, HeadNative: true}
+	p := NewProbes()
+	for i := 0; i < 3*k; i++ {
+		if e.Failed(p, 1) {
+			t.Fatal("head-native escalator demanded a head restart (its caller already does that)")
+		}
+	}
+	s := p.Snapshot()
+	if s[EvRetryEscalateHead] != 0 {
+		t.Fatal("head-native list fired retry_escalate_head")
+	}
+	// Backoff begins at K, not 2K, for head-native lists.
+	if s[EvRetryEscalateBackoff] != 1 {
+		t.Fatalf("retry_escalate_backoff = %d, want 1", s[EvRetryEscalateBackoff])
+	}
+	var c RetryCounter
+	e.Done(&c)
+	got := c.Stats()
+	if got.EscalatedHead != 0 || got.EscalatedBackoff != 1 {
+		t.Fatalf("Stats = %+v", got)
+	}
+}
+
+func TestEscalatorDoneSkipsCleanOps(t *testing.T) {
+	var c RetryCounter
+	e := Escalator{Budget: 4}
+	e.Done(&c)  // no restarts: not recorded
+	e.Done(nil) // nil counter: safe
+	if !c.Stats().Zero() {
+		t.Fatalf("clean op recorded: %+v", c.Stats())
+	}
+}
+
+func TestRetryStatsAddAndZero(t *testing.T) {
+	a := RetryStats{Ops: 1, Restarts: 5, MaxRestarts: 5}
+	b := RetryStats{Ops: 2, Restarts: 3, EscalatedHead: 1, MaxRestarts: 2}
+	sum := a.Add(b)
+	want := RetryStats{Ops: 3, Restarts: 8, EscalatedHead: 1, MaxRestarts: 5}
+	if sum != want {
+		t.Fatalf("Add = %+v, want %+v", sum, want)
+	}
+	if !(RetryStats{}).Zero() || sum.Zero() {
+		t.Fatal("Zero misclassified")
+	}
+}
+
+func TestRetryCounterConcurrent(t *testing.T) {
+	var c RetryCounter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				e := Escalator{Budget: 1}
+				e.Failed(nil, int64(i))
+				if w == 0 && i == 0 {
+					e.Failed(nil, 0) // one op with two restarts
+				}
+				e.Done(&c)
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := c.Stats()
+	if got.Ops != 8000 || got.Restarts != 8001 || got.MaxRestarts != 2 {
+		t.Fatalf("Stats = %+v", got)
+	}
+}
+
+func TestAttachRetryBudget(t *testing.T) {
+	var b budgeted
+	if !AttachRetryBudget(&b, 7) {
+		t.Fatal("AttachRetryBudget refused a RetryBudgeted")
+	}
+	if b.k != 7 {
+		t.Fatalf("budget = %d, want 7", b.k)
+	}
+	if AttachRetryBudget(struct{}{}, 7) {
+		t.Fatal("AttachRetryBudget accepted a plain struct")
+	}
+}
+
+type budgeted struct{ k int }
+
+func (b *budgeted) SetRetryBudget(k int)   { b.k = k }
+func (b *budgeted) RetryStats() RetryStats { return RetryStats{} }

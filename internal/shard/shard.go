@@ -40,6 +40,7 @@ import (
 	"math/bits"
 	"unsafe"
 
+	"listset/internal/failpoint"
 	"listset/internal/obs"
 )
 
@@ -94,6 +95,10 @@ type Sharded struct {
 	lo    int64 // lower edge of the focus range
 	shift uint  // log2 of the per-shard key span
 	slots []slot
+
+	// fps, when non-nil, arms the chaos failpoints: the façade's own
+	// SiteShardRoute site plus whatever sites the shards expose.
+	fps *failpoint.Set
 }
 
 // New returns a Sharded over the given number of shards (rounded up to
@@ -168,15 +173,26 @@ func (s *Sharded) shardOf(k int64) int {
 	return int(idx)
 }
 
+// route is the façade's own failpoint site: a delay/yield/pause between
+// computing v's owning shard and entering it widens the window in which
+// a concurrent operation on a seam key can overtake, the interleaving
+// the seam-fault conformance tests hammer.
+func (s *Sharded) route(v int64) int {
+	if fp := s.fps; failpoint.On(fp) {
+		fp.Do(failpoint.SiteShardRoute, v)
+	}
+	return s.shardOf(v)
+}
+
 // Insert adds v and reports whether v was absent. It is executed
 // entirely by v's owning shard.
-func (s *Sharded) Insert(v int64) bool { return s.slots[s.shardOf(v)].set.Insert(v) }
+func (s *Sharded) Insert(v int64) bool { return s.slots[s.route(v)].set.Insert(v) }
 
 // Remove deletes v and reports whether v was present.
-func (s *Sharded) Remove(v int64) bool { return s.slots[s.shardOf(v)].set.Remove(v) }
+func (s *Sharded) Remove(v int64) bool { return s.slots[s.route(v)].set.Remove(v) }
 
 // Contains reports whether v is in the set.
-func (s *Sharded) Contains(v int64) bool { return s.slots[s.shardOf(v)].set.Contains(v) }
+func (s *Sharded) Contains(v int64) bool { return s.slots[s.route(v)].set.Contains(v) }
 
 // Len sums the shard lengths. Like the underlying lists' Len it is a
 // best-effort traversal under concurrent updates and exact at
@@ -236,4 +252,39 @@ func (s *Sharded) SetProbes(p *obs.Probes) {
 	}
 }
 
-var _ obs.Instrumented = (*Sharded)(nil)
+// SetFailpoints attaches (or with nil detaches) the fault-injection
+// layer: the façade consults it at SiteShardRoute and forwards it to
+// every shard that is itself Injectable, so one armed Set drives both
+// the seam and the per-shard algorithm sites. Call before sharing.
+func (s *Sharded) SetFailpoints(fp *failpoint.Set) {
+	s.fps = fp
+	for i := range s.slots {
+		failpoint.Attach(s.slots[i].set, fp)
+	}
+}
+
+// SetRetryBudget forwards the retry budget to every shard that
+// supports one. Call before sharing the set.
+func (s *Sharded) SetRetryBudget(k int) {
+	for i := range s.slots {
+		obs.AttachRetryBudget(s.slots[i].set, k)
+	}
+}
+
+// RetryStats sums the per-shard restart/escalation tallies (zero for
+// shards without a retry ladder).
+func (s *Sharded) RetryStats() obs.RetryStats {
+	var sum obs.RetryStats
+	for i := range s.slots {
+		if rb, ok := s.slots[i].set.(obs.RetryBudgeted); ok {
+			sum = sum.Add(rb.RetryStats())
+		}
+	}
+	return sum
+}
+
+var (
+	_ obs.Instrumented     = (*Sharded)(nil)
+	_ obs.RetryBudgeted    = (*Sharded)(nil)
+	_ failpoint.Injectable = (*Sharded)(nil)
+)

@@ -1,0 +1,32 @@
+package trylock
+
+import (
+	"sync/atomic"
+
+	"listset/internal/failpoint"
+)
+
+// chaos is the package-global failpoint set consulted by blocking lock
+// acquisitions. SpinLock is a single word embedded per node — there is
+// no room for a per-lock pointer, and threading one through every
+// acquisition call site would put a dead argument on the hottest path
+// in the repository — so the hook is process-wide, like the fault it
+// models (scheduler jitter around lock acquisition hits every lock).
+var chaos atomic.Pointer[failpoint.Set]
+
+// SetChaos installs (or with nil removes) the process-wide failpoint
+// set consulted at the SiteTryLockAcquire hook in Lock and
+// LockContended. Benchmarks install it for the duration of a chaos run
+// and remove it afterwards; overlapping runs would share the arms.
+func SetChaos(fp *failpoint.Set) { chaos.Store(fp) }
+
+// chaosPoint is the acquisition hook: a delay/yield/pause injected
+// before the first CAS attempt widens the lock-held windows the paper's
+// validation schedules race against. Site keys are lock identities
+// (not list keys), so key-filtered scenarios do not apply here; arms
+// fire on every acquisition their probability admits.
+func chaosPoint() {
+	if fp := chaos.Load(); failpoint.On(fp) {
+		fp.Do(failpoint.SiteTryLockAcquire, 0)
+	}
+}

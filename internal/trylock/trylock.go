@@ -70,6 +70,7 @@ const (
 // Lock acquires l, spinning with bounded exponential backoff until it
 // is available.
 func (l *SpinLock) Lock() {
+	chaosPoint()
 	spin := minSpin
 	for {
 		//lint:ignore locksafe this IS Lock's implementation: a successful CAS acquisition is the postcondition, released by the caller via Unlock
@@ -103,6 +104,7 @@ func (l *SpinLock) Lock() {
 // extra return is the only difference from Lock; use it at probe-
 // enabled call sites and plain Lock everywhere else.
 func (l *SpinLock) LockContended() (contended bool) {
+	chaosPoint()
 	//lint:ignore locksafe this IS an acquisition primitive like Lock: a successful CAS is the postcondition, released by the caller via Unlock
 	if l.TryLock() {
 		return false

@@ -111,6 +111,22 @@ func TestSpinLockUnlockOfUnlockedPanics(t *testing.T) {
 	l.Unlock()
 }
 
+// TestSpinLockDoubleUnlockPanics pins the release protocol from the
+// other side: a correctly paired Unlock must succeed and a SECOND
+// Unlock of the now-free lock must panic — a double release is a
+// corrupted critical section, not a no-op.
+func TestSpinLockDoubleUnlockPanics(t *testing.T) {
+	var l SpinLock
+	l.Lock()
+	l.Unlock() // paired: must not panic
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Unlock of a released SpinLock did not panic")
+		}
+	}()
+	l.Unlock()
+}
+
 // TestSpinLockMutualExclusion hammers a counter from many goroutines;
 // with correct mutual exclusion the final count is exact. Run with -race.
 func TestSpinLockMutualExclusion(t *testing.T) {

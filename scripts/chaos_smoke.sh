@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Chaos smoke test: short fault-injected runs proving the failure paths
+# work end to end — the shipped scenario suite over the paper's three
+# protagonists and the sharded façade (with the bounded-retry ladder
+# and the liveness watchdog armed), then a deliberate livelock that the
+# watchdog must convert into a nonzero exit naming itself.
+#
+# Usage: scripts/chaos_smoke.sh
+#
+# This is a smoke test, not a benchmark: it exists so CI exercises the
+# chaos layer the way operators will (flags, not Go APIs) and so a
+# regression in scenario parsing, retry escalation or watchdog firing
+# breaks loudly. Throughput numbers are noise; only completion, the
+# retry section's presence, and the watchdog verdicts are asserted.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+bin=/tmp/listset-synchrobench-chaos
+go build -o "$bin" ./cmd/synchrobench
+
+# Shipped-suite rows: every implementation family that carries
+# failpoints, under the full shipped scenario set. The watchdog is far
+# above any healthy stall; it exists here to catch a real livelock.
+for impl in vbl lazy harris vbl-sharded; do
+  echo "chaos_smoke: $impl under shipped scenarios"
+  out=$("$bin" -impl "$impl" -threads 4 -update-ratio 40 -range 256 \
+    -duration 300ms -warmup 50ms -runs 1 \
+    -chaos shipped -retry-budget 4 -watchdog 30s -json)
+  echo "$out" | grep -q '"chaos"' || {
+    echo "chaos_smoke: $impl report lacks the chaos protocol section" >&2
+    exit 1
+  }
+  echo "$out" | grep -q '"retry"' || {
+    echo "chaos_smoke: $impl report lacks the retry section" >&2
+    exit 1
+  }
+done
+
+# Watchdog gate: a probability-1 validation failure livelocks every
+# update; the run must FAIL, quickly, with an error naming the
+# watchdog. (|| true captures the exit code under set -e.)
+echo "chaos_smoke: seeded livelock (watchdog must fire)"
+rc=0
+err=$("$bin" -impl vbl -threads 2 -update-ratio 100 -range 64 \
+  -duration 10s -warmup 0s -runs 1 \
+  -chaos vbl-lock-next-at:fail -retry-budget 2 -watchdog 2s \
+  2>&1 >/dev/null) || rc=$?
+if [ "$rc" -eq 0 ]; then
+  echo "chaos_smoke: seeded livelock exited 0; watchdog did not fire" >&2
+  exit 1
+fi
+echo "$err" | grep -qi 'watchdog' || {
+  echo "chaos_smoke: livelock failed without naming the watchdog:" >&2
+  echo "$err" | head -5 >&2
+  exit 1
+}
+
+echo "chaos_smoke: all chaos gates passed"

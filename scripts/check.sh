@@ -17,6 +17,9 @@ go build ./...
 step "go build -tags obsoff ./... (probe-free build)"
 go build -tags obsoff ./...
 
+step "go build -tags nofailpoint ./... (site-free build)"
+go build -tags nofailpoint ./...
+
 step "go vet ./..."
 go vet ./...
 
@@ -27,9 +30,12 @@ step "unit tests"
 go test -count=1 ./...
 
 step "race gate (short stress, lock-based lists)"
-go test -race -short -count=1 ./internal/core ./internal/lazy ./internal/harris ./internal/trylock ./internal/obs ./internal/stats
+go test -race -short -count=1 ./internal/core ./internal/lazy ./internal/harris ./internal/trylock ./internal/obs ./internal/stats ./internal/failpoint ./internal/harness
 
 step "benchmark smoke (probes + JSON report, end to end)"
 scripts/bench_smoke.sh
+
+step "chaos smoke (failpoints + retry ladder + watchdog, end to end)"
+scripts/chaos_smoke.sh
 
 printf '\nAll checks passed.\n'
