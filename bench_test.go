@@ -184,6 +184,56 @@ func BenchmarkSkipLists(b *testing.B) {
 	}
 }
 
+// BenchmarkAlloc prices the arena (internal/mem): GC-backed vs
+// arena-backed node lifetimes for VBL and Lazy under 100% updates —
+// every operation is an insert or remove, so the GC mode allocates at
+// the workload's effective-update rate while the arena recycles. The
+// headline column is allocs/op (b.ReportAllocs); EXPERIMENTS.md §
+// records the measured series.
+func BenchmarkAlloc(b *testing.B) {
+	for _, keyRange := range []int64{200, 20000} {
+		wl := workload.Config{UpdatePercent: 100, Range: keyRange}
+		for _, name := range []string{"vbl", "lazy"} {
+			im := mustLookup(b, name)
+			for _, mode := range []struct {
+				tag string
+				new func() Set
+			}{
+				{"gc", im.New},
+				{"arena", im.NewArena},
+			} {
+				for _, threads := range []int{1, 2} {
+					b.Run(fmt.Sprintf("r=%d/impl=%s/mem=%s/threads=%d", keyRange, name, mode.tag, threads), func(b *testing.B) {
+						b.ReportAllocs()
+						s := mode.new()
+						workload.Prepopulate(wl, 1, s.Insert)
+						perG := b.N/threads + 1
+						b.ResetTimer()
+						var wg sync.WaitGroup
+						for t := 0; t < threads; t++ {
+							wg.Add(1)
+							go func(id int) {
+								defer wg.Done()
+								gen := workload.NewGenerator(wl, uint64(id)*0x9E37+11)
+								for i := 0; i < perG; i++ {
+									op, k := gen.Next()
+									switch op {
+									case workload.Insert:
+										s.Insert(k)
+									case workload.Remove:
+										s.Remove(k)
+									}
+								}
+							}(t)
+						}
+						wg.Wait()
+					})
+				}
+			}
+		}
+	}
+}
+
 // BenchmarkOperations is the per-operation microbenchmark: the cost of
 // each op in isolation on a mid-size list, for every implementation.
 func BenchmarkOperations(b *testing.B) {

@@ -31,6 +31,17 @@
 // order-preserving range partitioner of internal/shard, so each of N
 // independent lists owns range/N keys and traversals walk O(n/N) nodes.
 //
+// Memory (see internal/mem):
+//
+//	-arena         arena-backed node lifetimes: slab allocation,
+//	               per-worker free lists, epoch-based recycling
+//	               (vbl and lazy only; composes with -shards)
+//	-gcpercent     set GOGC for the process (-1 disables the GC)
+//	-memprofile    write a heap profile after the measured runs
+//
+// The JSON report's "mem" section carries allocs_per_op/bytes_per_op
+// over the measured intervals, the headline the arena moves.
+//
 // Use -list to see the available implementations.
 package main
 
@@ -41,6 +52,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
 	"os"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"strings"
 	"time"
@@ -73,6 +85,9 @@ func main() {
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the measured runs to this file")
 		mutexprof   = flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
 		blockprof   = flag.String("blockprofile", "", "write a blocking profile to this file")
+		arena       = flag.Bool("arena", false, "arena-backed node lifetimes: slab allocation + epoch-based recycling (vbl/lazy only)")
+		gcpercent   = flag.Int("gcpercent", 0, "debug.SetGCPercent for the whole process; -1 disables the GC, 0 keeps the default")
+		memprofile  = flag.String("memprofile", "", "write a heap profile (after a forced GC) to this file when the runs finish")
 		chaosSpec   = flag.String("chaos", "", "failpoint scenarios: comma-separated site:action[:prob][:delay], or \"shipped\"")
 		retryBudget = flag.Int("retry-budget", 0, "failed-validation retry budget K before escalation (0 = unbounded)")
 		watchdog    = flag.Duration("watchdog", 0, "liveness deadline: fail the run if a worker stalls this long (0 = off)")
@@ -131,17 +146,39 @@ func main() {
 		*probesOn = true
 	}
 
+	// Arena resolution: -arena and the *-arena registry entries mean the
+	// same thing; either way the report carries arena=true.
+	useArena := *arena || im.NewArena != nil && strings.HasSuffix(im.Name, "-arena")
+	if useArena && im.NewArena == nil {
+		fmt.Fprintf(os.Stderr, "synchrobench: %s has no arena form (node reuse is an ABA hazard for the lock-free lists); drop -arena or pick vbl or lazy\n", im.Name)
+		os.Exit(2)
+	}
+	if useArena && nShards > 0 && im.NewShardedArena == nil {
+		fmt.Fprintf(os.Stderr, "synchrobench: %s has no sharded arena form; drop -arena or -shards\n", im.Name)
+		os.Exit(2)
+	}
+	if *gcpercent != 0 {
+		debug.SetGCPercent(*gcpercent)
+	}
+
 	newSet := func() harness.Set { return im.New() }
-	if nShards > 0 {
+	switch {
+	case nShards > 0 && useArena:
+		n, hi := nShards, *keyRange
+		newSet = func() harness.Set { return im.NewShardedArena(n, 0, hi) }
+	case nShards > 0:
 		// The partition splits exactly the workload's key range, so
 		// every shard owns range/S keys and traversals shrink O(n/S).
 		n, hi := nShards, *keyRange
 		newSet = func() harness.Set { return im.NewSharded(n, 0, hi) }
+	case useArena:
+		newSet = func() harness.Set { return im.NewArena() }
 	}
 	cfg := harness.Config{
 		Name:               im.Name,
 		New:                newSet,
 		Shards:             nShards,
+		Arena:              useArena,
 		Threads:            *threads,
 		Workload:           workload.Config{UpdatePercent: *updateRatio, Range: *keyRange},
 		Duration:           *duration,
@@ -205,6 +242,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if *memprofile != "" {
+		// A forced GC first, so the profile shows live retention (slab
+		// arenas held vs. garbage awaiting collection), not float.
+		runtime.GC()
+		writeProfile("heap", *memprofile)
+	}
 
 	switch {
 	case *jsonOut:
@@ -228,6 +271,9 @@ func printHuman(name string, cfg harness.Config, res harness.Result) {
 	if cfg.Shards > 0 {
 		fmt.Printf("shards        %d (range partitioned over [0, %d))\n", cfg.Shards, cfg.Workload.Range)
 	}
+	if cfg.Arena {
+		fmt.Printf("arena         slab-backed nodes, epoch-based recycling\n")
+	}
 	fmt.Printf("workload      %s\n", cfg.Workload)
 	fmt.Printf("protocol      %v measured after %v warm-up, %d runs\n", cfg.Duration, cfg.Warmup, cfg.Runs)
 	if len(cfg.Chaos) > 0 {
@@ -247,6 +293,8 @@ func printHuman(name string, cfg harness.Config, res harness.Result) {
 	fmt.Printf("operations    %d total: %d/%d contains hit/miss, %d/%d insert ok/fail, %d/%d remove ok/fail\n",
 		c.Total(), c.ContainsHit, c.ContainsMiss, c.InsertOK, c.InsertFail, c.RemoveOK, c.RemoveFail)
 	fmt.Printf("effective     %.2f%% of operations modified the structure\n", 100*c.EffectiveUpdateRatio())
+	fmt.Printf("memory        %.2f allocs/op, %.1f B/op (process-wide, measured intervals)\n",
+		res.AllocsPerOp(), res.BytesPerOp())
 	if cfg.Probes != nil {
 		fmt.Printf("events        ")
 		first := true

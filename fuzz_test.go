@@ -2,6 +2,10 @@ package listset
 
 import (
 	"testing"
+
+	"listset/internal/core"
+	"listset/internal/lazy"
+	"listset/internal/mem"
 )
 
 // Fuzz targets interpret a byte string as a program of set operations
@@ -144,6 +148,77 @@ func FuzzShardedVsOracle(f *testing.F) {
 				if i > 0 && snap[i-1] >= v {
 					t.Fatalf("%s/4x8: Snapshot not strictly ascending: %v", im.Name, snap)
 				}
+			}
+		}
+	})
+}
+
+// FuzzArenaVsOracle runs the program on the arena-backed VBL and Lazy
+// lists with the op stream repeated enough times that retired nodes
+// cross their two-epoch grace period and recycle mid-program — the
+// result stream must keep matching the map oracle through reuse, and
+// the arena's conservation invariant (Recycled <= Retired) must hold
+// at the end.
+func FuzzArenaVsOracle(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		if len(prog) > 1024 {
+			t.Skip()
+		}
+		for _, im := range []struct {
+			name string
+			s    interface {
+				Set
+				ArenaStats() (mem.Stats, bool)
+			}
+		}{
+			{"vbl-arena", core.NewArena()},
+			{"lazy-arena", lazy.NewArena()},
+		} {
+			oracle := map[int64]bool{}
+			// Repeat the program: the first pass seeds retirements, the
+			// later passes run against recycled nodes.
+			for round := 0; round < 6; round++ {
+				for i := 0; i+1 < len(prog); i += 2 {
+					kind, k := decodeOp(prog[i], prog[i+1])
+					switch kind {
+					case 0:
+						want := !oracle[k]
+						if got := im.s.Insert(k); got != want {
+							t.Fatalf("%s: round %d step %d Insert(%d) = %v, want %v", im.name, round, i/2, k, got, want)
+						}
+						oracle[k] = true
+					case 1:
+						want := oracle[k]
+						if got := im.s.Remove(k); got != want {
+							t.Fatalf("%s: round %d step %d Remove(%d) = %v, want %v", im.name, round, i/2, k, got, want)
+						}
+						delete(oracle, k)
+					default:
+						if got := im.s.Contains(k); got != oracle[k] {
+							t.Fatalf("%s: round %d step %d Contains(%d) = %v, want %v", im.name, round, i/2, k, got, oracle[k])
+						}
+					}
+				}
+			}
+			if im.s.Len() != len(oracle) {
+				t.Fatalf("%s: final Len = %d, want %d", im.name, im.s.Len(), len(oracle))
+			}
+			snap := im.s.Snapshot()
+			for i, v := range snap {
+				if !oracle[v] {
+					t.Fatalf("%s: Snapshot holds %d which the oracle lacks", im.name, v)
+				}
+				if i > 0 && snap[i-1] >= v {
+					t.Fatalf("%s: Snapshot not strictly ascending: %v", im.name, snap)
+				}
+			}
+			st, ok := im.s.ArenaStats()
+			if !ok {
+				t.Fatalf("%s: ArenaStats reports no arena", im.name)
+			}
+			if st.Recycled > st.Retired {
+				t.Fatalf("%s: Recycled %d > Retired %d", im.name, st.Recycled, st.Retired)
 			}
 		}
 	})

@@ -16,7 +16,10 @@
 //   - obshygiene: observability probe calls inside traversal loops sit
 //     behind the obs.On enabled-guard (see obshygiene.go);
 //   - failpointhygiene: chaos injection sites sit behind the
-//     failpoint.On enabled-guard everywhere (see failpointhygiene.go).
+//     failpoint.On enabled-guard everywhere (see failpointhygiene.go);
+//   - hotalloc: no hidden heap allocation (&T{...}, new, capturing
+//     closures) inside traversal/validation hot-path functions (see
+//     hotalloc.go).
 //
 // The engine deliberately uses only go/ast, go/parser, go/types and
 // go/importer (plus `go list` for package metadata): the build
@@ -90,7 +93,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns the full suite in a fixed order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{LockSafe, CopyLock, ValImmutable, BenchHygiene, ObsHygiene, FailpointHygiene}
+	return []*Analyzer{LockSafe, CopyLock, ValImmutable, BenchHygiene, ObsHygiene, FailpointHygiene, HotAlloc}
 }
 
 // Run applies every analyzer to every package, filters suppressed

@@ -76,6 +76,7 @@ func TestAnalyzers(t *testing.T) {
 		{"testdata/src/benchhygiene", BenchHygiene},
 		{"testdata/src/obshygiene", ObsHygiene},
 		{"testdata/src/failpointhygiene", FailpointHygiene},
+		{"testdata/src/hotalloc", HotAlloc},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {

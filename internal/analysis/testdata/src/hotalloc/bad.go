@@ -1,0 +1,80 @@
+// Seeded-bad corpus for the hotalloc analyzer.
+package hotalloc
+
+type node struct {
+	val  int64
+	next *node
+}
+
+type list struct {
+	head *node
+}
+
+// Insert is hot by name: the composite-literal allocation and the
+// capturing closure are both flagged.
+func (l *list) Insert(v int64) bool {
+	n := &node{val: v} // want "allocates on the hot path Insert"
+	sink = func() {    // want "closure captures"
+		_ = n
+	}
+	return n != nil
+}
+
+// find is hot by name: new(T) is the same allocation spelled
+// differently.
+func (l *list) find(v int64) *node {
+	spare := new(node) // want "new"
+	spare.val = v
+	return spare
+}
+
+// lockWindow is hot by prefix.
+func (l *list) lockWindow(v int64) *node {
+	return &node{val: v} // want "allocates on the hot path lockWindow"
+}
+
+// Remove is hot, but its allocation is the sanctioned one — the
+// suppression silences the finding, which is the escape hatch real
+// insert paths use.
+func (l *list) Remove(v int64) *node {
+	//lint:ignore hotalloc the removal tombstone is an intentional allocation for this corpus
+	return &node{val: v}
+}
+
+// ---- true negatives ----
+
+var sink func()
+
+// Contains allocates nothing: plain traversal.
+func (l *list) Contains(v int64) bool {
+	for curr := l.head; curr != nil; curr = curr.next {
+		if curr.val == v {
+			return true
+		}
+	}
+	return false
+}
+
+// validate uses a value composite literal that never has its address
+// taken — stack allocated, not flagged.
+func validate(prev, curr *node) bool {
+	probe := node{val: curr.val}
+	return prev.val < probe.val
+}
+
+// traverse runs a closure that captures nothing from traverse itself
+// (parameters of the literal and package globals are fine).
+func traverse(visit func(*node)) {
+	each := func(n *node) {
+		sink = nil
+		visit2(n)
+	}
+	_ = each
+}
+
+func visit2(*node) {}
+
+// helper is not hot: it may allocate freely.
+func helper(v int64) *node {
+	return &node{val: v}
+}

@@ -123,6 +123,7 @@ func (s *MutexVBL) Insert(v int64) bool {
 		if curr.val == v {
 			return false
 		}
+		//lint:ignore hotalloc the insert path must materialize the new node; the mutex ablation has no arena mode
 		n := &mnode{val: v}
 		n.next.Store(curr)
 		if !prev.lockNextAt(curr) {

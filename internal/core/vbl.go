@@ -23,6 +23,12 @@
 // Memory reclamation is delegated to the Go garbage collector, exactly as
 // the paper delegates it to the Java GC: an unlinked node remains valid
 // for the traversals still standing on it until it becomes unreachable.
+// Alternatively, NewArena (or the WithArena option) attaches a
+// slab-backed arena with epoch-based reclamation (internal/mem):
+// unlinked nodes are retired and recycled after a two-epoch grace
+// period, trading the GC's allocation and scan costs for a pin/unpin
+// pair per operation. Reuse is safe precisely because VBL is
+// lock-based and value-validating — see arena.go and DESIGN.md §10.
 package core
 
 import (
@@ -30,6 +36,7 @@ import (
 	"unsafe"
 
 	"listset/internal/failpoint"
+	"listset/internal/mem"
 	"listset/internal/obs"
 	"listset/internal/trylock"
 )
@@ -175,6 +182,10 @@ type VBL struct {
 	probes *obs.Probes
 	// fps, when non-nil, arms the chaos failpoints (internal/failpoint).
 	fps *failpoint.Set
+	// arena, when non-nil, supplies nodes from slab-backed per-worker
+	// free lists and recycles unlinked nodes after the epoch-based
+	// grace period (internal/mem). Nil delegates lifetimes to the GC.
+	arena *mem.Arena[node]
 
 	// budget is the failed-validation retry budget K (0 = the paper's
 	// unbounded retries); retry aggregates what the escalators saw.
@@ -185,11 +196,21 @@ type VBL struct {
 // SetProbes attaches (or with nil detaches) the contention-event
 // counters. Call it before sharing the set between goroutines: the
 // field is read without synchronization by every operation.
-func (s *VBL) SetProbes(p *obs.Probes) { s.probes = p }
+func (s *VBL) SetProbes(p *obs.Probes) {
+	s.probes = p
+	if a := s.arena; a != nil {
+		a.SetProbes(p)
+	}
+}
 
 // SetFailpoints attaches (or with nil detaches) the fault-injection
 // layer. Call it before sharing the set between goroutines.
-func (s *VBL) SetFailpoints(fp *failpoint.Set) { s.fps = fp }
+func (s *VBL) SetFailpoints(fp *failpoint.Set) {
+	s.fps = fp
+	if a := s.arena; a != nil {
+		a.SetFailpoints(fp)
+	}
+}
 
 // SetRetryBudget sets the failed-validation retry budget K: after K
 // restarts an update escalates from the prev-restart to head-restarts,
@@ -239,18 +260,26 @@ func (s *VBL) traverse(v int64, prev *node) (*node, *node) {
 // predecessor, in which case the operation linearizes just before the
 // delete's mark).
 func (s *VBL) Contains(v int64) bool {
+	g := s.arena.Pin()
 	curr := s.head
 	for curr.val < v {
 		curr = curr.next.Load()
 	}
-	return curr.val == v
+	found := curr.val == v
+	g.Unpin()
+	return found
 }
 
 // Insert adds v to the set and reports whether v was absent
 // (Algorithm 2, lines 22-32).
 func (s *VBL) Insert(v int64) bool {
+	g := s.arena.Pin()
 	prev := s.head
 	esc := obs.Escalator{Budget: s.budget, HeadNative: s.headRestart}
+	// The speculative node is allocated once and reused across failed
+	// validations; it is unpublished until the successful link, so no
+	// traversal can observe the reuse.
+	var n *node
 	for {
 		if fp := s.fps; failpoint.On(fp) {
 			fp.Do(failpoint.SiteVBLTraverse, v)
@@ -262,10 +291,16 @@ func (s *VBL) Insert(v int64) bool {
 			// (The Lazy list would have locked prev first — this early
 			// return is exactly the schedule of Figure 2 that Lazy
 			// rejects and VBL accepts.)
+			if n != nil && g.Active() {
+				g.Free(n) // never published: no grace period needed
+			}
 			esc.Done(&s.retry)
+			g.Unpin()
 			return false
 		}
-		n := &node{val: v}
+		if n == nil {
+			n = s.newNode(g, v)
+		}
 		n.next.Store(curr)
 		injected := false
 		if fp := s.fps; failpoint.On(fp) {
@@ -278,6 +313,7 @@ func (s *VBL) Insert(v int64) bool {
 		prev.next.Store(n)
 		prev.lock.Unlock()
 		esc.Done(&s.retry)
+		g.Unpin()
 		return true
 	}
 }
@@ -308,6 +344,7 @@ func (s *VBL) restart(prev *node, esc *obs.Escalator, v int64) *node {
 // Remove deletes v from the set and reports whether v was present
 // (Algorithm 2, lines 33-48).
 func (s *VBL) Remove(v int64) bool {
+	g := s.arena.Pin()
 	prev := s.head
 	esc := obs.Escalator{Budget: s.budget, HeadNative: s.headRestart}
 	for {
@@ -318,6 +355,7 @@ func (s *VBL) Remove(v int64) bool {
 		prev, curr = s.traverse(v, prev)
 		if curr.val != v {
 			esc.Done(&s.retry)
+			g.Unpin()
 			return false
 		}
 		next := curr.next.Load()
@@ -364,7 +402,15 @@ func (s *VBL) Remove(v int64) bool {
 			p.Inc(obs.EvLogicalDelete, v)
 			p.Inc(obs.EvPhysicalUnlink, v)
 		}
+		if g.Active() {
+			// curr is unlinked (unreachable for new traversals) and its
+			// lock is free again: retire it into limbo. It recycles only
+			// after the two-epoch grace period, so the pinned traversals
+			// that may still stand on it stay safe.
+			g.Retire(curr)
+		}
 		esc.Done(&s.retry)
+		g.Unpin()
 		return true
 	}
 }
@@ -372,10 +418,12 @@ func (s *VBL) Remove(v int64) bool {
 // Len counts the elements by traversal. Under concurrent updates the
 // result is a best-effort snapshot; it is exact at quiescence. O(n).
 func (s *VBL) Len() int {
+	g := s.arena.Pin()
 	n := 0
 	for curr := s.head.next.Load(); curr.val != MaxSentinel; curr = curr.next.Load() {
 		n++
 	}
+	g.Unpin()
 	return n
 }
 
@@ -383,9 +431,11 @@ func (s *VBL) Len() int {
 // Under concurrent updates it is a best-effort snapshot; it is exact at
 // quiescence.
 func (s *VBL) Snapshot() []int64 {
+	g := s.arena.Pin()
 	var out []int64
 	for curr := s.head.next.Load(); curr.val != MaxSentinel; curr = curr.next.Load() {
 		out = append(out, curr.val)
 	}
+	g.Unpin()
 	return out
 }

@@ -87,6 +87,12 @@ const (
 	// the best-effort unlink (delegating it to a future helper) or
 	// fails the helping unlink (forcing the Figure 3 restart).
 	SiteUnlink
+	// SiteEpochAdvance fires in the epoch-based reclamation layer
+	// (internal/mem) just before a global epoch advance is attempted.
+	// An injected failure skips the attempt — stretching the grace
+	// period and starving the free lists, never unsafely shortening it
+	// — so chaos runs exercise the arena under reclamation pressure.
+	SiteEpochAdvance
 
 	// NumSites is the number of distinct sites.
 	NumSites
@@ -104,6 +110,7 @@ var siteNames = [NumSites]string{
 	SiteTryLockAcquire:     "trylock-acquire",
 	SiteShardRoute:         "shard-route",
 	SiteUnlink:             "unlink",
+	SiteEpochAdvance:       "epoch-advance",
 }
 
 // String returns the site's stable identifier.
@@ -303,6 +310,7 @@ func Shipped(seed int64) []Scenario {
 		{Site: SiteVBLTraverse, Action: ActYield, Probability: 0.1, Seed: seed + 5},
 		{Site: SiteTryLockAcquire, Action: ActDelay, Probability: 0.02, Delay: 5 * us, Seed: seed + 6},
 		{Site: SiteShardRoute, Action: ActDelay, Probability: 0.02, Delay: 5 * us, Seed: seed + 7},
+		{Site: SiteEpochAdvance, Action: ActFail, Probability: 0.2, Seed: seed + 8},
 	}
 }
 

@@ -208,6 +208,7 @@ func (l *List) Insert(v int64) bool {
 			// Window shifted; fall through to re-search below.
 		default:
 			n := newNode(v, curr)
+			//lint:ignore hotalloc the (right, mark, flag) triple is an immutable cell by design; every successful CAS allocates one
 			if prev.succ.CompareAndSwap(ps, &succ{right: n}) {
 				return true
 			}

@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"math/bits"
+	"runtime"
 	"runtime/pprof"
 	"sync"
 	"sync/atomic"
@@ -49,6 +50,10 @@ type Config struct {
 	// unsharded; the harness itself only validates and reports it —
 	// the sharding happens inside New.
 	Shards int
+	// Arena records that New constructs arena-backed sets
+	// (internal/mem), so reports can distinguish arena cells. Like
+	// Shards, the harness only reports it — the arena lives inside New.
+	Arena bool
 	// Workload is the operation mix and key range.
 	Workload workload.Config
 	// Duration is the measured interval per run.
@@ -178,6 +183,30 @@ type Result struct {
 	// HasRetry reports whether the implementation exposes a retry
 	// ladder (obs.RetryBudgeted).
 	HasRetry bool
+	// Mallocs and AllocBytes are the runtime.MemStats deltas summed
+	// over the measured intervals (population and warm-up excluded).
+	// They count the whole process, so they are meaningful for
+	// single-cell runs, not for concurrent cells in one process.
+	Mallocs    uint64
+	AllocBytes uint64
+}
+
+// AllocsPerOp returns heap allocations per completed operation over
+// the measured intervals.
+func (r Result) AllocsPerOp() float64 {
+	if t := r.Counts.Total(); t > 0 {
+		return float64(r.Mallocs) / float64(t)
+	}
+	return 0
+}
+
+// BytesPerOp returns heap bytes allocated per completed operation over
+// the measured intervals.
+func (r Result) BytesPerOp() float64 {
+	if t := r.Counts.Total(); t > 0 {
+		return float64(r.AllocBytes) / float64(t)
+	}
+	return 0
 }
 
 // Run executes the full protocol for cfg: Runs × (populate fresh set,
@@ -242,12 +271,20 @@ func runOnce(cfg Config, r int, res *Result) (Counts, time.Duration, error) {
 		}
 	}
 	// Bracket the measured interval with counter snapshots so that
-	// warm-up and population events are excluded from the report.
+	// warm-up and population events are excluded from the report. The
+	// MemStats bracket rides the same boundary; ReadMemStats stops the
+	// world, so both reads sit outside the timed drive.
 	var before obs.Snapshot
 	if cfg.Probes != nil {
 		before = cfg.Probes.Snapshot()
 	}
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	counts, elapsed, err := drive(set, cfg, cfg.Duration, uint64(cfg.Seed)+uint64(r)*1000+500, res.Latency, fps)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	res.Mallocs += memAfter.Mallocs - memBefore.Mallocs
+	res.AllocBytes += memAfter.TotalAlloc - memBefore.TotalAlloc
 	if cfg.Probes != nil {
 		res.Events = res.Events.Add(cfg.Probes.Snapshot().Sub(before))
 	}

@@ -23,7 +23,10 @@ type JSONReport struct {
 	// Shards is the shard count of the partitioned façade (0 =
 	// unsharded). Added for the sharded VBL; a new field, so the
 	// schema string is unchanged.
-	Shards   int          `json:"shards"`
+	Shards int `json:"shards"`
+	// Arena reports whether the cell ran with arena-backed node
+	// lifetimes (internal/mem). A new field; schema string unchanged.
+	Arena    bool         `json:"arena"`
 	Workload JSONWorkload `json:"workload"`
 	Protocol JSONProtocol `json:"protocol"`
 	// InitialSize is the pre-population size of the last run.
@@ -40,6 +43,20 @@ type JSONReport struct {
 	// lifetime; nil when the implementation has no retry ladder. A new
 	// optional field, so the schema string is unchanged.
 	Retry *JSONRetry `json:"retry,omitempty"`
+	// Mem is the process-wide heap accounting over the measured
+	// intervals. A new field; schema string unchanged.
+	Mem JSONMem `json:"mem"`
+}
+
+// JSONMem is the runtime.MemStats delta summed over the measured
+// intervals (population and warm-up excluded). Process-wide: compare
+// across cells only when each cell ran in its own process (the smoke
+// scripts and cmd/synchrobench do).
+type JSONMem struct {
+	Mallocs     uint64  `json:"mallocs"`
+	AllocBytes  uint64  `json:"alloc_bytes"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
 // JSONWorkload mirrors workload.Config.
@@ -114,6 +131,7 @@ func Report(res Result) JSONReport {
 		Impl:    cfg.Name,
 		Threads: cfg.Threads,
 		Shards:  cfg.Shards,
+		Arena:   cfg.Arena,
 		Workload: JSONWorkload{
 			UpdatePercent: cfg.Workload.UpdatePercent,
 			Range:         cfg.Workload.Range,
@@ -146,6 +164,12 @@ func Report(res Result) JSONReport {
 			Total:                res.Counts.Total(),
 			EffectiveUpdateRatio: res.Counts.EffectiveUpdateRatio(),
 		},
+	}
+	rep.Mem = JSONMem{
+		Mallocs:     res.Mallocs,
+		AllocBytes:  res.AllocBytes,
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.BytesPerOp(),
 	}
 	for _, sc := range cfg.Chaos {
 		rep.Protocol.Chaos = append(rep.Protocol.Chaos, sc.String())

@@ -118,6 +118,7 @@ retry:
 				if fp := s.fps; failpoint.On(fp) {
 					injected = fp.Fail(failpoint.SiteUnlink, curr.val)
 				}
+				//lint:ignore hotalloc AMR cells are immutable by design; unlinking allocates the replacement cell (the indirection this variant prices)
 				snipped := &amrCell{next: currCell.next}
 				if injected || !prev.cell.CompareAndSwap(prevCell, snipped) {
 					if p := s.probes; obs.On(p) {
@@ -172,6 +173,7 @@ func (s *AMR) Insert(v int64) bool {
 		}
 		if !injected {
 			n := newAMRNode(v, curr)
+			//lint:ignore hotalloc AMR cells are immutable by design; linking allocates the replacement cell
 			if prev.cell.CompareAndSwap(prevCell, &amrCell{next: n}) {
 				esc.Done(&s.retry)
 				return true
@@ -213,6 +215,7 @@ func (s *AMR) Remove(v int64) bool {
 		if fp := s.fps; failpoint.On(fp) {
 			injected = fp.Fail(failpoint.SiteHarrisCAS, v)
 		}
+		//lint:ignore hotalloc AMR cells are immutable by design; the logical delete allocates the marked cell
 		marked := &amrCell{next: currCell.next, marked: true}
 		if injected || !curr.cell.CompareAndSwap(currCell, marked) {
 			if p := s.probes; obs.On(p) {
@@ -230,6 +233,7 @@ func (s *AMR) Remove(v int64) bool {
 		if fp := s.fps; failpoint.On(fp) {
 			skipUnlink = fp.Fail(failpoint.SiteUnlink, v)
 		}
+		//lint:ignore hotalloc AMR cells are immutable by design; the physical unlink allocates the replacement cell
 		unlinked := !skipUnlink && prev.cell.CompareAndSwap(prevCell, &amrCell{next: currCell.next})
 		if p := s.probes; obs.On(p) {
 			p.Inc(obs.EvLogicalDelete, v)

@@ -199,6 +199,7 @@ func (s *Marker) Remove(v int64) bool {
 		if fp := s.fps; failpoint.On(fp) {
 			injected = fp.Fail(failpoint.SiteHarrisCAS, v)
 		}
+		//lint:ignore hotalloc the marker node IS the deletion mark in this variant; removal allocates it by design (and recycling would re-introduce ABA)
 		m := &markNode{val: curr.val, marker: true}
 		m.next.Store(succ)
 		if injected || !curr.next.CompareAndSwap(succ, m) {

@@ -1,0 +1,107 @@
+package lazy
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestArenaLazyOracle checks the arena-backed Lazy list against a map
+// oracle through a long sequential mixed workload with enough churn
+// that nodes demonstrably recycle mid-run.
+func TestArenaLazyOracle(t *testing.T) {
+	l := NewArena()
+	oracle := map[int64]bool{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		v := rng.Int63n(64)
+		switch rng.Intn(3) {
+		case 0:
+			if got, want := l.Insert(v), !oracle[v]; got != want {
+				t.Fatalf("op %d: Insert(%d) = %v, oracle says %v", i, v, got, want)
+			}
+			oracle[v] = true
+		case 1:
+			if got, want := l.Remove(v), oracle[v]; got != want {
+				t.Fatalf("op %d: Remove(%d) = %v, oracle says %v", i, v, got, want)
+			}
+			delete(oracle, v)
+		default:
+			if got, want := l.Contains(v), oracle[v]; got != want {
+				t.Fatalf("op %d: Contains(%d) = %v, oracle says %v", i, v, got, want)
+			}
+		}
+	}
+	if got, want := l.Len(), len(oracle); got != want {
+		t.Fatalf("Len = %d, oracle has %d", got, want)
+	}
+	st, ok := l.ArenaStats()
+	if !ok {
+		t.Fatal("ArenaStats reports no arena on NewArena()")
+	}
+	if st.Recycled == 0 {
+		t.Errorf("20000 mixed ops recycled nothing: %+v", st)
+	}
+	if got, want := len(l.Snapshot()), len(oracle); got != want {
+		t.Fatalf("Snapshot has %d elements, oracle %d", got, want)
+	}
+}
+
+// TestRaceArenaLazyRecycleVsTraversal hammers Lazy's node recycling
+// against its wait-free traversals under the race detector, mirroring
+// the core VBL stress: mutators over a small key range for maximum
+// recycle pressure, readers exercising every unprotected-dereference
+// path (Contains, Len, Snapshot).
+func TestRaceArenaLazyRecycleVsTraversal(t *testing.T) {
+	iters := 20000
+	if testing.Short() {
+		iters = 4000
+	}
+	l := NewArena()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				v := rng.Int63n(32)
+				if rng.Intn(2) == 0 {
+					l.Insert(v)
+				} else {
+					l.Remove(v)
+				}
+			}
+		}(int64(w))
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(100 + seed))
+			for i := 0; i < iters; i++ {
+				switch rng.Intn(8) {
+				case 0:
+					l.Len()
+				case 1:
+					l.Snapshot()
+				default:
+					l.Contains(rng.Int63n(32))
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+
+	st, ok := l.ArenaStats()
+	if !ok {
+		t.Fatal("no arena attached")
+	}
+	if st.Recycled == 0 {
+		t.Errorf("stress run recycled nothing (epoch %d, retired %d): the hazard went unexercised", st.Epoch, st.Retired)
+	}
+	if st.Recycled > st.Retired {
+		t.Errorf("Recycled %d > Retired %d", st.Recycled, st.Retired)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"unsafe"
 
 	"listset/internal/failpoint"
+	"listset/internal/mem"
 	"listset/internal/obs"
 	"listset/internal/trylock"
 )
@@ -66,6 +67,10 @@ type List struct {
 	probes *obs.Probes
 	// fps, when non-nil, arms the chaos failpoints (internal/failpoint).
 	fps *failpoint.Set
+	// arena, when non-nil, supplies nodes from slab-backed per-worker
+	// free lists and recycles unlinked nodes after the epoch-based
+	// grace period (internal/mem). Nil delegates lifetimes to the GC.
+	arena *mem.Arena[node]
 
 	// budget is the failed-validation retry budget K (0 = unbounded
 	// retries); retry aggregates what the escalators saw. Lazy's native
@@ -77,11 +82,21 @@ type List struct {
 
 // SetProbes attaches (or with nil detaches) the contention-event
 // counters. Call it before sharing the list between goroutines.
-func (l *List) SetProbes(p *obs.Probes) { l.probes = p }
+func (l *List) SetProbes(p *obs.Probes) {
+	l.probes = p
+	if a := l.arena; a != nil {
+		a.SetProbes(p)
+	}
+}
 
 // SetFailpoints attaches (or with nil detaches) the fault-injection
 // layer. Call it before sharing the list between goroutines.
-func (l *List) SetFailpoints(fp *failpoint.Set) { l.fps = fp }
+func (l *List) SetFailpoints(fp *failpoint.Set) {
+	l.fps = fp
+	if a := l.arena; a != nil {
+		a.SetFailpoints(fp)
+	}
+}
 
 // SetRetryBudget sets the failed-validation retry budget K: past K
 // restarts an update backs off between attempts. 0 restores unbounded
@@ -158,16 +173,23 @@ func (l *List) countValFail(prev, curr *node, v int64) {
 
 // Contains reports whether v is in the set. Wait-free.
 func (l *List) Contains(v int64) bool {
+	g := l.arena.Pin()
 	curr := l.head
 	for curr.val < v {
 		curr = curr.next.Load()
 	}
-	return curr.val == v && !curr.marked.Load()
+	found := curr.val == v && !curr.marked.Load()
+	g.Unpin()
+	return found
 }
 
 // Insert adds v to the set and reports whether v was absent.
 func (l *List) Insert(v int64) bool {
+	g := l.arena.Pin()
 	esc := obs.Escalator{Budget: l.budget, HeadNative: true}
+	// The speculative node is allocated once and reused across failed
+	// validations; it stays unpublished until the successful link.
+	var n *node
 	for {
 		prev, curr := l.find(v)
 		l.lockWindow(prev, curr)
@@ -186,21 +208,29 @@ func (l *List) Insert(v int64) bool {
 			// Value already present — but the locks were taken anyway.
 			curr.lock.Unlock()
 			prev.lock.Unlock()
+			if n != nil && g.Active() {
+				g.Free(n) // never published: no grace period needed
+			}
 			esc.Done(&l.retry)
+			g.Unpin()
 			return false
 		}
-		n := &node{val: v}
+		if n == nil {
+			n = l.newNode(g, v)
+		}
 		n.next.Store(curr)
 		prev.next.Store(n)
 		curr.lock.Unlock()
 		prev.lock.Unlock()
 		esc.Done(&l.retry)
+		g.Unpin()
 		return true
 	}
 }
 
 // Remove deletes v from the set and reports whether v was present.
 func (l *List) Remove(v int64) bool {
+	g := l.arena.Pin()
 	esc := obs.Escalator{Budget: l.budget, HeadNative: true}
 	for {
 		prev, curr := l.find(v)
@@ -220,6 +250,7 @@ func (l *List) Remove(v int64) bool {
 			curr.lock.Unlock()
 			prev.lock.Unlock()
 			esc.Done(&l.retry)
+			g.Unpin()
 			return false
 		}
 		// The mark+unlink run under both locks and must not be skipped,
@@ -235,30 +266,41 @@ func (l *List) Remove(v int64) bool {
 			p.Inc(obs.EvLogicalDelete, v)
 			p.Inc(obs.EvPhysicalUnlink, v)
 		}
+		// Retire only after curr's lock is released: the node's next
+		// life must find its lock free. The unlink under both locks
+		// makes this the node's unique retirement.
+		if g.Active() {
+			g.Retire(curr)
+		}
 		esc.Done(&l.retry)
+		g.Unpin()
 		return true
 	}
 }
 
 // Len counts the unmarked elements by traversal; exact at quiescence.
 func (l *List) Len() int {
+	g := l.arena.Pin()
 	n := 0
 	for curr := l.head.next.Load(); curr.val != MaxSentinel; curr = curr.next.Load() {
 		if !curr.marked.Load() {
 			n++
 		}
 	}
+	g.Unpin()
 	return n
 }
 
 // Snapshot returns the unmarked elements in ascending order; exact at
 // quiescence.
 func (l *List) Snapshot() []int64 {
+	g := l.arena.Pin()
 	var out []int64
 	for curr := l.head.next.Load(); curr.val != MaxSentinel; curr = curr.next.Load() {
 		if !curr.marked.Load() {
 			out = append(out, curr.val)
 		}
 	}
+	g.Unpin()
 	return out
 }

@@ -79,6 +79,20 @@ const (
 	// twice the retry budget and started backing off onto the
 	// scheduler between restarts.
 	EvRetryEscalateBackoff
+	// EvNodeAlloc counts list nodes handed out to inserts — from a
+	// slab or recycled from a free list when an arena is attached, from
+	// the Go heap otherwise (internal/mem).
+	EvNodeAlloc
+	// EvNodeRecycle counts retired nodes whose grace period expired and
+	// that moved from a limbo bucket back onto a free list for reuse.
+	EvNodeRecycle
+	// EvLimboRetire counts physically-unlinked nodes retired to a
+	// per-worker limbo list to wait out the two-epoch grace period.
+	EvLimboRetire
+	// EvEpochAdvance counts successful global epoch advances of an
+	// arena (internal/mem); the gap between this and EvLimboRetire is
+	// how long retired memory waits.
+	EvEpochAdvance
 
 	// NumEvents is the number of distinct events.
 	NumEvents
@@ -99,6 +113,10 @@ var eventNames = [NumEvents]string{
 	EvHelpedUnlink:         "helped_unlink",
 	EvRetryEscalateHead:    "retry_escalate_head",
 	EvRetryEscalateBackoff: "retry_escalate_backoff",
+	EvNodeAlloc:            "node_alloc",
+	EvNodeRecycle:          "node_recycle",
+	EvLimboRetire:          "limbo_retire",
+	EvEpochAdvance:         "epoch_advance",
 }
 
 // String returns the event's stable report identifier.

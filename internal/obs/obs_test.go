@@ -75,6 +75,10 @@ func TestEventNamesStable(t *testing.T) {
 		EvHelpedUnlink:         "helped_unlink",
 		EvRetryEscalateHead:    "retry_escalate_head",
 		EvRetryEscalateBackoff: "retry_escalate_backoff",
+		EvNodeAlloc:            "node_alloc",
+		EvNodeRecycle:          "node_recycle",
+		EvLimboRetire:          "limbo_retire",
+		EvEpochAdvance:         "epoch_advance",
 	}
 	if len(want) != int(NumEvents) {
 		t.Fatalf("test covers %d events, package has %d", len(want), NumEvents)

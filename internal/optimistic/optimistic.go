@@ -107,6 +107,7 @@ func (l *List) Insert(v int64) bool {
 	if curr.val == v {
 		return false
 	}
+	//lint:ignore hotalloc the insert path must materialize the new node; the optimistic baseline has no arena mode
 	n := &node{val: v}
 	n.next.Store(curr)
 	prev.next.Store(n)

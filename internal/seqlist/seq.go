@@ -57,6 +57,7 @@ func (l *List) Insert(v int64) bool {
 	if curr.val == v {
 		return false
 	}
+	//lint:ignore hotalloc the insert path must materialize the new node; the sequential reference list stays allocation-simple
 	prev.next = &node{val: v, next: curr}
 	l.size++
 	return true

@@ -153,6 +153,7 @@ func (s *Lazy) Insert(v int64) bool {
 		if !lockPreds(&preds, &succs, h-1, nil) {
 			continue
 		}
+		//lint:ignore hotalloc the insert path must materialize the new tower; the skip lists have no arena mode
 		n := &lazyNode{val: v, height: h}
 		for l := 0; l < h; l++ {
 			n.next[l].Store(succs[l])

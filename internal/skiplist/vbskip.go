@@ -198,6 +198,7 @@ func (s *VB) Insert(v int64) bool {
 			return false
 		}
 		h := s.randomHeight()
+		//lint:ignore hotalloc the insert path must materialize the new tower; the skip lists have no arena mode
 		n := &vbNode{val: v, height: h}
 		for l := 0; l < h; l++ {
 			n.next[l].Store(succs[l])

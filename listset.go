@@ -93,11 +93,23 @@ func NewVBLNoPreValidation() Set { return core.NewVariant(core.WithoutPreValidat
 // node locks instead of the CAS spin try-lock.
 func NewVBLMutex() Set { return core.NewMutex() }
 
+// NewVBLArena returns VBL with arena-backed node lifetimes
+// (internal/mem): inserts draw nodes from slab-backed per-worker free
+// lists, removed nodes recycle after an epoch-based grace period, and
+// the steady-state allocation rate drops to near zero. Semantics are
+// identical to NewVBL.
+func NewVBLArena() Set { return core.NewArena() }
+
 // NewLazy returns the Lazy Linked List baseline (Heller et al., OPODIS
 // 2006): wait-free traversals, but updates lock the window before
 // validating — the post-locking validation the paper proves concurrency
 // sub-optimal (Figure 2).
 func NewLazy() Set { return lazy.New() }
+
+// NewLazyArena returns the Lazy list with arena-backed node lifetimes
+// (internal/mem), the allocation-rate counterpart of NewVBLArena for
+// the lock-based baseline.
+func NewLazyArena() Set { return lazy.NewArena() }
 
 // NewHarrisAMR returns the lock-free Harris-Michael list built on an
 // AtomicMarkableReference equivalent: each (next, marked) pair is an
@@ -172,6 +184,14 @@ func NewVBLShardedRange(shards int, lo, hi int64) Set {
 	return shard.NewRange(shards, lo, hi, func() shard.Set { return core.New() })
 }
 
+// NewVBLShardedArenaRange is NewVBLShardedRange with arena-backed node
+// lifetimes: each shard owns a private arena (allocation stays
+// shard-local, like the lists' own hot fields), so the façade's
+// contention isolation extends to the memory layer.
+func NewVBLShardedArenaRange(shards int, lo, hi int64) Set {
+	return shard.NewRange(shards, lo, hi, func() shard.Set { return core.NewArena() })
+}
+
 // NewLazySharded returns the Lazy list behind the same sharded façade,
 // so the partitioner's effect can be priced on the paper's lock-based
 // baseline under identical routing.
@@ -182,6 +202,12 @@ func NewLazySharded(shards int) Set {
 // NewLazyShardedRange is NewLazySharded with an explicit focus range.
 func NewLazyShardedRange(shards int, lo, hi int64) Set {
 	return shard.NewRange(shards, lo, hi, func() shard.Set { return lazy.New() })
+}
+
+// NewLazyShardedArenaRange is NewLazyShardedRange with a private arena
+// per shard, mirroring NewVBLShardedArenaRange.
+func NewLazyShardedArenaRange(shards int, lo, hi int64) Set {
+	return shard.NewRange(shards, lo, hi, func() shard.Set { return lazy.NewArena() })
 }
 
 // NewHarrisSharded returns the lock-free Harris-Michael marker list

@@ -21,6 +21,15 @@ type Impl struct {
 	// out-of-range keys clamping to the edge shards. Tools pass the
 	// workload's key range as [lo, hi) so traversals walk O(n/S) nodes.
 	NewSharded func(shards int, lo, hi int64) Set
+	// NewArena, when non-nil, constructs the implementation with
+	// arena-backed node lifetimes (internal/mem): slab allocation,
+	// per-worker free lists, epoch-based reclamation. Nil means the
+	// implementation has no arena mode (e.g. the lock-free lists, whose
+	// identity CAS makes node reuse an ABA hazard).
+	NewArena func() Set
+	// NewShardedArena combines NewSharded and NewArena: one private
+	// arena per shard. Non-nil only when both modes exist.
+	NewShardedArena func(shards int, lo, hi int64) Set
 	// ThreadSafe reports whether the implementation may be used from
 	// multiple goroutines. Only the sequential reference list is not.
 	ThreadSafe bool
@@ -34,18 +43,22 @@ type Impl struct {
 // impls is the registry, in the order used by reports.
 var impls = []Impl{
 	{
-		Name:       "vbl",
-		New:        NewVBL,
-		NewSharded: NewVBLShardedRange,
-		ThreadSafe: true,
-		Desc:       "VBL — concurrency-optimal value-based list (this paper)",
+		Name:            "vbl",
+		New:             NewVBL,
+		NewSharded:      NewVBLShardedRange,
+		NewArena:        NewVBLArena,
+		NewShardedArena: NewVBLShardedArenaRange,
+		ThreadSafe:      true,
+		Desc:            "VBL — concurrency-optimal value-based list (this paper)",
 	},
 	{
-		Name:       "lazy",
-		New:        NewLazy,
-		NewSharded: NewLazyShardedRange,
-		ThreadSafe: true,
-		Desc:       "Lazy Linked List (Heller et al. 2006)",
+		Name:            "lazy",
+		New:             NewLazy,
+		NewSharded:      NewLazyShardedRange,
+		NewArena:        NewLazyArena,
+		NewShardedArena: NewLazyShardedArenaRange,
+		ThreadSafe:      true,
+		Desc:            "Lazy Linked List (Heller et al. 2006)",
 	},
 	{
 		Name:       "harris",
@@ -130,19 +143,38 @@ var impls = []Impl{
 		Desc:       "ablation: VBL with sync.Mutex node locks instead of the CAS try-lock",
 	},
 	{
-		Name:       "vbl-sharded",
-		Aliases:    []string{"sharded"},
-		New:        func() Set { return NewVBLSharded(DefaultShards) },
-		NewSharded: NewVBLShardedRange,
+		Name:       "vbl-arena",
+		Aliases:    []string{"arena"},
+		New:        NewVBLArena,
+		NewSharded: NewVBLShardedArenaRange,
+		NewArena:   NewVBLArena,
 		ThreadSafe: true,
-		Desc:       "VBL behind the order-preserving range partitioner (O(n/S) traversals)",
+		Desc:       "VBL with slab arenas and epoch-based node recycling (near-zero allocs/op)",
 	},
 	{
-		Name:       "lazy-sharded",
-		New:        func() Set { return NewLazySharded(DefaultShards) },
-		NewSharded: NewLazyShardedRange,
+		Name:       "lazy-arena",
+		New:        NewLazyArena,
+		NewSharded: NewLazyShardedArenaRange,
+		NewArena:   NewLazyArena,
 		ThreadSafe: true,
-		Desc:       "Lazy list behind the range partitioner",
+		Desc:       "Lazy list with slab arenas and epoch-based node recycling",
+	},
+	{
+		Name:            "vbl-sharded",
+		Aliases:         []string{"sharded"},
+		New:             func() Set { return NewVBLSharded(DefaultShards) },
+		NewSharded:      NewVBLShardedRange,
+		NewShardedArena: NewVBLShardedArenaRange,
+		ThreadSafe:      true,
+		Desc:            "VBL behind the order-preserving range partitioner (O(n/S) traversals)",
+	},
+	{
+		Name:            "lazy-sharded",
+		New:             func() Set { return NewLazySharded(DefaultShards) },
+		NewSharded:      NewLazyShardedRange,
+		NewShardedArena: NewLazyShardedArenaRange,
+		ThreadSafe:      true,
+		Desc:            "Lazy list behind the range partitioner",
 	},
 	{
 		Name:       "harris-sharded",

@@ -21,8 +21,8 @@ out="${1:-BENCH_smoke.json}"
 
 go build -o /tmp/listset-synchrobench ./cmd/synchrobench
 
-# Row layout (index: impl/shards @ range) — the gate below indexes into
-# this order, so keep it in sync:
+# Row layout (index: impl/shards @ range) — the gates below index into
+# this order, so append new rows at the END and keep it in sync:
 #   0 vbl          @ 2048
 #   1 lazy         @ 2048
 #   2 harris       @ 2048
@@ -30,6 +30,9 @@ go build -o /tmp/listset-synchrobench ./cmd/synchrobench
 #   4 vbl          @ 20000
 #   5 vbl-sharded 1  @ 20000   (façade overhead: within 10% of row 4)
 #   6 vbl-sharded 16 @ 20000   (O(n/S) payoff: >= 3x row 4)
+#   7 vbl GC       @ 20000, 100% updates   (arena gate baseline)
+#   8 vbl arena    @ 20000, 100% updates   (allocs/op <= 0.25x row 7,
+#                                           median >= 0.95x row 7)
 rows=(
   "-impl vbl          -range 2048  -duration 500ms -warmup 100ms -runs 1"
   "-impl lazy         -range 2048  -duration 500ms -warmup 100ms -runs 1"
@@ -38,15 +41,19 @@ rows=(
   "-impl vbl          -range 20000 -duration 900ms -warmup 300ms -runs 3"
   "-impl vbl-sharded  -range 20000 -duration 900ms -warmup 300ms -runs 3 -shards 1"
   "-impl vbl-sharded  -range 20000 -duration 900ms -warmup 300ms -runs 3 -shards 16"
+  "-impl vbl          -range 20000 -duration 900ms -warmup 300ms -runs 3 -update-ratio 100"
+  "-impl vbl          -range 20000 -duration 900ms -warmup 300ms -runs 3 -update-ratio 100 -arena"
 )
 
 # Wrap the per-row JSON objects into one array without external tools.
+# Common flags go first so a row's own flags (e.g. -update-ratio 100)
+# override them — the flag package takes the last occurrence.
 {
   printf '[\n'
   for i in "${!rows[@]}"; do
     [ "$i" -gt 0 ] && printf ',\n'
     # shellcheck disable=SC2086  # rows are flag lists, word-split on purpose
-    /tmp/listset-synchrobench ${rows[$i]} -threads 4 -update-ratio 20 -json
+    /tmp/listset-synchrobench -threads 4 -update-ratio 20 -json ${rows[$i]}
   done
   printf ']\n'
 } >"$out"
@@ -81,6 +88,35 @@ END {
     exit 1
   }
   printf "bench_smoke: sharding gate ok — S=16 %.1fx flat, S=1 within %.1f%%\n", sharded / flat, 100 * rel
+}' "$out"
+
+# Arena gate: rows 7 (GC) and 8 (arena) run the same 100%-update cell,
+# so the MemStats deltas are comparable. The arena must cut allocs/op
+# to a quarter or better (measured: ~100x) without giving up more than
+# 5% median throughput.
+awk -F': ' '
+/"median"/        { gsub(/,/, "", $2); m[mn++] = $2 }
+/"allocs_per_op"/ { gsub(/,/, "", $2); a[an++] = $2 }
+END {
+  if (an != '"${#rows[@]}"') {
+    printf "bench_smoke: expected %d allocs_per_op entries, found %d\n", '"${#rows[@]}"', an > "/dev/stderr"
+    exit 1
+  }
+  gcAllocs = a[7]; arAllocs = a[8]
+  gcTput = m[7]; arTput = m[8]
+  if (gcAllocs <= 0) {
+    printf "bench_smoke: GC vbl reports %.4f allocs/op on a 100%%-update run; MemStats bracketing is broken\n", gcAllocs > "/dev/stderr"
+    exit 1
+  }
+  if (arAllocs > 0.25 * gcAllocs) {
+    printf "bench_smoke: arena vbl at %.4f allocs/op exceeds 0.25x GC vbl (%.4f allocs/op)\n", arAllocs, gcAllocs > "/dev/stderr"
+    exit 1
+  }
+  if (arTput < 0.95 * gcTput) {
+    printf "bench_smoke: arena vbl median %.0f ops/s is below 0.95x GC vbl (%.0f ops/s)\n", arTput, gcTput > "/dev/stderr"
+    exit 1
+  }
+  printf "bench_smoke: arena gate ok — allocs/op %.4f vs %.4f (%.1fx cut), throughput %.2fx GC\n", arAllocs, gcAllocs, gcAllocs / arAllocs, arTput / gcTput
 }' "$out"
 
 echo "bench_smoke: wrote $out (${#rows[@]} reports)"

@@ -37,6 +37,26 @@ for impl in vbl lazy harris vbl-sharded; do
   }
 done
 
+# Arena pass: the same shipped suite (which arms the epoch-advance
+# failpoint) against the arena-backed lists, so fault-stretched grace
+# periods and recycling churn run together under the watchdog. The
+# watchdog also guards the arena's liveness: a stuck epoch must degrade
+# to no-recycling, never to a stalled operation.
+for impl in vbl lazy; do
+  echo "chaos_smoke: $impl -arena under shipped scenarios"
+  out=$("$bin" -impl "$impl" -arena -threads 4 -update-ratio 40 -range 256 \
+    -duration 300ms -warmup 50ms -runs 1 \
+    -chaos shipped -retry-budget 4 -watchdog 30s -json)
+  echo "$out" | grep -q '"arena": true' || {
+    echo "chaos_smoke: $impl -arena report does not carry arena=true" >&2
+    exit 1
+  }
+  echo "$out" | grep -q '"epoch-advance:fail' || {
+    echo "chaos_smoke: $impl -arena shipped suite does not arm the epoch-advance failpoint" >&2
+    exit 1
+  }
+done
+
 # Watchdog gate: a probability-1 validation failure livelocks every
 # update; the run must FAIL, quickly, with an error naming the
 # watchdog. (|| true captures the exit code under set -e.)

@@ -29,8 +29,8 @@ go run ./cmd/vblvet ./...
 step "unit tests"
 go test -count=1 ./...
 
-step "race gate (short stress, lock-based lists)"
-go test -race -short -count=1 ./internal/core ./internal/lazy ./internal/harris ./internal/trylock ./internal/obs ./internal/stats ./internal/failpoint ./internal/harness
+step "race gate (short stress, lock-based lists + arena reclamation)"
+go test -race -short -count=1 ./internal/core ./internal/lazy ./internal/harris ./internal/mem ./internal/trylock ./internal/obs ./internal/stats ./internal/failpoint ./internal/harness
 
 step "benchmark smoke (probes + JSON report, end to end)"
 scripts/bench_smoke.sh
