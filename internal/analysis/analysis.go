@@ -19,7 +19,21 @@
 //     failpoint.On enabled-guard everywhere (see failpointhygiene.go);
 //   - hotalloc: no hidden heap allocation (&T{...}, new, capturing
 //     closures) inside traversal/validation hot-path functions (see
-//     hotalloc.go).
+//     hotalloc.go);
+//   - epochpin: every epoch pin is unpinned on all paths, retire
+//     happens while pinned and after unlock (see epochpin.go);
+//   - lockorder: node locks are acquired in ascending list position —
+//     prev before curr (see lockorder.go);
+//   - atomicmix: fields accessed via the function-style sync/atomic
+//     API are never read or written plainly (see atomicmix.go).
+//
+// The lock- and epoch-sensitive analyzers are interprocedural: a
+// whole-program pass (interproc.go) infers per-function summaries —
+// which lock slots a helper acquires or releases, which epoch guards
+// it pins into its results — and a shared symbolic executor (exec.go)
+// applies those summaries at call sites, so helper contracts like
+// lockNextAt's returns-true-holding are verified where they are
+// consumed instead of suppressed where they are produced.
 //
 // The engine deliberately uses only go/ast, go/parser, go/types and
 // go/importer (plus `go list` for package metadata): the build
@@ -35,8 +49,10 @@
 //	//lint:ignore locksafe lock intentionally escapes to the caller
 //
 // The analyzer name may be a comma-separated list. A reason is
-// mandatory; a bare //lint:ignore is itself reported. A whole file is
-// exempted from one analyzer with:
+// mandatory; a bare //lint:ignore is itself reported, and so is a
+// stale directive — one whose named analyzers all ran but produced no
+// finding for it to suppress. A whole file is exempted from one
+// analyzer with:
 //
 //	//lint:file-ignore locksafe hand-over-hand locking is out of scope
 package analysis
@@ -48,6 +64,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // A Diagnostic is one finding, positioned for clickable file:line
@@ -70,7 +87,10 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// A Pass carries one analyzer over one type-checked package.
+// A Pass carries one analyzer over one type-checked package. Prog is
+// the whole-program view (call-graph summaries, consumed contracts,
+// atomic-field inventory) shared by every pass of one Run; it is nil
+// only in unit-test scaffolding.
 type Pass struct {
 	Analyzer   *Analyzer
 	Fset       *token.FileSet
@@ -78,6 +98,7 @@ type Pass struct {
 	Pkg        *types.Package
 	Info       *types.Info
 	ImportPath string
+	Prog       *Program
 
 	diags *[]Diagnostic
 }
@@ -93,12 +114,35 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns the full suite in a fixed order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{LockSafe, CopyLock, ValImmutable, BenchHygiene, ObsHygiene, FailpointHygiene, HotAlloc}
+	return []*Analyzer{LockSafe, CopyLock, ValImmutable, BenchHygiene, ObsHygiene, FailpointHygiene, HotAlloc, EpochPin, LockOrder, AtomicMix}
+}
+
+// An AnalyzerTiming records the wall-clock cost of one analyzer summed
+// over every package of a Run.
+type AnalyzerTiming struct {
+	Name    string
+	Elapsed time.Duration
 }
 
 // Run applies every analyzer to every package, filters suppressed
 // findings, and returns the survivors sorted by position.
 func Run(pkgs []*Pkg, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunTimed(pkgs, analyzers)
+	return diags
+}
+
+// RunTimed is Run plus per-analyzer wall-clock timings (in the
+// analyzers' given order; the whole-program summary inference is
+// reported as the pseudo-analyzer "infer").
+func RunTimed(pkgs []*Pkg, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerTiming) {
+	t0 := time.Now()
+	prog := BuildProgram(pkgs)
+	timings := []AnalyzerTiming{{Name: "infer", Elapsed: time.Since(t0)}}
+	elapsed := make(map[string]time.Duration)
+	active := make(map[string]bool)
+	for _, a := range analyzers {
+		active[a.Name] = true
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
@@ -109,12 +153,18 @@ func Run(pkgs []*Pkg, analyzers []*Analyzer) []Diagnostic {
 				Pkg:        pkg.Types,
 				Info:       pkg.Info,
 				ImportPath: pkg.ImportPath,
+				Prog:       prog,
 				diags:      &diags,
 			}
+			ta := time.Now()
 			a.Run(pass)
+			elapsed[a.Name] += time.Since(ta)
 		}
 		diags = append(diags, suppress(pkg, diags[:0:0])...)
-		diags = filterSuppressed(pkg, diags)
+		diags = filterSuppressed(pkg, diags, active)
+	}
+	for _, a := range analyzers {
+		timings = append(timings, AnalyzerTiming{Name: a.Name, Elapsed: elapsed[a.Name]})
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -129,7 +179,7 @@ func Run(pkgs []*Pkg, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
+	return diags, timings
 }
 
 // A suppression is one parsed //lint:ignore or //lint:file-ignore
@@ -198,12 +248,19 @@ func suppress(pkg *Pkg, diags []Diagnostic) []Diagnostic {
 }
 
 // filterSuppressed drops diagnostics covered by a well-formed
-// directive on the same line or the line directly above.
-func filterSuppressed(pkg *Pkg, diags []Diagnostic) []Diagnostic {
+// directive on the same line or the line directly above — and reports
+// the inverse: a line directive that names only active analyzers but
+// matched no finding is itself stale, an invariant that quietly
+// stopped needing its exception. Stale checking is restricted to the
+// active set so a partial run (-a locksafe) does not flag directives
+// it never gave a chance to match; file-wide directives are policy
+// statements and exempt.
+func filterSuppressed(pkg *Pkg, diags []Diagnostic, active map[string]bool) []Diagnostic {
 	type key struct {
 		file string
 		line int
 	}
+	var supps []suppression
 	lineSupp := make(map[key]map[string]bool)
 	fileSupp := make(map[string]map[string]bool)
 	for _, f := range pkg.Files {
@@ -211,6 +268,7 @@ func filterSuppressed(pkg *Pkg, diags []Diagnostic) []Diagnostic {
 			if s.analyzers == nil {
 				continue
 			}
+			supps = append(supps, s)
 			if s.fileWide {
 				m := fileSupp[s.file]
 				if m == nil {
@@ -235,6 +293,15 @@ func filterSuppressed(pkg *Pkg, diags []Diagnostic) []Diagnostic {
 	if len(lineSupp) == 0 && len(fileSupp) == 0 {
 		return diags
 	}
+	used := make(map[key]map[string]bool)
+	markUsed := func(k key, analyzer string) {
+		if lineSupp[k][analyzer] {
+			if used[k] == nil {
+				used[k] = make(map[string]bool)
+			}
+			used[k][analyzer] = true
+		}
+	}
 	kept := diags[:0]
 	for _, d := range diags {
 		if fileSupp[d.Pos.Filename][d.Analyzer] {
@@ -242,11 +309,35 @@ func filterSuppressed(pkg *Pkg, diags []Diagnostic) []Diagnostic {
 		}
 		// A directive suppresses findings on its own line and on the
 		// line below it (comment-above style).
-		if lineSupp[key{d.Pos.Filename, d.Pos.Line}][d.Analyzer] ||
-			lineSupp[key{d.Pos.Filename, d.Pos.Line - 1}][d.Analyzer] {
+		same := key{d.Pos.Filename, d.Pos.Line}
+		above := key{d.Pos.Filename, d.Pos.Line - 1}
+		if lineSupp[same][d.Analyzer] || lineSupp[above][d.Analyzer] {
+			markUsed(same, d.Analyzer)
+			markUsed(above, d.Analyzer)
 			continue
 		}
 		kept = append(kept, d)
+	}
+	for _, s := range supps {
+		if s.fileWide {
+			continue
+		}
+		allActive, anyUsed := true, false
+		for a := range s.analyzers {
+			if !active[a] {
+				allActive = false
+			}
+			if used[key{s.file, s.line}][a] {
+				anyUsed = true
+			}
+		}
+		if allActive && !anyUsed {
+			kept = append(kept, Diagnostic{
+				Analyzer: "lint",
+				Pos:      token.Position{Filename: s.file, Line: s.line, Column: 1},
+				Message:  "stale suppression: no finding here for the named analyzers; remove the directive or re-justify it",
+			})
+		}
 	}
 	return kept
 }

@@ -77,6 +77,9 @@ func TestAnalyzers(t *testing.T) {
 		{"testdata/src/obshygiene", ObsHygiene},
 		{"testdata/src/failpointhygiene", FailpointHygiene},
 		{"testdata/src/hotalloc", HotAlloc},
+		{"testdata/src/epochpin", EpochPin},
+		{"testdata/src/lockorder", LockOrder},
+		{"testdata/src/atomicmix", AtomicMix},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {
@@ -130,19 +133,70 @@ func TestCleanRealPackage(t *testing.T) {
 	}
 }
 
-// TestSuppressedRealPackage runs locksafe over the VBL core, whose
-// lockNextAt helpers intentionally escape with the lock held: the
-// //lint:ignore justifications must reduce the findings to zero, and
-// stripping them (simulated by re-running on a marker-free rendering)
-// is covered by the corpus test above.
-func TestSuppressedRealPackage(t *testing.T) {
+// TestContractRealPackage runs locksafe over the VBL core, whose
+// lockNextAt helpers intentionally escape with the lock held. Before
+// the interprocedural pass this took //lint:ignore directives; now the
+// returns-true-holding contracts are inferred, their consumption by
+// Insert/Remove is verified, and zero findings — and zero
+// suppressions — must remain.
+func TestContractRealPackage(t *testing.T) {
 	pkgs, err := Load([]string{"listset/internal/core"}, LoadOptions{Tests: false})
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}
 	if diags := Run(pkgs, []*Analyzer{LockSafe}); len(diags) != 0 {
 		for _, d := range diags {
-			t.Errorf("unexpected finding despite suppression: %s", d)
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+}
+
+// TestCrossPackageContracts loads the two-package fixture: helper
+// exports a returns-true-holding lock helper, caller consumes it.
+// The contract must flow across the package boundary — no finding in
+// helper, no finding at the discharging call site, exactly one at the
+// leaking one.
+func TestCrossPackageContracts(t *testing.T) {
+	pkgs, err := Load([]string{"./testdata/src/xpkg/helper", "./testdata/src/xpkg/caller"}, LoadOptions{Tests: false})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("Load returned %d packages, want 2", len(pkgs))
+	}
+	diags := Run(pkgs, []*Analyzer{LockSafe})
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want exactly 1:\n%v", len(diags), diags)
+	}
+	d := diags[0]
+	if filepath.Base(d.Pos.Filename) != "caller.go" || !strings.Contains(d.Message, "can reach the function exit") {
+		t.Errorf("finding landed wrong: %s", d)
+	}
+	if !strings.Contains(d.Message, "n.Lock") || !strings.Contains(d.Message, "LockIfOK") {
+		t.Errorf("finding should name the caller-side lock and the helper: %s", d)
+	}
+}
+
+// TestEveryAnalyzerFiresOnCorpus locks the registry to its corpora: a
+// registered analyzer whose own seeded-bad corpus produces no finding
+// is either broken or untested, and either way must not ship.
+func TestEveryAnalyzerFiresOnCorpus(t *testing.T) {
+	for _, a := range Analyzers() {
+		dir := filepath.Join("testdata", "src", a.Name)
+		pkg, err := LoadDir(dir)
+		if err != nil {
+			t.Errorf("%s: no loadable corpus at %s: %v", a.Name, dir, err)
+			continue
+		}
+		fired := false
+		for _, d := range Run([]*Pkg{pkg}, []*Analyzer{a}) {
+			if d.Analyzer == a.Name {
+				fired = true
+				break
+			}
+		}
+		if !fired {
+			t.Errorf("%s: produced no finding on its own corpus %s", a.Name, dir)
 		}
 	}
 }

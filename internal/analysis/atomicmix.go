@@ -1,0 +1,120 @@
+// The atomicmix analyzer: a field accessed through sync/atomic
+// anywhere must never be read or written plainly anywhere else.
+//
+// Mixing atomic and plain access to the same memory is a Go
+// memory-model violation that -race only catches when a schedule
+// actually exposes the pair — the paper's wait-free traversals read
+// hot fields (next pointers, deletion marks) concurrently with locked
+// writers, which is exactly the pattern that makes a stray plain
+// access both tempting ("it's under the lock anyway") and wrong (the
+// unlocked readers still race with it). The repository's own style
+// avoids the trap by using the typed atomic API (atomic.Pointer,
+// atomic.Bool), whose field types make plain access unrepresentable;
+// atomicmix guards the remaining function-style surface
+// (atomic.AddInt64(&x.f), atomic.StoreInt64, ...), where nothing stops
+// a plain `x.f++` from compiling.
+//
+// The check is program-wide and two-phase, riding on the Program built
+// for the interprocedural pass: BuildProgram inventories every struct
+// field whose address is passed to a sync/atomic function in any
+// analyzed package; the analyzer then flags every other appearance of
+// those fields — plain reads, plain writes, and addresses taken
+// outside a sync/atomic call (an escaped pointer is a plain access
+// waiting to happen).
+package analysis
+
+import (
+	"go/ast"
+)
+
+// AtomicMix is the atomic/plain mixed-access analyzer.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "fields accessed via sync/atomic must never be read or written plainly",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	if pass.Prog == nil || len(pass.Prog.atomicFields) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		// Pass 1: mark the selectors sanctioned by being the &-operand
+		// of a sync/atomic call argument.
+		sanctioned := make(map[*ast.SelectorExpr]bool)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSyncAtomicCall(pass.Info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if sel, isField := addressedField(arg); isField {
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+		// Pass 2: every other appearance of an inventoried field is a
+		// mixed access.
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			key := fieldKeyOf(pass.Info, sel)
+			if key == "" {
+				return true
+			}
+			atomicAt, isAtomic := pass.Prog.atomicFields[key]
+			if !isAtomic {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"%s is accessed via sync/atomic (e.g. at %s:%d) but plainly here; mixed atomic/plain access to the same field races even when -race stays quiet",
+				fieldLabel(key), shortFile(atomicAt.Filename), atomicAt.Line)
+			return true
+		})
+	}
+}
+
+// fieldLabel renders the "pkg|Type|field" inventory key for humans.
+func fieldLabel(key string) string {
+	parts := splitKeyParts(key)
+	if len(parts) != 3 {
+		return key
+	}
+	pkg := parts[0]
+	if i := lastSlash(pkg); i >= 0 {
+		pkg = pkg[i+1:]
+	}
+	return pkg + "." + parts[1] + "." + parts[2]
+}
+
+func splitKeyParts(key string) []string {
+	var parts []string
+	start := 0
+	for i := 0; i < len(key); i++ {
+		if key[i] == '|' {
+			parts = append(parts, key[start:i])
+			start = i + 1
+		}
+	}
+	return append(parts, key[start:])
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}
+
+// shortFile trims a path to its final element for compact messages.
+func shortFile(path string) string {
+	if i := lastSlash(path); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,116 @@
+// The epochpin analyzer: the arena's grace-period argument (DESIGN.md
+// §10) as a checkable contract.
+//
+// Epoch-based reclamation is only safe if every operation brackets its
+// traversal in a Pin/Unpin pair and retires nodes while the epoch
+// still protects them. The failure modes are silent: a leaked pin
+// wedges the global epoch forever (the arena degrades to leaking
+// memory, no test fails), an access after Unpin races with recycling
+// (a value-validation CAN paper over it — which is exactly why it must
+// never happen), and retiring a node whose lock is still held hands
+// the next life of that node a locked lock.
+//
+// epochpin runs the shared symbolic executor with pin tracking on and
+// reports:
+//   - a path from Arena.Pin() to a return (or the end of the function)
+//     on which the guard is still pinned, no deferred Unpin is
+//     registered, and no inferred pin contract (a helper returning the
+//     pinned guard as a result) sanctions the escape;
+//   - a pin taken inside a loop body still active when the iteration
+//     ends (one leaked epoch per iteration) — pins taken BEFORE a
+//     retry loop are exempt, matching the lists' pin-once-per-
+//     operation discipline;
+//   - Retire/Free/Get called on a guard after its Unpin on that path;
+//   - unpinning a guard twice (the pooled worker would be handed to
+//     two goroutines);
+//   - Retire(n) while still holding n's lock;
+//   - discarding the Guard returned by Pin.
+//
+// The mem package itself is exempt: its internals implement the
+// epochs and are modeled as intrinsics at call sites.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// EpochPin is the epoch pin-balance analyzer.
+var EpochPin = &Analyzer{
+	Name: "epochpin",
+	Doc:  "every epoch pin is unpinned on all paths; retire happens while pinned and after unlock",
+	Run:  runEpochPin,
+}
+
+func runEpochPin(pass *Pass) {
+	if strings.HasSuffix(pass.Pkg.Path(), memPkgSuffix) {
+		return // the epoch implementation itself
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ex := newExecEngine(pass, pass.Prog)
+			ex.reportEpoch = true
+			exits := ex.run(fd, fd.Body)
+			checkPinExits(pass, fd, exits)
+			runEpochPinLits(pass, ex.queue)
+		}
+	}
+}
+
+// runEpochPinLits analyzes queued function literals; literals have no
+// pin contract, so any pin still active at their exit is reported.
+func runEpochPinLits(pass *Pass, queue []*ast.FuncLit) {
+	for i := 0; i < len(queue); i++ {
+		ex := newExecEngine(pass, pass.Prog)
+		ex.reportEpoch = true
+		exits := ex.run(nil, queue[i].Body)
+		for _, rec := range exits {
+			reportPinExit(ex, rec, nil)
+		}
+		queue = append(queue, ex.queue...)
+	}
+}
+
+// checkPinExits reports every pin active at a function exit that does
+// not ride out through the function's inferred-and-consumed pin
+// contract (a result carrying the pinned guard).
+func checkPinExits(pass *Pass, fd *ast.FuncDecl, exits []exitRec) {
+	var sum *funcSummary
+	if pass.Prog != nil {
+		key := funcKeyOfDecl(pass.Pkg.Path(), fd)
+		s := pass.Prog.summaries[key]
+		if s != nil && s.pinsOK && len(s.pinsResults) > 0 && pass.Prog.consumed[key] {
+			sum = s
+		}
+	}
+	ex := &execEngine{pass: pass, reported: make(map[token.Pos]bool)}
+	for _, rec := range exits {
+		var sanctioned map[string]bool
+		if sum != nil {
+			sanctioned = map[string]bool{}
+			for _, i := range sum.pinsResults {
+				if i < len(rec.resultKeys) && rec.resultKeys[i] != "" {
+					sanctioned[rec.resultKeys[i]] = true
+				}
+			}
+		}
+		reportPinExit(ex, rec, sanctioned)
+	}
+}
+
+// reportPinExit emits the leaked-pin findings of one exit record.
+func reportPinExit(ex *execEngine, rec exitRec, sanctioned map[string]bool) {
+	for _, p := range rec.pins {
+		if sanctioned != nil && sanctioned[p.key] {
+			continue
+		}
+		ex.reportOnce(p.pos,
+			"epoch pin %s taken here can reach the function exit at line %d still active (no Unpin or defer on that path); a leaked pin wedges the global epoch and the arena stops recycling",
+			p.key, ex.pass.Fset.Position(rec.pos).Line)
+	}
+}

@@ -1,5 +1,6 @@
 // The locksafe analyzer: every successful trylock acquisition must be
-// released on every path out of the acquiring function.
+// released on every path out of the acquiring function — or escape
+// through an inferred, call-site-verified contract.
 //
 // This is the code-level half of the paper's deadlock-freedom argument
 // (Theorem 3): the value-aware try-lock protocol of Algorithm 2 only
@@ -9,42 +10,45 @@
 // that node forever, which no test reliably catches (the stress suite
 // just times out). locksafe makes the release obligation mechanical.
 //
-// The analysis is a path-sensitive symbolic execution over the AST of
-// each function body (function literals are analyzed separately): it
-// tracks the multiset of held locks per control-flow path, keyed by
-// the canonical syntax of the receiver expression ("prev.lock",
-// "preds[0].lock"), understands defer x.Unlock(), and recognizes
-// TryLock used directly as a branch condition (if x.TryLock(),
-// if !x.TryLock(), for !x.TryLock(), and &&/|| combinations).
+// The analysis runs the shared symbolic executor (exec.go) over each
+// function body (function literals are analyzed separately) with the
+// interprocedural summaries of interproc.go plugged into call sites:
+// a call to lazy's lockWindow acquires both window locks in the
+// caller, `if !prev.lockNextAt(...)` splits into a holding true-branch
+// and an empty false-branch, and a helper whose own exits match an
+// inferred contract that some caller consumes is exempt from the
+// release obligation — the obligation moved to its callers, where it
+// is checked for real instead of suppressed.
 //
 // Reported:
-//   - a path from a Lock()/successful TryLock() to a return (or to the
-//     end of the function) on which the lock is still held and no
-//     matching defer is registered;
+//   - a path from an acquisition (Lock, LockContended, successful
+//     TryLock, or a summarized helper call) to a return or the end of
+//     the function on which the lock is still held, no matching defer
+//     is registered, and no consumed contract sanctions the escape;
 //   - a lock acquired inside a loop body that is still held when the
 //     iteration ends (leak-per-iteration, or self-deadlock on the next
 //     round since SpinLock is not reentrant);
 //   - locking a lock that this path already holds (self-deadlock);
-//   - a TryLock whose result is not used directly as a branch
-//     condition — the acquisition is then untrackable.
+//   - a TryLock — or a try-lock-contract helper call — whose result is
+//     not used directly as a branch condition: the acquisition is then
+//     untrackable.
 //
-// Intentional violations — helpers whose contract is "returns true
-// with the lock held", cross-goroutine lock transfer in tests — are
-// suppressed with //lint:ignore locksafe <why the lock provably gets
-// released elsewhere>.
+// Remaining intentional violations — cross-goroutine lock transfer in
+// tests, loop-carried acquisitions the summary language cannot express
+// — are suppressed with //lint:ignore locksafe <why the lock provably
+// gets released elsewhere>; the stale-suppression check keeps that
+// inventory honest.
 package analysis
 
 import (
 	"go/ast"
 	"go/token"
-	"sort"
-	"strings"
 )
 
 // LockSafe is the lock-release analyzer.
 var LockSafe = &Analyzer{
 	Name: "locksafe",
-	Doc:  "trylock acquisitions must be released on every path",
+	Doc:  "trylock acquisitions must be released on every path or escape via a verified contract",
 	Run:  runLockSafe,
 }
 
@@ -55,564 +59,98 @@ func runLockSafe(pass *Pass) {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			analyzeLockBody(pass, fd.Body)
+			if isIntrinsicLockDecl(pass.Pkg.Path(), fd) {
+				continue // the lock implementation itself is the intrinsic
+			}
+			ex := newExecEngine(pass, pass.Prog)
+			ex.reportLocks = true
+			exits := ex.run(fd, fd.Body)
+			checkLockExits(pass, fd, exits)
+			runLockSafeLits(pass, ex.queue)
 		}
 	}
 }
 
-// analyzeLockBody runs the symbolic execution on one function body and
-// then on every function literal discovered inside it.
-func analyzeLockBody(pass *Pass, body *ast.BlockStmt) {
-	ex := &lockExec{
-		pass:     pass,
-		reported: make(map[token.Pos]bool),
-		guarded:  make(map[*ast.CallExpr]bool),
-	}
-	out := ex.execBlock(body, []lockState{{}}, nil)
-	for _, s := range out {
-		ex.checkRelease(s, body.End())
-	}
-	ex.flagUnguardedTryLocks(body)
-	for _, lit := range ex.queue {
-		analyzeLockBody(pass, lit.Body)
+// runLockSafeLits analyzes queued function literals (and their nested
+// literals). Literals have no inferable contract: any lock they hold
+// at exit is reported.
+func runLockSafeLits(pass *Pass, queue []*ast.FuncLit) {
+	for i := 0; i < len(queue); i++ {
+		ex := newExecEngine(pass, pass.Prog)
+		ex.reportLocks = true
+		exits := ex.run(nil, queue[i].Body)
+		for _, rec := range exits {
+			reportHeldExit(ex, rec, nil)
+		}
+		queue = append(queue, ex.queue...)
 	}
 }
 
-// A heldLock is one acquisition on the current path.
-type heldLock struct {
-	key    string
-	pos    token.Pos
-	method string // "Lock" or "TryLock"
-}
-
-// A lockState is the abstract state of one control-flow path: which
-// locks are held and which keys have a registered deferred unlock.
-type lockState struct {
-	held     []heldLock
-	deferred []string
-}
-
-func (s lockState) clone() lockState {
-	return lockState{
-		held:     append([]heldLock(nil), s.held...),
-		deferred: append([]string(nil), s.deferred...),
-	}
-}
-
-func (s lockState) holds(key string) bool {
-	for _, h := range s.held {
-		if h.key == key {
-			return true
+// checkLockExits reports every lock held at a function exit that is
+// not sanctioned by the function's own inferred-and-consumed contract.
+func checkLockExits(pass *Pass, fd *ast.FuncDecl, exits []exitRec) {
+	var sum *funcSummary
+	if pass.Prog != nil {
+		key := funcKeyOfDecl(pass.Pkg.Path(), fd)
+		s := pass.Prog.summaries[key]
+		// A contract nobody consumes is treated as the leak it
+		// probably is: sanctioning requires a discharging call site.
+		if s != nil && s.hasLockContract() && pass.Prog.consumed[key] {
+			sum = s
 		}
 	}
-	return false
+	recvName, paramNames := declSlotNames(fd)
+	// reportOnce state spans exits: the same acquisition can reach
+	// several exits but is one finding.
+	ex := &execEngine{pass: pass, reported: make(map[token.Pos]bool)}
+	for _, rec := range exits {
+		sanctioned := map[string]bool{}
+		if sum != nil {
+			slots := sum.acquiresAlways
+			if rec.result == resultTrue {
+				slots = append(append([]slot(nil), slots...), sum.acquiresOnTrue...)
+			}
+			for _, sl := range slots {
+				if key, ok := renderOwnSlot(sl, recvName, paramNames, rec.resultKeys); ok {
+					sanctioned[key] = true
+				}
+			}
+		}
+		reportHeldExit(ex, rec, sanctioned)
+	}
 }
 
-func (s lockState) isDeferred(key string) bool {
-	for _, d := range s.deferred {
-		if d == key {
-			return true
+// renderOwnSlot renders a contract slot in the function's own key
+// space (the inverse of the call-site binding): the receiver or
+// parameter name, or the expression a given exit returns.
+func renderOwnSlot(sl slot, recvName string, paramNames, resultKeys []string) (string, bool) {
+	var base string
+	switch sl.kind {
+	case slotRecv:
+		base = recvName
+	case slotParam:
+		if sl.index < len(paramNames) {
+			base = paramNames[sl.index]
+		}
+	case slotResult:
+		if sl.index < len(resultKeys) {
+			base = resultKeys[sl.index]
 		}
 	}
-	return false
-}
-
-// sig is a canonical signature for state deduplication.
-func (s lockState) sig() string {
-	parts := make([]string, 0, len(s.held)+len(s.deferred))
-	for _, h := range s.held {
-		parts = append(parts, h.key+"@"+itoa(int(h.pos)))
+	if base == "" || base == "_" {
+		return "", false
 	}
-	sort.Strings(parts)
-	d := append([]string(nil), s.deferred...)
-	sort.Strings(d)
-	return strings.Join(parts, ";") + "|" + strings.Join(d, ";")
+	return base + sl.path, true
 }
 
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	var b [20]byte
-	i := len(b)
-	for n > 0 {
-		i--
-		b[i] = byte('0' + n%10)
-		n /= 10
-	}
-	return string(b[i:])
-}
-
-// maxLockStates caps path explosion; beyond it states are merged by
-// truncation (the analysis stays useful but may miss paths in very
-// branchy functions — none in this codebase come close).
-const maxLockStates = 80
-
-// a lockFrame is one enclosing breakable construct during execution.
-type lockFrame struct {
-	isLoop    bool
-	label     string
-	breaks    []lockState
-	entryHeld map[string]bool // key@pos of locks held at loop entry
-}
-
-type lockExec struct {
-	pass     *Pass
-	reported map[token.Pos]bool
-	guarded  map[*ast.CallExpr]bool
-	queue    []*ast.FuncLit
-}
-
-func (ex *lockExec) reportOnce(pos token.Pos, format string, args ...any) {
-	if ex.reported[pos] {
-		return
-	}
-	ex.reported[pos] = true
-	ex.pass.Reportf(pos, format, args...)
-}
-
-// checkRelease verifies that a path leaving the function holds no lock
-// without a deferred unlock.
-func (ex *lockExec) checkRelease(s lockState, exit token.Pos) {
-	for _, h := range s.held {
-		if s.isDeferred(h.key) {
+// reportHeldExit emits the exit-leak findings of one exit record.
+func reportHeldExit(ex *execEngine, rec exitRec, sanctioned map[string]bool) {
+	for _, h := range rec.held {
+		if sanctioned != nil && sanctioned[h.key] {
 			continue
 		}
 		ex.reportOnce(h.pos,
 			"%s acquired by %s here can reach the function exit at line %d still held (no Unlock or defer on that path)",
-			h.key, h.method, ex.pass.Fset.Position(exit).Line)
+			h.key, h.method, ex.pass.Fset.Position(rec.pos).Line)
 	}
-}
-
-// checkIterEnd verifies that a loop iteration ends without holding a
-// lock it acquired itself (SpinLock is not reentrant, so re-locking on
-// the next iteration self-deadlocks; not re-locking leaks one
-// acquisition per iteration).
-func (ex *lockExec) checkIterEnd(s lockState, frame *lockFrame, at token.Pos) {
-	for _, h := range s.held {
-		if frame.entryHeld[h.key+"@"+itoa(int(h.pos))] || s.isDeferred(h.key) {
-			continue
-		}
-		ex.reportOnce(h.pos,
-			"%s acquired by %s inside this loop is still held when the iteration ends at line %d",
-			h.key, h.method, ex.pass.Fset.Position(at).Line)
-	}
-}
-
-func (ex *lockExec) acquire(states []lockState, key string, pos token.Pos, method string) []lockState {
-	out := make([]lockState, 0, len(states))
-	for _, s := range states {
-		if s.holds(key) {
-			ex.reportOnce(pos, "%s is locked while already held on this path (SpinLock is not reentrant: self-deadlock)", key)
-			out = append(out, s)
-			continue
-		}
-		ns := s.clone()
-		ns.held = append(ns.held, heldLock{key: key, pos: pos, method: method})
-		out = append(out, ns)
-	}
-	return out
-}
-
-func release(states []lockState, key string) []lockState {
-	out := make([]lockState, 0, len(states))
-	for _, s := range states {
-		ns := s.clone()
-		for i, h := range ns.held {
-			if h.key == key {
-				ns.held = append(ns.held[:i], ns.held[i+1:]...)
-				break
-			}
-		}
-		out = append(out, ns)
-	}
-	return out
-}
-
-// mergeStates concatenates and deduplicates path states, capping the
-// total.
-func mergeStates(groups ...[]lockState) []lockState {
-	var out []lockState
-	seen := make(map[string]bool)
-	for _, g := range groups {
-		for _, s := range g {
-			sig := s.sig()
-			if seen[sig] {
-				continue
-			}
-			seen[sig] = true
-			out = append(out, s)
-			if len(out) >= maxLockStates {
-				return out
-			}
-		}
-	}
-	return out
-}
-
-// collectFuncLits queues every function literal under n for separate
-// analysis. Literal bodies are otherwise opaque to the enclosing
-// function's execution.
-func (ex *lockExec) collectFuncLits(n ast.Node) {
-	if n == nil {
-		return
-	}
-	ast.Inspect(n, func(m ast.Node) bool {
-		if lit, ok := m.(*ast.FuncLit); ok {
-			ex.queue = append(ex.queue, lit)
-			return false
-		}
-		return true
-	})
-}
-
-// evalCond evaluates a branch condition, splitting the incoming states
-// into those where the condition is true and those where it is false,
-// and acquiring locks for TryLock calls used as guards.
-func (ex *lockExec) evalCond(cond ast.Expr, in []lockState) (t, f []lockState) {
-	switch c := cond.(type) {
-	case *ast.ParenExpr:
-		return ex.evalCond(c.X, in)
-	case *ast.UnaryExpr:
-		if c.Op == token.NOT {
-			t, f = ex.evalCond(c.X, in)
-			return f, t
-		}
-	case *ast.CallExpr:
-		if recv, method, ok := trylockMethod(ex.pass.Info, c); ok && method == "TryLock" {
-			ex.guarded[c] = true
-			return ex.acquire(in, exprKey(recv), c.Pos(), "TryLock"), in
-		}
-	case *ast.BinaryExpr:
-		switch c.Op {
-		case token.LAND:
-			xt, xf := ex.evalCond(c.X, in)
-			yt, yf := ex.evalCond(c.Y, xt)
-			return yt, mergeStates(xf, yf)
-		case token.LOR:
-			xt, xf := ex.evalCond(c.X, in)
-			yt, yf := ex.evalCond(c.Y, xf)
-			return mergeStates(xt, yt), yf
-		}
-	}
-	return in, in
-}
-
-// flagUnguardedTryLocks reports TryLock calls whose result did not
-// flow through a recognized guard (and so whose success path the
-// analysis cannot check). Function literals are skipped: they are
-// analyzed — and flagged — separately.
-func (ex *lockExec) flagUnguardedTryLocks(body *ast.BlockStmt) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if recv, method, isLock := trylockMethod(ex.pass.Info, call); isLock && method == "TryLock" && !ex.guarded[call] {
-			ex.reportOnce(call.Pos(),
-				"result of %s.TryLock() is not used directly as a branch condition; a successful acquisition here cannot be tracked",
-				exprKey(recv))
-		}
-		return true
-	})
-}
-
-func (ex *lockExec) execBlock(b *ast.BlockStmt, in []lockState, frames []*lockFrame) []lockState {
-	states := in
-	for _, stmt := range b.List {
-		if len(states) == 0 {
-			// Remaining statements are unreachable on every tracked
-			// path (e.g. code after an infinite for with returns).
-			break
-		}
-		states = ex.exec(stmt, states, frames)
-	}
-	return states
-}
-
-// innermost returns the innermost frame satisfying pred (matching
-// label if given).
-func innermost(frames []*lockFrame, label string, loopOnly bool) *lockFrame {
-	for i := len(frames) - 1; i >= 0; i-- {
-		fr := frames[i]
-		if loopOnly && !fr.isLoop {
-			continue
-		}
-		if label != "" && fr.label != label {
-			continue
-		}
-		return fr
-	}
-	return nil
-}
-
-func entryHeldSigs(states []lockState) map[string]bool {
-	m := make(map[string]bool)
-	for _, s := range states {
-		for _, h := range s.held {
-			m[h.key+"@"+itoa(int(h.pos))] = true
-		}
-	}
-	return m
-}
-
-// exec symbolically executes one statement, returning the states that
-// flow past it.
-func (ex *lockExec) exec(stmt ast.Stmt, in []lockState, frames []*lockFrame) []lockState {
-	switch s := stmt.(type) {
-	case *ast.BlockStmt:
-		return ex.execBlock(s, in, frames)
-
-	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok {
-			if recv, method, isLock := trylockMethod(ex.pass.Info, call); isLock {
-				switch method {
-				case "Lock":
-					return ex.acquire(in, exprKey(recv), call.Pos(), "Lock")
-				case "Unlock":
-					return release(in, exprKey(recv))
-				}
-				return in // bare TryLock: flagged by flagUnguardedTryLocks
-			}
-			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
-				return nil // path ends in a crash; release not required
-			}
-		}
-		ex.collectFuncLits(s.X)
-		return in
-
-	case *ast.DeferStmt:
-		if recv, method, isLock := trylockMethod(ex.pass.Info, s.Call); isLock && method == "Unlock" {
-			out := make([]lockState, 0, len(in))
-			for _, st := range in {
-				ns := st.clone()
-				ns.deferred = append(ns.deferred, exprKey(recv))
-				out = append(out, ns)
-			}
-			return out
-		}
-		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
-			// A deferred closure that unlocks on behalf of the
-			// enclosing function registers those keys as deferred.
-			keys := deferredUnlockKeys(ex.pass, lit)
-			ex.queue = append(ex.queue, lit)
-			if len(keys) > 0 {
-				out := make([]lockState, 0, len(in))
-				for _, st := range in {
-					ns := st.clone()
-					ns.deferred = append(ns.deferred, keys...)
-					out = append(out, ns)
-				}
-				return out
-			}
-			return in
-		}
-		ex.collectFuncLits(s.Call)
-		return in
-
-	case *ast.IfStmt:
-		if s.Init != nil {
-			in = ex.exec(s.Init, in, frames)
-		}
-		t, f := ex.evalCond(s.Cond, in)
-		thenOut := ex.execBlock(s.Body, t, frames)
-		elseOut := f
-		if s.Else != nil {
-			elseOut = ex.exec(s.Else, f, frames)
-		}
-		return mergeStates(thenOut, elseOut)
-
-	case *ast.ForStmt:
-		if s.Init != nil {
-			in = ex.exec(s.Init, in, frames)
-		}
-		frame := &lockFrame{isLoop: true, entryHeld: entryHeldSigs(in)}
-		bodyIn, exit := in, []lockState(nil)
-		if s.Cond != nil {
-			bodyIn, exit = ex.evalCond(s.Cond, in)
-		}
-		bodyOut := ex.execBlock(s.Body, bodyIn, append(frames, frame))
-		if s.Post != nil {
-			bodyOut = ex.exec(s.Post, bodyOut, frames)
-		}
-		for _, st := range bodyOut {
-			ex.checkIterEnd(st, frame, s.Body.End())
-		}
-		return mergeStates(exit, frame.breaks)
-
-	case *ast.RangeStmt:
-		ex.collectFuncLits(s.X)
-		frame := &lockFrame{isLoop: true, entryHeld: entryHeldSigs(in)}
-		bodyOut := ex.execBlock(s.Body, in, append(frames, frame))
-		for _, st := range bodyOut {
-			ex.checkIterEnd(st, frame, s.Body.End())
-		}
-		return mergeStates(in, frame.breaks) // zero iterations possible
-
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			in = ex.exec(s.Init, in, frames)
-		}
-		ex.collectFuncLits(s.Tag)
-		return ex.execClauses(s.Body, in, frames)
-
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			in = ex.exec(s.Init, in, frames)
-		}
-		return ex.execClauses(s.Body, in, frames)
-
-	case *ast.SelectStmt:
-		return ex.execClauses(s.Body, in, frames)
-
-	case *ast.ReturnStmt:
-		for _, r := range s.Results {
-			ex.collectFuncLits(r)
-		}
-		for _, st := range in {
-			ex.checkRelease(st, s.Pos())
-		}
-		return nil
-
-	case *ast.BranchStmt:
-		label := ""
-		if s.Label != nil {
-			label = s.Label.Name
-		}
-		switch s.Tok {
-		case token.BREAK:
-			if fr := innermost(frames, label, false); fr != nil {
-				fr.breaks = append(fr.breaks, in...)
-			}
-			return nil
-		case token.CONTINUE:
-			if fr := innermost(frames, label, true); fr != nil {
-				for _, st := range in {
-					ex.checkIterEnd(st, fr, s.Pos())
-				}
-			}
-			return nil
-		default: // goto, fallthrough: abandon path tracking
-			return nil
-		}
-
-	case *ast.LabeledStmt:
-		// Attach the label to the statement's own frame by executing
-		// it with a wrapper: loops read it via the frames stack.
-		return ex.execLabeled(s, in, frames)
-
-	case *ast.GoStmt:
-		ex.collectFuncLits(s.Call)
-		return in
-
-	case *ast.AssignStmt:
-		for _, r := range s.Rhs {
-			ex.collectFuncLits(r)
-		}
-		return in
-
-	case *ast.DeclStmt:
-		ex.collectFuncLits(s)
-		return in
-
-	case *ast.IncDecStmt, *ast.SendStmt, *ast.EmptyStmt:
-		ex.collectFuncLits(stmt)
-		return in
-	}
-	ex.collectFuncLits(stmt)
-	return in
-}
-
-// execLabeled executes a labeled loop so that labeled break/continue
-// resolve to its frame.
-func (ex *lockExec) execLabeled(s *ast.LabeledStmt, in []lockState, frames []*lockFrame) []lockState {
-	switch inner := s.Stmt.(type) {
-	case *ast.ForStmt:
-		if inner.Init != nil {
-			in = ex.exec(inner.Init, in, frames)
-		}
-		frame := &lockFrame{isLoop: true, label: s.Label.Name, entryHeld: entryHeldSigs(in)}
-		bodyIn, exit := in, []lockState(nil)
-		if inner.Cond != nil {
-			bodyIn, exit = ex.evalCond(inner.Cond, in)
-		}
-		bodyOut := ex.execBlock(inner.Body, bodyIn, append(frames, frame))
-		if inner.Post != nil {
-			bodyOut = ex.exec(inner.Post, bodyOut, frames)
-		}
-		for _, st := range bodyOut {
-			ex.checkIterEnd(st, frame, inner.Body.End())
-		}
-		return mergeStates(exit, frame.breaks)
-	case *ast.RangeStmt:
-		ex.collectFuncLits(inner.X)
-		frame := &lockFrame{isLoop: true, label: s.Label.Name, entryHeld: entryHeldSigs(in)}
-		bodyOut := ex.execBlock(inner.Body, in, append(frames, frame))
-		for _, st := range bodyOut {
-			ex.checkIterEnd(st, frame, inner.Body.End())
-		}
-		return mergeStates(in, frame.breaks)
-	default:
-		return ex.exec(s.Stmt, in, frames)
-	}
-}
-
-// execClauses executes the case/comm clauses of a switch or select
-// body independently and merges their exits (plus break exits, plus
-// the fall-past states when no default clause guarantees entry).
-func (ex *lockExec) execClauses(body *ast.BlockStmt, in []lockState, frames []*lockFrame) []lockState {
-	frame := &lockFrame{}
-	var outs [][]lockState
-	hasDefault := false
-	for _, clause := range body.List {
-		entry := in
-		var stmts []ast.Stmt
-		switch c := clause.(type) {
-		case *ast.CaseClause:
-			if c.List == nil {
-				hasDefault = true
-			}
-			stmts = c.Body
-		case *ast.CommClause:
-			if c.Comm == nil {
-				hasDefault = true
-			} else {
-				entry = ex.exec(c.Comm, entry, frames) // recv/send stmt; no lock effects
-			}
-			stmts = c.Body
-		}
-		out := entry
-		for _, st := range stmts {
-			if len(out) == 0 {
-				break
-			}
-			out = ex.exec(st, out, append(frames, frame))
-		}
-		outs = append(outs, out)
-	}
-	if !hasDefault {
-		outs = append(outs, in)
-	}
-	outs = append(outs, frame.breaks)
-	return mergeStates(outs...)
-}
-
-// deferredUnlockKeys returns the receiver keys of every trylock Unlock
-// call in a deferred closure body.
-func deferredUnlockKeys(pass *Pass, lit *ast.FuncLit) []string {
-	var keys []string
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if recv, method, isLock := trylockMethod(pass.Info, call); isLock && method == "Unlock" {
-			keys = append(keys, exprKey(recv))
-		}
-		return true
-	})
-	return keys
 }

@@ -1,0 +1,55 @@
+// Seeded-bad corpus for the atomicmix analyzer. Every "// want"
+// marker is asserted by TestAnalyzers to be reported at exactly that
+// line — and nothing else in the file may be reported.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	flips int32
+	name  string
+}
+
+// bump is the field's atomic home: the access that puts hits in the
+// program-wide inventory.
+func bump(c *counter) {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// read is also sanctioned: any sync/atomic access is.
+func read(c *counter) int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// flip inventories a second field on another type width.
+func flip(c *counter) {
+	atomic.StoreInt32(&c.flips, 1)
+}
+
+// plainRead races with bump on every platform the memory model does
+// not promise single-copy atomicity for.
+func plainRead(c *counter) int64 {
+	return c.hits // want "mixed atomic/plain access"
+}
+
+// plainWrite is the classic "it's under the lock anyway" bug.
+func plainWrite(c *counter) {
+	c.hits++ // want "mixed atomic/plain access"
+}
+
+// escape leaks the address outside sync/atomic: a plain access
+// waiting to happen.
+func escape(c *counter) *int64 {
+	return &c.hits // want "mixed atomic/plain access"
+}
+
+// plainFlip mixes on the second inventoried field.
+func plainFlip(c *counter) bool {
+	return c.flips == 1 // want "mixed atomic/plain access"
+}
+
+// okPlain touches a field with no atomic history: no finding.
+func okPlain(c *counter) string {
+	return c.name
+}

@@ -1,0 +1,108 @@
+// Seeded-bad corpus for the epochpin analyzer. Every "// want" marker
+// is asserted by TestAnalyzers to be reported at exactly that line —
+// and nothing else in the file may be reported.
+package epochpin
+
+import (
+	"listset/internal/mem"
+	"listset/internal/trylock"
+)
+
+type node struct {
+	lock trylock.SpinLock
+	val  int64
+}
+
+// leakOnEarlyReturn is the paper-relevant bug class: the early return
+// skips the Unpin and wedges the global epoch.
+func leakOnEarlyReturn(a *mem.Arena[node], bad bool) {
+	g := a.Pin() // want "can reach the function exit"
+	if bad {
+		return // leaks the pin
+	}
+	g.Unpin()
+}
+
+// loopPinLeak pins once per iteration without unpinning: one wedged
+// epoch per round.
+func loopPinLeak(a *mem.Arena[node], ks []int) {
+	var g mem.Guard[node]
+	for range ks {
+		g = a.Pin() // want "still active when the iteration ends"
+	}
+	g.Unpin()
+}
+
+// useAfterUnpin touches the arena after giving up the epoch: the node
+// may already be recycled.
+func useAfterUnpin(a *mem.Arena[node], n *node) {
+	g := a.Pin()
+	g.Unpin()
+	g.Retire(n) // want "after its Unpin"
+}
+
+// doubleUnpin returns the pooled worker twice.
+func doubleUnpin(a *mem.Arena[node]) {
+	g := a.Pin()
+	g.Unpin()
+	g.Unpin() // want "unpinned twice"
+}
+
+// retireWhileLocked retires a node whose lock this path still holds:
+// its next life would inherit a locked lock.
+func retireWhileLocked(a *mem.Arena[node], n *node) {
+	g := a.Pin()
+	n.lock.Lock()
+	g.Retire(n) // want "is retired while its lock"
+	n.lock.Unlock()
+	g.Unpin()
+}
+
+// discardPin drops the guard on the floor; nothing can ever unpin it.
+func discardPin(a *mem.Arena[node]) {
+	a.Pin() // want "Pin result is discarded"
+}
+
+// rePin overwrites an active guard: the first pin leaks, and the
+// survivor still reaches the exit because Unpin only pays one back.
+func rePin(a *mem.Arena[node]) {
+	g := a.Pin()
+	g = a.Pin() // want "re-pinned" "can reach the function exit"
+	g.Unpin()
+}
+
+// balanced is the canonical correct shape: no finding.
+func balanced(a *mem.Arena[node]) *node {
+	g := a.Pin()
+	defer g.Unpin()
+	return g.Get()
+}
+
+// pinOnceAroundRetry pins once around a retry loop — the lists'
+// discipline; the pin predates the loop, so iteration-end checks
+// exempt it.
+func pinOnceAroundRetry(a *mem.Arena[node], tries int) {
+	g := a.Pin()
+	for i := 0; i < tries; i++ {
+		_ = i
+	}
+	g.Unpin()
+}
+
+// pinned hands its caller the pinned guard as a result: the inferred
+// pins-result contract moves the Unpin obligation to the call sites.
+func pinned(a *mem.Arena[node]) mem.Guard[node] {
+	g := a.Pin()
+	return g
+}
+
+// usePinned discharges pinned's contract: no finding on either side.
+func usePinned(a *mem.Arena[node]) {
+	g := pinned(a)
+	g.Unpin()
+}
+
+// discardPinned drops the contract-carrying result instead.
+func discardPinned(a *mem.Arena[node]) {
+	pinned(a) // want "pinned epoch guard that is discarded"
+}

@@ -1,0 +1,77 @@
+// Seeded-bad corpus for the lockorder analyzer. Every "// want"
+// marker is asserted by TestAnalyzers to be reported at exactly that
+// line — and nothing else in the file may be reported.
+package lockorder
+
+import "listset/internal/trylock"
+
+type node struct {
+	lock trylock.SpinLock
+	ok   bool
+}
+
+// lockPrevThenCurr respects ascending list position: no finding.
+func lockPrevThenCurr(prev, curr *node) {
+	prev.lock.Lock()
+	curr.lock.Lock()
+	curr.lock.Unlock()
+	prev.lock.Unlock()
+}
+
+// lockCurrThenPrev inverts the order: two updates running this
+// against lockPrevThenCurr deadlock.
+func lockCurrThenPrev(prev, curr *node) {
+	curr.lock.Lock()
+	prev.lock.Lock() // want "ascending list position"
+	prev.lock.Unlock()
+	curr.lock.Unlock()
+}
+
+// towers is the skip-list spelling of the same inversion.
+func towers(preds, succs []*node, l int) {
+	succs[l].lock.Lock()
+	preds[l].lock.Lock() // want "ascending list position"
+	preds[l].lock.Unlock()
+	succs[l].lock.Unlock()
+}
+
+// lockIt is an always-contract helper: the acquisition is charged to
+// its call sites.
+func lockIt(n *node) {
+	n.lock.Lock()
+}
+
+// helperInversion inverts the order through the helper — the
+// interprocedural case: the bad acquisition happens inside lockIt but
+// the finding lands at this call site with the caller's names.
+func helperInversion(prev, curr *node) {
+	curr.lock.Lock()
+	lockIt(prev) // want "ascending list position"
+	prev.lock.Unlock()
+	curr.lock.Unlock()
+}
+
+// helperInOrder uses the same helper the right way round: no finding.
+func helperInOrder(prev, curr *node) {
+	lockIt(prev)
+	lockIt(curr)
+	curr.lock.Unlock()
+	prev.lock.Unlock()
+}
+
+// unranked names carry no list position: either order is allowed.
+func unranked(a, b *node) {
+	b.lock.Lock()
+	a.lock.Lock()
+	a.lock.Unlock()
+	b.lock.Unlock()
+}
+
+// sameBase re-ranks one node's own lock against itself: prev-to-prev
+// is not an inversion.
+func sameBase(prevOuter, prevInner *node) {
+	prevOuter.lock.Lock()
+	prevInner.lock.Lock()
+	prevInner.lock.Unlock()
+	prevOuter.lock.Unlock()
+}

@@ -99,3 +99,52 @@ func suppressed(n *node) {
 	//lint:ignore locksafe corpus check that a justified suppression silences the leak report
 	n.lock.Lock()
 }
+
+// ---- inferred contracts: the interprocedural cases ----
+
+// lockNext is the lockNextAt shape: returns true holding n.lock. Its
+// contract is inferred and consumed by useLockNext below, so neither
+// function is flagged — the obligation moved to the call sites.
+func lockNext(n *node) bool {
+	n.lock.Lock()
+	if !n.ok {
+		n.lock.Unlock()
+		return false
+	}
+	return true
+}
+
+// useLockNext discharges lockNext's contract: guard, then unlock.
+func useLockNext(n *node) {
+	if !lockNext(n) {
+		return
+	}
+	n.lock.Unlock()
+}
+
+// ignoreLockNext drops the helper's result: the success-path
+// acquisition is untrackable at this call site.
+func ignoreLockNext(n *node) {
+	lockNext(n) // want "not used directly as a branch condition"
+}
+
+// acquireBoth is the lockWindow shape: returns holding both argument
+// locks unconditionally.
+func acquireBoth(a, b *node) {
+	a.lock.Lock()
+	b.lock.Lock()
+}
+
+// useAcquireBoth releases both: clean on both sides.
+func useAcquireBoth(a, b *node) {
+	acquireBoth(a, b)
+	b.lock.Unlock()
+	a.lock.Unlock()
+}
+
+// leakFromHelper forgets b's lock, which the summary charged to this
+// call site — the finding lands here, not in acquireBoth.
+func leakFromHelper(a, b *node) {
+	acquireBoth(a, b) // want "can reach the function exit"
+	a.lock.Unlock()
+}

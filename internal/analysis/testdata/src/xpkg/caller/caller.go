@@ -1,0 +1,22 @@
+// Package caller consumes helper.LockIfOK across the package
+// boundary: Discharge proves the contract is honored (no finding in
+// either package), Leak proves the moved obligation is enforced at
+// the call site.
+package caller
+
+import "listset/internal/analysis/testdata/src/xpkg/helper"
+
+// Discharge guards the call and unlocks on the success branch: clean.
+func Discharge(n *helper.Node) {
+	if !helper.LockIfOK(n) {
+		return
+	}
+	n.Lock.Unlock()
+}
+
+// Leak forgets the unlock the summary charged to this call site.
+func Leak(n *helper.Node) {
+	if helper.LockIfOK(n) { // want "can reach the function exit"
+		_ = n.OK
+	}
+}

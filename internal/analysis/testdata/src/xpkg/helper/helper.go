@@ -1,0 +1,24 @@
+// Package helper exports a value-aware-style lock helper whose
+// returns-true-holding contract must be inferred here and applied in
+// the sibling caller package: the cross-package half of the
+// interprocedural fixture.
+package helper
+
+import "listset/internal/trylock"
+
+// Node is a minimal locked list node.
+type Node struct {
+	Lock trylock.SpinLock
+	OK   bool
+}
+
+// LockIfOK returns true holding n.Lock (the lockNextAt shape). The
+// release obligation belongs to the callers in package caller.
+func LockIfOK(n *Node) bool {
+	n.Lock.Lock()
+	if !n.OK {
+		n.Lock.Unlock()
+		return false
+	}
+	return true
+}

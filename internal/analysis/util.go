@@ -110,16 +110,17 @@ func lockPathRec(t types.Type, prefix string, seen map[types.Type]bool) (string,
 	return "", false
 }
 
-// trylockMethod reports whether call is a Lock/TryLock/Unlock method
-// call whose receiver is one of the trylock package's lock types, and
-// returns the receiver expression and method name.
+// trylockMethod reports whether call is a Lock/TryLock/Unlock/
+// LockContended method call whose receiver is one of the trylock
+// package's lock types, and returns the receiver expression and
+// method name.
 func trylockMethod(info *types.Info, call *ast.CallExpr) (recv ast.Expr, method string, ok bool) {
 	sel, isSel := call.Fun.(*ast.SelectorExpr)
 	if !isSel {
 		return nil, "", false
 	}
 	switch sel.Sel.Name {
-	case "Lock", "TryLock", "Unlock":
+	case "Lock", "TryLock", "Unlock", "LockContended":
 	default:
 		return nil, "", false
 	}
@@ -136,6 +137,44 @@ func trylockMethod(info *types.Info, call *ast.CallExpr) (recv ast.Expr, method 
 		return nil, "", false
 	}
 	return sel.X, sel.Sel.Name, true
+}
+
+// memMethod reports whether call is a Pin/Unpin/Retire/Free/Get
+// method call whose receiver is the mem package's Arena or Guard
+// type, and returns the receiver expression and method name. The mem
+// package's epoch machinery is modeled as intrinsics at call sites —
+// its own body is exempt from analysis.
+func memMethod(info *types.Info, call *ast.CallExpr) (recv ast.Expr, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Pin", "Unpin", "Retire", "Free", "Get":
+	default:
+		return nil, "", false
+	}
+	selection, isMethod := info.Selections[sel]
+	if !isMethod || selection.Kind() != types.MethodVal {
+		return nil, "", false
+	}
+	recvType := selection.Recv()
+	if ptr, isPtr := recvType.(*types.Pointer); isPtr {
+		recvType = ptr.Elem()
+	}
+	named, isNamed := recvType.(*types.Named)
+	if !isNamed {
+		return nil, "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), memPkgSuffix) {
+		return nil, "", false
+	}
+	switch obj.Name() {
+	case "Arena", "Guard":
+		return sel.X, sel.Sel.Name, true
+	}
+	return nil, "", false
 }
 
 // exprKey renders a canonical, purely syntactic key for a lock

@@ -49,7 +49,6 @@ func (s *VBL) newNode(g mem.Guard[node], v int64) *node {
 		if p := s.probes; obs.On(p) {
 			p.Inc(obs.EvNodeAlloc, v)
 		}
-		//lint:ignore hotalloc the insert path must materialize the new node somewhere; in GC mode this is the one intentional hot-path allocation
 		return &node{val: v}
 	}
 	n := g.Get()

@@ -115,13 +115,11 @@ func (n *node) lockNextAt(succ *node, preValidate bool, p *obs.Probes) bool {
 // lock by contract.
 func (n *node) acquire(p *obs.Probes) {
 	if obs.On(p) {
-		//lint:ignore locksafe the lock deliberately escapes: the contract is "returns holding n.lock" and the lock helpers' callers unlock it
 		if n.lock.LockContended() {
 			p.Inc(obs.EvTryLockContended, n.val)
 		}
 		return
 	}
-	//lint:ignore locksafe the lock deliberately escapes: the contract is "returns holding n.lock" and the lock helpers' callers unlock it
 	n.lock.Lock()
 }
 

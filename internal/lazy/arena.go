@@ -46,7 +46,6 @@ func (l *List) newNode(g mem.Guard[node], v int64) *node {
 		if p := l.probes; obs.On(p) {
 			p.Inc(obs.EvNodeAlloc, v)
 		}
-		//lint:ignore hotalloc the insert path must materialize the new node somewhere; in GC mode this is the one intentional hot-path allocation
 		return &node{val: v}
 	}
 	n := g.Get()

@@ -140,7 +140,6 @@ func validate(prev, curr *node) bool {
 // the callers release them on every path.
 func (l *List) lockWindow(prev, curr *node) {
 	if p := l.probes; obs.On(p) {
-		//lint:ignore locksafe the locks deliberately escape: the contract is "returns holding prev.lock and curr.lock" and Insert/Remove unlock both on every path
 		if prev.lock.LockContended() {
 			p.Inc(obs.EvTryLockContended, prev.val)
 		}
@@ -149,9 +148,7 @@ func (l *List) lockWindow(prev, curr *node) {
 		}
 		return
 	}
-	//lint:ignore locksafe the locks deliberately escape: the contract is "returns holding prev.lock and curr.lock" and Insert/Remove unlock both on every path
 	prev.lock.Lock()
-	//lint:ignore locksafe the locks deliberately escape: the contract is "returns holding prev.lock and curr.lock" and Insert/Remove unlock both on every path
 	curr.lock.Lock()
 }
 

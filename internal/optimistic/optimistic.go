@@ -77,9 +77,7 @@ func (l *List) validate(prev, curr *node) bool {
 func (l *List) lockWindow(v int64) (prev, curr *node) {
 	for {
 		prev, curr = l.find(v)
-		//lint:ignore locksafe lockWindow returns with both locks held by contract; every caller releases them via defer
 		prev.lock.Lock()
-		//lint:ignore locksafe lockWindow returns with both locks held by contract; every caller releases them via defer
 		curr.lock.Lock()
 		if l.validate(prev, curr) {
 			return prev, curr

@@ -52,7 +52,6 @@ func (n *vbNode) lockNextAt(l int, succ *vbNode) bool {
 	if n.deleted.Load() || n.next[l].Load() != succ {
 		return false
 	}
-	//lint:ignore locksafe on validation success the lock deliberately escapes: the contract is "returns true holding n.lock" and every caller unlocks it
 	n.lock.Lock()
 	if n.deleted.Load() || n.next[l].Load() != succ {
 		n.lock.Unlock()
@@ -66,7 +65,6 @@ func (n *vbNode) lockNextAtValue(v int64) bool {
 	if n.deleted.Load() || n.next[0].Load().val != v {
 		return false
 	}
-	//lint:ignore locksafe on validation success the lock deliberately escapes: the contract is "returns true holding n.lock" and every caller unlocks it
 	n.lock.Lock()
 	if n.deleted.Load() || n.next[0].Load().val != v {
 		n.lock.Unlock()

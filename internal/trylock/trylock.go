@@ -73,7 +73,6 @@ func (l *SpinLock) Lock() {
 	chaosPoint()
 	spin := minSpin
 	for {
-		//lint:ignore locksafe this IS Lock's implementation: a successful CAS acquisition is the postcondition, released by the caller via Unlock
 		if l.TryLock() {
 			return
 		}
@@ -105,11 +104,9 @@ func (l *SpinLock) Lock() {
 // enabled call sites and plain Lock everywhere else.
 func (l *SpinLock) LockContended() (contended bool) {
 	chaosPoint()
-	//lint:ignore locksafe this IS an acquisition primitive like Lock: a successful CAS is the postcondition, released by the caller via Unlock
 	if l.TryLock() {
 		return false
 	}
-	//lint:ignore locksafe acquisition primitive: the held lock is the postcondition, released by the caller via Unlock
 	l.Lock()
 	return true
 }
@@ -144,7 +141,6 @@ func (l *MutexLock) Lock() { l.mu.Lock() }
 // LockContended acquires l, reporting whether the immediate first
 // attempt failed (SpinLock parity for the observability layer).
 func (l *MutexLock) LockContended() (contended bool) {
-	//lint:ignore locksafe this IS an acquisition primitive like Lock: the held mutex is the postcondition, released by the caller via Unlock
 	if l.TryLock() {
 		return false
 	}

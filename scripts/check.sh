@@ -23,8 +23,11 @@ go build -tags nofailpoint ./...
 step "go vet ./..."
 go vet ./...
 
-step "vblvet (concurrency-invariant static analysis)"
-go run ./cmd/vblvet ./...
+step "vblvet corpora self-test (every analyzer fires on its seeded-bad corpus)"
+go test -count=1 -run 'TestAnalyzers|TestEveryAnalyzerFiresOnCorpus|TestCrossPackageContracts' ./internal/analysis
+
+step "vblvet (concurrency-invariant static analysis, ratchet baseline)"
+go run ./cmd/vblvet -timing -baseline scripts/vblvet_baseline.json ./...
 
 step "unit tests"
 go test -count=1 ./...
