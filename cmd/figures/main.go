@@ -8,7 +8,11 @@
 //	              range partitioner, shard counts from -shards
 //	-fig chaos    robustness — injected restart-trigger failures at
 //	              increasing probability, bounded-retry ladder armed
-//	-fig all      everything
+//	-fig replay   audit — Figure 2/3 failpoint replays captured by the
+//	              flight recorder, lifted back to the paper's accepted
+//	              schedules and linearizability-checked (-traceout DIR
+//	              keeps the binary captures)
+//	-fig all      everything (except replay, which is not a benchmark)
 //
 // Default durations are scaled down so the full grid finishes in
 // minutes; pass -paper for the paper's protocol (5 s runs × 5 after a
@@ -46,6 +50,7 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of tables")
 		jsonOut  = flag.Bool("json", false, "emit one JSON array of per-cell reports (with contention events)")
 		quiet    = flag.Bool("quiet", false, "print one self-describing line per cell instead of tables")
+		traceDir = flag.String("traceout", "", "with -fig replay: also write each replay's binary capture into this directory")
 	)
 	flag.Parse()
 
@@ -84,6 +89,11 @@ func main() {
 		figureSharded(proto, shardList)
 	case "chaos":
 		figureChaos(proto)
+	case "replay":
+		if err := figureReplay(*traceDir); err != nil {
+			fmt.Fprintln(os.Stderr, "figures: replay:", err)
+			os.Exit(1)
+		}
 	case "all":
 		figure1(proto)
 		figure4(proto)
@@ -93,7 +103,7 @@ func main() {
 		figureSharded(proto, shardList)
 		figureChaos(proto)
 	default:
-		fmt.Fprintf(os.Stderr, "figures: unknown -fig %q (have: 1, 4, rtti, survey, skiplist, sharded, chaos, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "figures: unknown -fig %q (have: 1, 4, rtti, survey, skiplist, sharded, chaos, replay, all)\n", *fig)
 		os.Exit(2)
 	}
 	if proto.reports != nil {

@@ -16,6 +16,19 @@
 //	-sample-every  time every Nth operation into latency histograms
 //	-json          emit the full machine-readable report (implies both)
 //	-metricsaddr   serve live expvar counters and pprof over HTTP
+//	-trace         record the measured intervals into the flight
+//	               recorder (internal/obs/trace) and write the capture
+//	               here: a .json path gets Chrome trace-event JSON
+//	               (load it in Perfetto or chrome://tracing), any other
+//	               path the compact binary format (inspect with
+//	               cmd/tracecat); implies -probes
+//	-trace-depth   per-worker ring depth in records (rounded up to a
+//	               power of two); older records are overwritten
+//	-stream        emit interval metrics while measuring: every period
+//	               one JSON line ("listset/stream/v1") of windowed
+//	               event counts, per-stripe totals and latency
+//	               percentiles, to stdout (stderr with -json); implies
+//	               -probes, defaults -sample-every to 64
 //
 // Chaos (fault injection; see internal/failpoint):
 //
@@ -46,6 +59,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -55,12 +69,14 @@ import (
 	"runtime/debug"
 	"runtime/pprof"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"listset"
 	"listset/internal/failpoint"
 	"listset/internal/harness"
 	"listset/internal/obs"
+	"listset/internal/obs/trace"
 	"listset/internal/stats"
 	"listset/internal/workload"
 )
@@ -88,6 +104,9 @@ func main() {
 		arena       = flag.Bool("arena", false, "arena-backed node lifetimes: slab allocation + epoch-based recycling (vbl/lazy only)")
 		gcpercent   = flag.Int("gcpercent", 0, "debug.SetGCPercent for the whole process; -1 disables the GC, 0 keeps the default")
 		memprofile  = flag.String("memprofile", "", "write a heap profile (after a forced GC) to this file when the runs finish")
+		traceFile   = flag.String("trace", "", "record measured intervals and write the capture here (.json = Chrome trace-event format, else compact binary; implies -probes)")
+		traceDepth  = flag.Int("trace-depth", trace.DefaultDepth, "flight-recorder ring depth per worker, in records (rounded up to a power of two)")
+		streamEvery = flag.Duration("stream", 0, "stream interval metrics as JSON lines every period (0 = off; implies -probes)")
 		chaosSpec   = flag.String("chaos", "", "failpoint scenarios: comma-separated site:action[:prob][:delay], or \"shipped\"")
 		retryBudget = flag.Int("retry-budget", 0, "failed-validation retry budget K before escalation (0 = unbounded)")
 		watchdog    = flag.Duration("watchdog", 0, "liveness deadline: fail the run if a worker stalls this long (0 = off)")
@@ -136,13 +155,13 @@ func main() {
 	// probes on and defaults sampling to a light 1-in-64; -metricsaddr
 	// is pointless without counters to serve.
 	if *sampleEvery < 0 {
-		if *jsonOut {
+		if *jsonOut || *streamEvery > 0 {
 			*sampleEvery = 64
 		} else {
 			*sampleEvery = 0
 		}
 	}
-	if *jsonOut || *metricsAddr != "" {
+	if *jsonOut || *metricsAddr != "" || *traceFile != "" || *streamEvery > 0 {
 		*probesOn = true
 	}
 
@@ -206,6 +225,28 @@ func main() {
 			fmt.Fprintln(os.Stderr, "synchrobench: warning: built with -tags obsoff; probe counts will be zero")
 		}
 	}
+	if *traceFile != "" {
+		cfg.Trace = trace.NewTracer(*threads, *traceDepth)
+	}
+	if *streamEvery > 0 {
+		cfg.Stream = *streamEvery
+		// With -json the report owns stdout, so the stream rides stderr.
+		streamOut := os.Stdout
+		if *jsonOut {
+			streamOut = os.Stderr
+		}
+		enc := json.NewEncoder(streamOut)
+		var lastRow atomic.Value
+		cfg.StreamSink = func(row trace.StreamRow) {
+			lastRow.Store(row)
+			enc.Encode(row) //nolint:errcheck // best-effort live stream
+		}
+		if *metricsAddr != "" {
+			obs.PublishFunc("listset.stream", func() any {
+				return lastRow.Load()
+			})
+		}
+	}
 	if *metricsAddr != "" {
 		obs.Publish("listset.events", cfg.Probes)
 		go func() {
@@ -241,6 +282,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if cfg.Trace != nil {
+		if err := writeTrace(cfg.Trace, *traceFile); err != nil {
+			fmt.Fprintln(os.Stderr, "synchrobench:", err)
+			os.Exit(2)
+		}
 	}
 	if *memprofile != "" {
 		// A forced GC first, so the profile shows live retention (slab
@@ -324,6 +371,30 @@ func printHuman(name string, cfg harness.Config, res harness.Result) {
 				time.Duration(p.P99), time.Duration(p.P999))
 		}
 	}
+}
+
+// writeTrace exports the tracer's capture: Chrome trace-event JSON for
+// .json paths (Perfetto-loadable), the compact binary format otherwise.
+func writeTrace(tr *trace.Tracer, path string) error {
+	capture := tr.Snapshot()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = capture.WriteChrome(f)
+	} else {
+		err = capture.WriteBinary(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("trace export: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "synchrobench: trace: %d records captured (%d overwritten) -> %s\n",
+		len(capture.Records), capture.Drops, path)
+	return nil
 }
 
 // writeProfile dumps the named runtime profile (mutex, block) to path.

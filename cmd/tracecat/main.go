@@ -1,0 +1,109 @@
+// Command tracecat inspects compact binary flight-recorder captures
+// (the -trace output of cmd/synchrobench and the harness; see
+// internal/obs/trace). By default it prints a summary; with -dump it
+// lists every record.
+//
+//	tracecat run.trace                  summary: workers, depth, drops,
+//	                                    record counts by kind
+//	tracecat -dump run.trace            one line per record
+//	tracecat -chrome out.json run.trace convert to Chrome trace-event
+//	                                    JSON (Perfetto-loadable)
+//	tracecat -lincheck run.trace        reconstruct the op history and
+//	                                    check per-key linearizability
+//	                                    against -initial (comma-
+//	                                    separated keys present at start)
+//
+// The linearizability audit refuses captures with ring drops: a trace
+// that lost records cannot certify a run, only illustrate it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"listset/internal/lincheck"
+	"listset/internal/obs/trace"
+)
+
+func main() {
+	var (
+		dump    = flag.Bool("dump", false, "print every record")
+		chrome  = flag.String("chrome", "", "convert the capture to Chrome trace-event JSON at this path")
+		lin     = flag.Bool("lincheck", false, "reconstruct the operation history and check per-key linearizability")
+		initial = flag.String("initial", "", "comma-separated keys present in the set at capture start (for -lincheck)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecat [flags] <capture file>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	capture, err := trace.ReadBinary(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("capture       %s\n", flag.Arg(0))
+	fmt.Printf("workers       %d (ring depth %d)\n", capture.Workers, capture.Depth)
+	fmt.Printf("records       %d captured, %d overwritten\n", len(capture.Records), capture.Drops)
+	counts := capture.CountByKind()
+	for k := trace.Kind(1); k < trace.NumKinds; k++ {
+		if counts[k] > 0 {
+			fmt.Printf("  %-18s %d\n", k, counts[k])
+		}
+	}
+
+	if *dump {
+		for _, r := range capture.Records {
+			fmt.Println(r)
+		}
+	}
+	if *chrome != "" {
+		out, err := os.Create(*chrome)
+		if err != nil {
+			fatal(err)
+		}
+		err = capture.WriteChrome(out)
+		if cerr := out.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("chrome        wrote %s\n", *chrome)
+	}
+	if *lin {
+		h, err := capture.History()
+		if err != nil {
+			fatal(err)
+		}
+		init := make(map[int64]bool)
+		if *initial != "" {
+			for _, s := range strings.Split(*initial, ",") {
+				k, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+				if err != nil {
+					fatal(fmt.Errorf("bad -initial key %q: %w", s, err))
+				}
+				init[k] = true
+			}
+		}
+		if v := lincheck.Check(h, init); v != nil {
+			fmt.Fprintf(os.Stderr, "tracecat: NOT linearizable: %v\n", v)
+			os.Exit(1)
+		}
+		fmt.Printf("lincheck      %d ops linearizable (initial set: %d keys)\n", len(h.Ops), len(init))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracecat:", err)
+	os.Exit(2)
+}

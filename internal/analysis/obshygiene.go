@@ -24,6 +24,11 @@
 // routing the enabled path into the else branch), which the harness
 // uses where the probe pointer is a local chosen once per run.
 // Test files are exempt: their loops are not measured hot paths.
+//
+// The flight recorder (internal/obs/trace) is held to the same rule:
+// Tracer.Emit/OpBegin/OpEnd in a loop need a guard — obs.On is generic
+// and accepts a *trace.Tracer, and the nil-comparison forms work on
+// tracer pointers just as on probe pointers.
 package analysis
 
 import (
@@ -37,6 +42,13 @@ import (
 // import path is "listset/internal/obs" or a testdata variant.
 const obsPkgSuffix = "internal/obs"
 
+// tracePkgSuffix matches the flight-recorder package, whose emit
+// methods (Tracer.Emit/OpBegin/OpEnd) are probe calls under the same
+// hygiene rule: a few atomic stores when enabled, but a guard away
+// from free when the tracer is nil. Note obsPkgSuffix does NOT match
+// this path (it ends in "/trace"), so the two suffixes are disjoint.
+const tracePkgSuffix = "internal/obs/trace"
+
 // ObsHygiene is the probe-guard hygiene analyzer.
 var ObsHygiene = &Analyzer{
 	Name: "obshygiene",
@@ -45,8 +57,8 @@ var ObsHygiene = &Analyzer{
 }
 
 func runObsHygiene(pass *Pass) {
-	if strings.HasSuffix(pass.ImportPath, obsPkgSuffix) {
-		return // the obs package itself exercises probes unguarded by design
+	if strings.HasSuffix(pass.ImportPath, obsPkgSuffix) || strings.HasSuffix(pass.ImportPath, tracePkgSuffix) {
+		return // the obs and trace packages exercise probes unguarded by design
 	}
 	for _, file := range pass.Files {
 		name := pass.Fset.Position(file.Pos()).Filename
@@ -72,19 +84,27 @@ func runObsHygiene(pass *Pass) {
 	}
 }
 
-// probeCall reports whether call is Probes.Inc or Recorder.Record and
-// returns the method name.
+// probeCall reports whether call is Probes.Inc, Recorder.Record or a
+// Tracer emit method (Emit/OpBegin/OpEnd) and returns the method name.
 func probeCall(pass *Pass, call *ast.CallExpr) (string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return "", false
 	}
 	method := sel.Sel.Name
-	if method != "Inc" && method != "Record" {
+	switch method {
+	case "Inc", "Record", "Emit", "OpBegin", "OpEnd":
+	default:
 		return "", false
 	}
 	selection := pass.Info.Selections[sel]
 	if selection == nil || selection.Kind() != types.MethodVal {
+		return "", false
+	}
+	if named := namedPkgType(selection.Recv(), tracePkgSuffix); named != nil {
+		if named.Obj().Name() == "Tracer" && method != "Inc" && method != "Record" {
+			return method, true
+		}
 		return "", false
 	}
 	named := namedObsType(selection.Recv())
@@ -156,9 +176,12 @@ func checkProbeCall(pass *Pass, stack []ast.Node, call *ast.CallExpr, method str
 // guardEnables reports whether descending from ifStmt into child stays
 // on the probes-enabled side of an enabled-guard: the then-branch of
 // `obs.On(...)` or `x != nil`, or the else-branch of `x == nil`, with
-// x of an obs pointer type.
+// x of an obs or trace pointer type (obs.On is generic, so
+// `obs.On(tracer)` guards trace emits through the obs suffix; the
+// trace suffix covers the plain nil-check forms on a *trace.Tracer).
 func guardEnables(pass *Pass, ifStmt *ast.IfStmt, child ast.Node) bool {
-	return guardEnablesPkg(pass, ifStmt, child, obsPkgSuffix)
+	return guardEnablesPkg(pass, ifStmt, child, obsPkgSuffix) ||
+		guardEnablesPkg(pass, ifStmt, child, tracePkgSuffix)
 }
 
 // guardEnablesPkg is guardEnables generalized over the guarded

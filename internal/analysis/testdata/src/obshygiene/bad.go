@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"listset/internal/obs"
+	"listset/internal/obs/trace"
 )
 
 type node struct {
@@ -63,7 +64,43 @@ func closureInGuardedLoop(s *set, v int64) func() {
 	return f
 }
 
+// unguardedTraceEmitInLoop is the flight-recorder flavour of the bug:
+// a span record per iteration with no guard — nil panic when no tracer
+// is attached, and cycles wasted when tracing is off.
+func unguardedTraceEmitInLoop(tr *trace.Tracer, keys []int64) {
+	for i, k := range keys {
+		tr.OpBegin(i, obs.OpInsert, k) // want "without the obs.On enabled-guard"
+	}
+}
+
+// unguardedRawEmitInLoop is the same bug on the low-level emit.
+func unguardedRawEmitInLoop(tr *trace.Tracer, keys []int64) {
+	for _, k := range keys {
+		tr.Emit(0, trace.KindEvent, 0, 0, 0, k) // want "without the obs.On enabled-guard"
+	}
+}
+
 // ---- true negatives: nothing below may be reported ----
+
+// tracerNilCheckGuard is the harness idiom for the traced worker loop:
+// the whole loop sits in the then-branch of a tracer nil-check.
+func tracerNilCheckGuard(tr *trace.Tracer, keys []int64) {
+	if tr != nil {
+		for i, k := range keys {
+			tr.OpBegin(i, obs.OpInsert, k)
+			tr.OpEnd(i, obs.OpInsert, k, true)
+		}
+	}
+}
+
+// tracerOnGuard: obs.On is generic, so it guards tracers too.
+func tracerOnGuard(tr *trace.Tracer, keys []int64) {
+	for _, k := range keys {
+		if obs.On(tr) {
+			tr.Emit(0, trace.KindEvent, 0, 0, 0, k)
+		}
+	}
+}
 
 // canonicalGuard is the idiom the algorithms use.
 func canonicalGuard(s *set, v int64) {

@@ -327,13 +327,34 @@ type arm struct {
 	scenario  Scenario
 }
 
+// Sink receives a copy of every fired failpoint — the hook the flight
+// recorder (internal/obs/trace) attaches so captured traces carry the
+// exact injection points a chaos run or a figure replay pinned.
+// FailpointFired is called from the victim goroutine just before the
+// arm's action runs; FailpointReleased is called from the same
+// goroutine when it resumes from an ActPause park (the bracket the
+// schedule reconstructor turns into ordering constraints). Both must
+// be lock-free and allocation-free.
+type Sink interface {
+	FailpointFired(site Site, action Action, key int64)
+	FailpointReleased(site Site, key int64)
+}
+
 // Set is a registry of armed failpoints, attached to algorithms the
 // way obs.Probes is: a nil *Set means disabled, and every site in
 // algorithm code checks the On guard first. The zero value is ready to
 // use; arm and disarm are safe under concurrent hits.
 type Set struct {
 	arms [NumSites]atomic.Pointer[arm]
+	// sink, when non-nil, observes fired arms. A plain field: SetSink
+	// must happen-before the goroutines that hit sites start, and
+	// detaching must happen-after they drain.
+	sink Sink
 }
+
+// SetSink attaches (or, with nil, detaches) a fired-arm observer. See
+// the sink field for the required ordering discipline.
+func (s *Set) SetSink(sk Sink) { s.sink = sk }
 
 // NewSet returns an empty failpoint set: every site disarmed.
 func NewSet() *Set { return &Set{} }
@@ -461,7 +482,10 @@ func (s *Set) hit(site Site, key int64) *arm {
 // Call sites must guard with On.
 func (s *Set) Do(site Site, key int64) {
 	if a := s.hit(site, key); a != nil {
-		a.perform()
+		if sk := s.sink; sk != nil {
+			sk.FailpointFired(site, a.action, key)
+		}
+		a.perform(s.sink, site, key)
 	}
 }
 
@@ -473,19 +497,27 @@ func (s *Set) Fail(site Site, key int64) bool {
 	if a == nil {
 		return false
 	}
-	a.perform()
+	if sk := s.sink; sk != nil {
+		sk.FailpointFired(site, a.action, key)
+	}
+	a.perform(s.sink, site, key)
 	return a.action == ActFail
 }
 
-// perform executes the arm's side effect.
-func (a *arm) perform() {
+// perform executes the arm's side effect. A pause that actually parked
+// reports its release to the sink from the resuming goroutine, so the
+// fired/released pair brackets exactly the steps other operations took
+// while this one was parked.
+func (a *arm) perform(sk Sink, site Site, key int64) {
 	switch a.action {
 	case ActDelay:
 		time.Sleep(a.delay)
 	case ActYield:
 		runtime.Gosched()
 	case ActPause:
-		a.pause.park()
+		if a.pause.park() && sk != nil {
+			sk.FailpointReleased(site, key)
+		}
 	}
 }
 
@@ -503,12 +535,16 @@ func newPauseGate() *pauseGate {
 	return &pauseGate{reached: make(chan struct{}), released: make(chan struct{})}
 }
 
-func (g *pauseGate) park() {
+// park blocks the first goroutine through the gate and reports whether
+// this call was the one that parked (later hits pass through untouched
+// and report false).
+func (g *pauseGate) park() bool {
 	if !g.claimed.CompareAndSwap(false, true) {
-		return // one-shot: somebody already paused here
+		return false // one-shot: somebody already paused here
 	}
 	close(g.reached)
 	<-g.released
+	return true
 }
 
 // Pause is the test-side handle to a one-shot pause armed with

@@ -1,0 +1,80 @@
+package failpoint
+
+import (
+	"testing"
+	"time"
+)
+
+type recordingSink struct {
+	fired    []Site
+	actions  []Action
+	released []Site
+}
+
+func (r *recordingSink) FailpointFired(site Site, action Action, key int64) {
+	r.fired = append(r.fired, site)
+	r.actions = append(r.actions, action)
+}
+
+func (r *recordingSink) FailpointReleased(site Site, key int64) {
+	r.released = append(r.released, site)
+}
+
+// TestSinkSeesFires checks an attached sink observes each fire with
+// its action, and nothing once detached.
+func TestSinkSeesFires(t *testing.T) {
+	s := NewSet()
+	sink := &recordingSink{}
+	s.SetSink(sink)
+	if err := s.Arm(Scenario{Site: SiteUnlink, Action: ActFail}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Fail(SiteUnlink, 3) {
+		t.Fatal("armed ActFail did not fire")
+	}
+	s.SetSink(nil)
+	if !s.Fail(SiteUnlink, 4) {
+		t.Fatal("armed ActFail did not fire")
+	}
+	if len(sink.fired) != 1 || sink.fired[0] != SiteUnlink || sink.actions[0] != ActFail {
+		t.Fatalf("sink saw %v/%v, want one SiteUnlink/ActFail", sink.fired, sink.actions)
+	}
+	if len(sink.released) != 0 {
+		t.Fatalf("ActFail produced release records: %v", sink.released)
+	}
+}
+
+// TestSinkSeesPauseRelease checks a pause emits fire at park and
+// release at resume, bracketing the parked interval.
+func TestSinkSeesPauseRelease(t *testing.T) {
+	s := NewSet()
+	sink := &recordingSink{}
+	s.SetSink(sink)
+	pause, err := s.PauseAt(SiteVBLTraverse, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.Do(SiteVBLTraverse, 5) // parks
+		close(done)
+	}()
+	if err := pause.AwaitReached(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.fired) != 1 || sink.actions[0] != ActPause {
+		t.Fatalf("at park: fires = %v/%v, want one ActPause", sink.fired, sink.actions)
+	}
+	if len(sink.released) != 0 {
+		t.Fatal("release recorded before Resume")
+	}
+	pause.Resume()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("paused goroutine did not resume")
+	}
+	if len(sink.released) != 1 || sink.released[0] != SiteVBLTraverse {
+		t.Fatalf("releases = %v, want one SiteVBLTraverse", sink.released)
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"listset/internal/failpoint"
 	"listset/internal/obs"
+	"listset/internal/obs/trace"
 	"listset/internal/stats"
 	"listset/internal/trylock"
 	"listset/internal/workload"
@@ -91,6 +92,23 @@ type Config struct {
 	// which any worker makes no progress for this long fails with a
 	// goroutine dump (see watchdog.go). 0 disables it.
 	Watchdog time.Duration
+	// Trace, when non-nil, records the measured intervals into the
+	// flight recorder: each worker emits op-begin/op-end span records
+	// around every operation, and the tracer is attached as the probe
+	// and failpoint sink for the duration of the measured drive (warm-up
+	// and population are not traced). Workers are identified by their
+	// harness ids, so the tracer should be sized with at least Threads
+	// rings.
+	Trace *trace.Tracer
+	// Stream, when positive, emits interval metrics during the measured
+	// drives: every Stream the harness digests the probe counters and
+	// latency shards into a windowed trace.StreamRow, collected in
+	// Result.Timeseries and forwarded to StreamSink. Latency windows
+	// need LatencySampleEvery > 0; event windows need Probes.
+	Stream time.Duration
+	// StreamSink, when non-nil, receives each StreamRow as its window
+	// closes (called from the streaming goroutine).
+	StreamSink func(trace.StreamRow)
 }
 
 // Validate reports whether the configuration is well-formed.
@@ -115,6 +133,9 @@ func (c Config) Validate() error {
 	}
 	if c.Watchdog < 0 {
 		return fmt.Errorf("harness: Watchdog = %v, must be non-negative", c.Watchdog)
+	}
+	if c.Stream < 0 {
+		return fmt.Errorf("harness: Stream = %v, must be non-negative", c.Stream)
 	}
 	for _, sc := range c.Chaos {
 		if err := sc.Validate(); err != nil {
@@ -183,6 +204,10 @@ type Result struct {
 	// HasRetry reports whether the implementation exposes a retry
 	// ladder (obs.RetryBudgeted).
 	HasRetry bool
+	// Timeseries holds the interval-metrics windows emitted over all
+	// measured drives, in order; empty unless Config.Stream was
+	// positive.
+	Timeseries []trace.StreamRow
 	// Mallocs and AllocBytes are the runtime.MemStats deltas summed
 	// over the measured intervals (population and warm-up excluded).
 	// They count the whole process, so they are meaningful for
@@ -266,7 +291,7 @@ func runOnce(cfg Config, r int, res *Result) (Counts, time.Duration, error) {
 		}
 	}
 	if cfg.Warmup > 0 {
-		if _, _, err := drive(set, cfg, cfg.Warmup, uint64(cfg.Seed)+uint64(r)*1000, nil, fps); err != nil {
+		if _, _, err := drive(set, cfg, cfg.Warmup, uint64(cfg.Seed)+uint64(r)*1000, nil, nil, fps, nil); err != nil {
 			return Counts{}, 0, err
 		}
 	}
@@ -278,11 +303,58 @@ func runOnce(cfg Config, r int, res *Result) (Counts, time.Duration, error) {
 	if cfg.Probes != nil {
 		before = cfg.Probes.Snapshot()
 	}
+	// Pre-allocate the per-worker latency shards so the streamer can
+	// window them while the drive is still running.
+	var shards []*obs.Recorder
+	if res.Latency != nil {
+		shards = make([]*obs.Recorder, cfg.Threads)
+		for i := range shards {
+			shards[i] = obs.NewRecorder()
+		}
+	}
+	var str *trace.Streamer
+	if cfg.Stream > 0 {
+		str = trace.NewStreamer(cfg.Stream, cfg.Probes, shards, func(row trace.StreamRow) {
+			// Appends from the streaming goroutine are joined by
+			// str.Stop before runOnce reads Timeseries back.
+			res.Timeseries = append(res.Timeseries, row)
+			if cfg.StreamSink != nil {
+				cfg.StreamSink(row)
+			}
+		})
+	}
+	// Attach the tracer as probe/failpoint sink only around the measured
+	// drive: SetSink happens-before the workers start and the detach
+	// happens after they drain, the plain-field discipline both sinks
+	// document.
+	if tr := cfg.Trace; tr != nil {
+		if cfg.Probes != nil {
+			cfg.Probes.SetSink(tr)
+		}
+		if fps != nil {
+			fps.SetSink(tr)
+		}
+		tr.RunBegin(r)
+	}
+	if str != nil {
+		str.Start()
+	}
 	var memBefore runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
-	counts, elapsed, err := drive(set, cfg, cfg.Duration, uint64(cfg.Seed)+uint64(r)*1000+500, res.Latency, fps)
+	counts, elapsed, err := drive(set, cfg, cfg.Duration, uint64(cfg.Seed)+uint64(r)*1000+500, res.Latency, shards, fps, cfg.Trace)
 	var memAfter runtime.MemStats
 	runtime.ReadMemStats(&memAfter)
+	if str != nil {
+		str.Stop()
+	}
+	if tr := cfg.Trace; tr != nil {
+		if cfg.Probes != nil {
+			cfg.Probes.SetSink(nil)
+		}
+		if fps != nil {
+			fps.SetSink(nil)
+		}
+	}
 	res.Mallocs += memAfter.Mallocs - memBefore.Mallocs
 	res.AllocBytes += memAfter.TotalAlloc - memBefore.TotalAlloc
 	if cfg.Probes != nil {
@@ -301,28 +373,33 @@ func chaosTargets(scs []failpoint.Scenario, site failpoint.Site) bool {
 	return false
 }
 
-// applyOp applies one generated operation to set and tallies the result.
-func applyOp(set Set, op workload.Op, k int64, c *Counts) {
+// applyOp applies one generated operation to set, tallies the result,
+// and returns it (the traced loop stamps it into the op-end record).
+func applyOp(set Set, op workload.Op, k int64, c *Counts) bool {
 	switch op {
 	case workload.Contains:
 		if set.Contains(k) {
 			c.ContainsHit++
-		} else {
-			c.ContainsMiss++
+			return true
 		}
+		c.ContainsMiss++
+		return false
 	case workload.Insert:
 		if set.Insert(k) {
 			c.InsertOK++
-		} else {
-			c.InsertFail++
+			return true
 		}
+		c.InsertFail++
+		return false
 	case workload.Remove:
 		if set.Remove(k) {
 			c.RemoveOK++
-		} else {
-			c.RemoveFail++
+			return true
 		}
+		c.RemoveFail++
+		return false
 	}
+	return false
 }
 
 // opKind maps a workload op to its latency-recorder kind.
@@ -361,7 +438,13 @@ func sampleMask(every int) uint64 {
 // them; a worker stalled past the deadline fails the interval with a
 // goroutine dump, after disarming fps (may be nil) so the stalled
 // workers can drain.
-func drive(set Set, cfg Config, d time.Duration, seedBase uint64, rec *obs.Recorder, fps *failpoint.Set) (Counts, time.Duration, error) {
+//
+// shards, when non-nil, supplies the pre-allocated per-worker recorder
+// shards (len cfg.Threads) so a concurrent streamer can window them;
+// when nil and rec is non-nil, drive allocates its own. tr, when
+// non-nil, makes every worker bracket each operation with
+// op-begin/op-end trace records.
+func drive(set Set, cfg Config, d time.Duration, seedBase uint64, rec *obs.Recorder, shards []*obs.Recorder, fps *failpoint.Set, tr *trace.Tracer) (Counts, time.Duration, error) {
 	var (
 		stop  atomic.Bool
 		start = make(chan struct{})
@@ -372,6 +455,12 @@ func drive(set Set, cfg Config, d time.Duration, seedBase uint64, rec *obs.Recor
 	)
 	if cfg.Watchdog > 0 {
 		beats = make([]beat, cfg.Threads)
+	}
+	if rec != nil && shards == nil {
+		shards = make([]*obs.Recorder, cfg.Threads)
+		for i := range shards {
+			shards[i] = obs.NewRecorder()
+		}
 	}
 	labels := pprof.Labels(
 		"impl", cfg.Name,
@@ -393,7 +482,7 @@ func drive(set Set, cfg Config, d time.Duration, seedBase uint64, rec *obs.Recor
 					n     uint64
 				)
 				if rec != nil {
-					shard = obs.NewRecorder()
+					shard = shards[id]
 					mask = sampleMask(cfg.LatencySampleEvery)
 				}
 				var myBeat *beat
@@ -401,7 +490,28 @@ func drive(set Set, cfg Config, d time.Duration, seedBase uint64, rec *obs.Recor
 					myBeat = &beats[id]
 				}
 				<-start
-				if shard == nil {
+				if tr != nil {
+					for !stop.Load() {
+						for i := 0; i < 32; i++ {
+							op, k := gen.Next()
+							kind := opKind(op)
+							tr.OpBegin(id, kind, k)
+							var ok bool
+							if shard != nil && n&mask == 0 {
+								t0 := time.Now()
+								ok = applyOp(set, op, k, &local)
+								shard.Record(kind, time.Since(t0))
+							} else {
+								ok = applyOp(set, op, k, &local)
+							}
+							n++
+							tr.OpEnd(id, kind, k, ok)
+						}
+						if myBeat != nil {
+							myBeat.n.Add(1)
+						}
+					}
+				} else if shard == nil {
 					for !stop.Load() {
 						// A small batch per stop-check keeps the flag read off
 						// the hot path without stretching run tails.
@@ -433,9 +543,6 @@ func drive(set Set, cfg Config, d time.Duration, seedBase uint64, rec *obs.Recor
 				}
 				mu.Lock()
 				total.add(local)
-				if shard != nil {
-					rec.Merge(shard)
-				}
 				mu.Unlock()
 			})
 		}(t)
@@ -455,6 +562,11 @@ func drive(set Set, cfg Config, d time.Duration, seedBase uint64, rec *obs.Recor
 	stop.Store(true)
 	wg.Wait()
 	elapsed := time.Since(begin)
+	if rec != nil {
+		for _, shard := range shards {
+			rec.Merge(shard)
+		}
+	}
 	var err error
 	if wd != nil {
 		err = wd.stop()

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"listset/internal/obs"
+	"listset/internal/obs/trace"
 )
 
 // ReportSchema identifies the JSON layout emitted by this package.
@@ -46,6 +47,10 @@ type JSONReport struct {
 	// Mem is the process-wide heap accounting over the measured
 	// intervals. A new field; schema string unchanged.
 	Mem JSONMem `json:"mem"`
+	// Timeseries holds the interval-metrics windows (one row per
+	// streaming tick over the measured drives); nil unless the run
+	// streamed. A new optional field; schema string unchanged.
+	Timeseries []trace.StreamRow `json:"timeseries,omitempty"`
 }
 
 // JSONMem is the runtime.MemStats delta summed over the measured
@@ -186,6 +191,7 @@ func Report(res Result) JSONReport {
 	if cfg.Probes != nil {
 		rep.Events = res.Events.Map()
 	}
+	rep.Timeseries = res.Timeseries
 	if res.Latency != nil {
 		rep.LatencyNS = make(map[string]JSONLatency, int(obs.NumOps))
 		for op := obs.OpKind(0); op < obs.NumOps; op++ {

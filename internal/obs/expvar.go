@@ -1,24 +1,53 @@
 package obs
 
-import "expvar"
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+)
+
+// published maps each name this package has registered with expvar to
+// the swappable reader behind it. expvar.Publish itself panics on a
+// duplicate name, which used to make repeated harness runs in one
+// process (tests, sweeps, long-lived servers) fatal; instead this
+// package registers each name exactly once, with an expvar.Func that
+// reads through an atomic slot, and re-publishing a name just swaps
+// the slot.
+var published sync.Map // string -> *atomic.Value holding func() any
+
+// PublishFunc registers f as the expvar variable name, replacing any
+// reader previously installed under that name by this package.
+// Idempotent across calls with the same name; it still panics if the
+// name was claimed directly through the expvar package by someone
+// else.
+func PublishFunc(name string, f func() any) {
+	slot, loaded := published.LoadOrStore(name, &atomic.Value{})
+	slot.(*atomic.Value).Store(f)
+	if !loaded {
+		expvar.Publish(name, expvar.Func(func() any {
+			return slot.(*atomic.Value).Load().(func() any)()
+		}))
+	}
+}
 
 // Publish registers p's live counter snapshot under name in the
 // process-wide expvar registry, so a metrics HTTP endpoint
-// (/debug/vars) exposes the events of a running benchmark. Like
-// expvar.Publish it panics on a duplicate name — call once per
-// process per name.
+// (/debug/vars) exposes the events of a running benchmark.
+// Re-publishing a name replaces the probes behind it, so one name can
+// follow a sequence of runs in one process.
 func Publish(name string, p *Probes) {
-	expvar.Publish(name, expvar.Func(func() any {
+	PublishFunc(name, func() any {
 		return p.Snapshot().Map()
-	}))
+	})
 }
 
 // PublishRecorder registers r's live per-operation percentile digest
 // under name in the expvar registry. Percentile extraction walks 64
 // buckets per kind — trivial next to a benchmark run, but the values
-// are racy snapshots until the run quiesces.
+// are racy snapshots until the run quiesces. Re-publishing a name
+// replaces the recorder behind it.
 func PublishRecorder(name string, r *Recorder) {
-	expvar.Publish(name, expvar.Func(func() any {
+	PublishFunc(name, func() any {
 		out := make(map[string]any, NumOps)
 		for k := OpKind(0); k < NumOps; k++ {
 			s := r.Percentiles(k)
@@ -31,5 +60,5 @@ func PublishRecorder(name string, r *Recorder) {
 			}
 		}
 		return out
-	}))
+	})
 }

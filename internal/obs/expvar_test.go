@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"testing"
+)
+
+// TestPublishIdempotent is the regression test for the duplicate-name
+// panic: expvar.Publish panics on reuse, so repeated harness runs in
+// one process (sweeps, tests) must be able to re-publish the same name
+// and have the variable read through to the LATEST probes.
+func TestPublishIdempotent(t *testing.T) {
+	const name = "test.publish.idempotent"
+	p1 := NewProbes()
+	p1.Inc(EvRestartPrev, 1)
+	Publish(name, p1) // must not panic on the second call either
+	p2 := NewProbes()
+	p2.Inc(EvCASFail, 2)
+	p2.Inc(EvCASFail, 3)
+	Publish(name, p2)
+
+	v := expvar.Get(name)
+	if v == nil {
+		t.Fatalf("expvar %q not published", name)
+	}
+	var m map[string]uint64
+	if err := json.Unmarshal([]byte(v.String()), &m); err != nil {
+		t.Fatalf("expvar %q is not a JSON counter map: %v", name, err)
+	}
+	if m[EvCASFail.String()] != 2 || m[EvRestartPrev.String()] != 0 {
+		t.Fatalf("expvar %q reads %v; must reflect the latest Probes", name, m)
+	}
+}
+
+func TestPublishRecorderIdempotent(t *testing.T) {
+	const name = "test.publish.recorder"
+	PublishRecorder(name, NewRecorder())
+	r2 := NewRecorder()
+	r2.Record(OpInsert, 100)
+	PublishRecorder(name, r2)
+	v := expvar.Get(name)
+	if v == nil {
+		t.Fatalf("expvar %q not published", name)
+	}
+	var m map[string]map[string]any
+	if err := json.Unmarshal([]byte(v.String()), &m); err != nil {
+		t.Fatalf("expvar %q: %v", name, err)
+	}
+	if count, ok := m[OpInsert.String()]["count"].(float64); !ok || count != 1 {
+		t.Fatalf("expvar %q insert count = %v, want 1 (latest recorder)", name, m)
+	}
+}
+
+func TestPublishFuncReplaces(t *testing.T) {
+	const name = "test.publish.func"
+	PublishFunc(name, func() any { return 1 })
+	PublishFunc(name, func() any { return 2 })
+	if got := expvar.Get(name).String(); got != "2" {
+		t.Fatalf("expvar %q = %s, want 2", name, got)
+	}
+}

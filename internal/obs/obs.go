@@ -140,11 +140,25 @@ type shard struct {
 	_      [(128 - (NumEvents*8)%128) % 128]byte
 }
 
+// EventSink receives a copy of every counted event — the hook the
+// flight recorder (internal/obs/trace) attaches to turn aggregate
+// counters into an ordered event stream. ObsEvent is called from the
+// operation's own goroutine, inside the probe site, so implementations
+// must be lock-free and allocation-free.
+type EventSink interface {
+	ObsEvent(ev Event, key int64)
+}
+
 // Probes is a set of sharded event counters. The zero value is ready
 // to use; a Probes must not be copied after first use. Use one Probes
 // per benchmark cell and read it with Snapshot.
 type Probes struct {
 	shards [NumShards]shard
+	// sink, when non-nil, mirrors every Inc. A plain field: SetSink
+	// must happen-before the workers that Inc start (and detaching
+	// must happen-after they drain), which is how the harness brackets
+	// a measured interval.
+	sink EventSink
 }
 
 // NewProbes returns an empty counter set.
@@ -156,11 +170,18 @@ func shardOf(key int64) uint64 {
 	return (uint64(key) * 0x9E3779B97F4A7C15) >> (64 - shardBits)
 }
 
+// SetSink attaches (or, with nil, detaches) an event sink. See the
+// sink field for the required ordering discipline.
+func (p *Probes) SetSink(s EventSink) { p.sink = s }
+
 // Inc adds one to ev on the stripe selected by key — pass the key the
 // operation is working on, so contention on the counters mirrors (and
 // never exceeds) contention on the list itself.
 func (p *Probes) Inc(ev Event, key int64) {
 	p.shards[shardOf(key)].counts[ev].Add(1)
+	if s := p.sink; s != nil {
+		s.ObsEvent(ev, key)
+	}
 }
 
 // Snapshot sums the stripes into a plain per-event view. It is a racy
@@ -170,6 +191,21 @@ func (p *Probes) Snapshot() Snapshot {
 	for i := range p.shards {
 		for ev := range out {
 			out[ev] += p.shards[i].counts[ev].Load()
+		}
+	}
+	return out
+}
+
+// StripeSnapshot reads every stripe separately — one Snapshot per
+// counter shard, indexable by the shardOf hash of the keys it serves.
+// The interval-metrics streamer diffs consecutive stripe snapshots
+// into per-stripe contention heatmap rows. Like Snapshot it is racy
+// per counter, exact at quiescence.
+func (p *Probes) StripeSnapshot() [NumShards]Snapshot {
+	var out [NumShards]Snapshot
+	for i := range p.shards {
+		for ev := range out[i] {
+			out[i][ev] = p.shards[i].counts[ev].Load()
 		}
 	}
 	return out

@@ -1,0 +1,71 @@
+package obs
+
+import "testing"
+
+type recordingSink struct {
+	events []Event
+	keys   []int64
+}
+
+func (r *recordingSink) ObsEvent(ev Event, key int64) {
+	r.events = append(r.events, ev)
+	r.keys = append(r.keys, key)
+}
+
+// TestProbesSinkForwarding checks Inc both counts and forwards to the
+// attached sink, and that detaching stops the forwarding without
+// disturbing the counters.
+func TestProbesSinkForwarding(t *testing.T) {
+	p := NewProbes()
+	sink := &recordingSink{}
+	p.Inc(EvRestartPrev, 4) // pre-attach: counted, not forwarded
+	p.SetSink(sink)
+	p.Inc(EvCASFail, 9)
+	p.SetSink(nil)
+	p.Inc(EvCASFail, 10) // post-detach: counted, not forwarded
+
+	if len(sink.events) != 1 || sink.events[0] != EvCASFail || sink.keys[0] != 9 {
+		t.Fatalf("sink saw %v/%v, want exactly [EvCASFail]/[9]", sink.events, sink.keys)
+	}
+	snap := p.Snapshot()
+	if snap[EvRestartPrev] != 1 || snap[EvCASFail] != 2 {
+		t.Fatalf("counters = %v; the sink must not affect counting", snap.Map())
+	}
+}
+
+// TestStripeSnapshot checks the per-stripe view: stripe rows sum to
+// the flat snapshot, and two keys of the same stripe land together.
+func TestStripeSnapshot(t *testing.T) {
+	p := NewProbes()
+	for k := int64(0); k < 100; k++ {
+		p.Inc(EvPhysicalUnlink, k)
+	}
+	stripes := p.StripeSnapshot()
+	var sum Snapshot
+	for _, s := range stripes {
+		sum = sum.Add(s)
+	}
+	if flat := p.Snapshot(); sum != flat {
+		t.Fatalf("stripe sum %v != flat snapshot %v", sum.Map(), flat.Map())
+	}
+	if sum[EvPhysicalUnlink] != 100 {
+		t.Fatalf("unlinks = %d, want 100", sum[EvPhysicalUnlink])
+	}
+	// Same key, same stripe: incrementing one key twice moves exactly
+	// one stripe.
+	p2 := NewProbes()
+	p2.Inc(EvCASFail, 7)
+	p2.Inc(EvCASFail, 7)
+	var touched int
+	for _, s := range p2.StripeSnapshot() {
+		if s.Total() > 0 {
+			touched++
+			if s[EvCASFail] != 2 {
+				t.Fatalf("stripe holds %d, want both increments of key 7", s[EvCASFail])
+			}
+		}
+	}
+	if touched != 1 {
+		t.Fatalf("key 7 touched %d stripes, want 1", touched)
+	}
+}

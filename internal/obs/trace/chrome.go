@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export: the capture rendered in the JSON format
+// Perfetto and chrome://tracing load directly. Op spans become
+// complete ("ph":"X") events on one track per worker; probe and
+// failpoint records become instant ("ph":"i") events — thread-scoped
+// on the worker track when a surrounding span attributes them, on a
+// synthetic "probes" track otherwise. Timestamps are microseconds (the
+// format's unit) with sub-microsecond fractions preserved.
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the whole export: the JSON-object form, which lets
+// viewers read metadata alongside the event array.
+type chromeFile struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+const microsPerNano = 1e-3
+
+// WriteChrome writes the capture as Chrome trace-event JSON. Unpaired
+// op-begin/op-end records (spans cut off by ring wraparound or the
+// snapshot moment) are rendered as instants so no captured record is
+// silently omitted.
+func (c *Capture) WriteChrome(w io.Writer) error {
+	out := chromeFile{
+		DisplayTimeUnit: "ns",
+		TraceEvents:     make([]chromeEvent, 0, len(c.Records)+c.Workers+1),
+		OtherData: map[string]any{
+			"workers": c.Workers,
+			"depth":   c.Depth,
+			"drops":   c.Drops,
+		},
+	}
+	probeTID := c.Workers // synthetic track after the worker tracks
+	// Thread names, so Perfetto labels the tracks.
+	for w := 0; w < c.Workers; w++ {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Cat: "__metadata", Phase: "M", PID: 1, TID: w,
+			Args: map[string]any{"name": fmt.Sprintf("worker %d", w)},
+		})
+	}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "thread_name", Cat: "__metadata", Phase: "M", PID: 1, TID: probeTID,
+		Args: map[string]any{"name": "probes"},
+	})
+
+	// open tracks each worker's current span so op-ends pair up and
+	// instants falling inside a span inherit its track.
+	open := make(map[int32]*openSpan)
+	instant := func(r Record, name string, args map[string]any) {
+		tid := probeTID
+		if r.Worker >= 0 && int(r.Worker) < c.Workers {
+			tid = int(r.Worker)
+		} else if sp := spanForKey(open, r.Key); sp != nil {
+			tid = int(sp.rec.Worker)
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: name, Cat: "probe", Phase: "i", Scope: "t",
+			TS: float64(r.Time) * microsPerNano, PID: 1, TID: tid, Args: args,
+		})
+	}
+	for _, r := range c.Records {
+		switch r.Kind {
+		case KindOpBegin:
+			if sp := open[r.Worker]; sp != nil {
+				// Lost the matching end to wraparound: emit what we know.
+				instant(sp.rec, sp.rec.OpKind().String()+"(begin only)", map[string]any{"key": sp.rec.Key})
+			}
+			open[r.Worker] = &openSpan{rec: r}
+		case KindOpEnd:
+			sp := open[r.Worker]
+			if sp == nil || sp.rec.Key != r.Key || sp.rec.Op != r.Op {
+				instant(r, r.OpKind().String()+"(end only)", map[string]any{"key": r.Key, "result": r.Result()})
+				continue
+			}
+			delete(open, r.Worker)
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name:  fmt.Sprintf("%s(%d)", r.OpKind(), r.Key),
+				Cat:   "op",
+				Phase: "X",
+				TS:    float64(sp.rec.Time) * microsPerNano,
+				Dur:   float64(r.Time-sp.rec.Time) * microsPerNano,
+				PID:   1,
+				TID:   int(r.Worker),
+				Args:  map[string]any{"key": r.Key, "result": r.Result(), "seq": sp.rec.Seq},
+			})
+		case KindEvent:
+			instant(r, r.Event().String(), map[string]any{"key": r.Key})
+		case KindFailpointFire:
+			instant(r, fmt.Sprintf("failpoint %s:%s", r.Site(), r.Action()), map[string]any{"key": r.Key})
+		case KindFailpointRelease:
+			instant(r, fmt.Sprintf("failpoint %s released", r.Site()), map[string]any{"key": r.Key})
+		case KindRunBegin:
+			instant(r, fmt.Sprintf("run %d", r.Key), nil)
+		}
+	}
+	for _, sp := range open {
+		instant(sp.rec, sp.rec.OpKind().String()+"(begin only)", map[string]any{"key": sp.rec.Key})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// openSpan is a worker's currently open operation span.
+type openSpan struct {
+	rec Record
+}
+
+// spanForKey attributes an unattributed record to the unique open span
+// on its key, or nil when zero or several workers are mid-operation on
+// that key (ambiguous; the probes track keeps it honest).
+func spanForKey(open map[int32]*openSpan, key int64) *openSpan {
+	var found *openSpan
+	for _, sp := range open {
+		if sp.rec.Key == key {
+			if found != nil {
+				return nil
+			}
+			found = sp
+		}
+	}
+	return found
+}

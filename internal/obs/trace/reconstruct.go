@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"fmt"
+
+	"listset/internal/failpoint"
+	"listset/internal/lincheck"
+	"listset/internal/obs"
+	"listset/internal/schedule"
+)
+
+// Post-hoc audit bridge: a capture with complete span coverage lifts
+// into a lincheck history (were the observed results linearizable?)
+// and into schedule.TraceOp form (which paper schedule explains the
+// interleaving?). Both refuse captures with ring drops — a flight
+// recorder that lost records cannot certify anything about the run,
+// only illustrate it.
+
+// span is one completed operation reassembled from its begin/end pair.
+type span struct {
+	worker int32
+	op     obs.OpKind
+	key    int64
+	result bool
+	begin  Record
+	end    Record
+}
+
+// spans pairs each worker's op-begin/op-end records in global order.
+// Every begin must close before the capture ends: callers audit
+// quiesced replays, not live rings.
+func (c *Capture) spans() ([]span, error) {
+	if c.Drops > 0 {
+		return nil, fmt.Errorf("trace: capture dropped %d records; span reconstruction would be unsound", c.Drops)
+	}
+	open := make(map[int32]*Record)
+	var out []span
+	for i := range c.Records {
+		r := c.Records[i]
+		switch r.Kind {
+		case KindOpBegin:
+			if prev := open[r.Worker]; prev != nil {
+				return nil, fmt.Errorf("trace: worker %d begins %s while %s is open", r.Worker, r, prev)
+			}
+			open[r.Worker] = &c.Records[i]
+		case KindOpEnd:
+			b := open[r.Worker]
+			if b == nil || b.Key != r.Key || b.Op != r.Op {
+				return nil, fmt.Errorf("trace: unmatched op end %s", r)
+			}
+			delete(open, r.Worker)
+			out = append(out, span{
+				worker: r.Worker, op: r.OpKind(), key: r.Key, result: r.Result(),
+				begin: *b, end: r,
+			})
+		}
+	}
+	for _, b := range open {
+		return nil, fmt.Errorf("trace: op never completed: %s", b)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("trace: capture holds no completed operation spans")
+	}
+	return out, nil
+}
+
+// History lifts the capture's operation spans into a lincheck history:
+// invocation and return stamps are the global trace sequence numbers,
+// which order exactly like the lincheck recorder's logical clock.
+func (c *Capture) History() (lincheck.History, error) {
+	spans, err := c.spans()
+	if err != nil {
+		return lincheck.History{}, err
+	}
+	h := lincheck.History{Ops: make([]lincheck.Op, 0, len(spans))}
+	for _, sp := range spans {
+		var kind lincheck.Kind
+		switch sp.op {
+		case obs.OpInsert:
+			kind = lincheck.OpInsert
+		case obs.OpRemove:
+			kind = lincheck.OpRemove
+		default:
+			kind = lincheck.OpContains
+		}
+		h.Ops = append(h.Ops, lincheck.Op{
+			Thread: int(sp.worker),
+			Kind:   kind,
+			Key:    sp.key,
+			Result: sp.result,
+			Invoke: int64(sp.begin.Seq),
+			Return: int64(sp.end.Seq),
+		})
+	}
+	return h, nil
+}
+
+// constraintSites are the pre-lock pause sites whose fire marks the
+// exact boundary between an operation's read phase and its write
+// phase: when a VBL update parks there it has completed precisely its
+// wait-free traversal (and, for insert, its node creation), leaving
+// only the locked writes and the return.
+func constraintSite(s failpoint.Site) bool {
+	return s == failpoint.SiteVBLLockNextAt || s == failpoint.SiteVBLLockNextAtValue
+}
+
+// ScheduleOps lifts the capture into schedule.TraceOp form. Span
+// boundaries become Begin/End positions. A pause fired at a pre-lock
+// site inside a span adds phase constraints: WritesAfter the release
+// always (nothing can have been written while parked), and ReadsBefore
+// the fire only when the trace shows no restart for that key after the
+// release — a restart re-reads, so its reads postdate the fire.
+func (c *Capture) ScheduleOps() ([]schedule.TraceOp, error) {
+	spans, err := c.spans()
+	if err != nil {
+		return nil, err
+	}
+	ops := make([]schedule.TraceOp, len(spans))
+	for i, sp := range spans {
+		var kind schedule.OpKind
+		switch sp.op {
+		case obs.OpInsert:
+			kind = schedule.OpInsert
+		case obs.OpRemove:
+			kind = schedule.OpRemove
+		default:
+			kind = schedule.OpContains
+		}
+		ops[i] = schedule.TraceOp{
+			Spec:   schedule.OpSpec{Kind: kind, Arg: sp.key},
+			Result: sp.result,
+			Begin:  sp.begin.Seq,
+			End:    sp.end.Seq,
+		}
+		fire, release, ok := c.pauseBracket(sp)
+		if !ok {
+			continue
+		}
+		ops[i].WritesAfter = release
+		if !c.restartBetween(sp.key, release, sp.end.Seq) {
+			ops[i].ReadsBefore = fire
+		}
+	}
+	return ops, nil
+}
+
+// pauseBracket finds a pre-lock pause fired on the span's key inside
+// the span, and its matching release.
+func (c *Capture) pauseBracket(sp span) (fire, release uint64, ok bool) {
+	for _, r := range c.Records {
+		if r.Seq <= sp.begin.Seq || r.Seq >= sp.end.Seq || r.Key != sp.key {
+			continue
+		}
+		if r.Kind == KindFailpointFire && r.Action() == failpoint.ActPause && constraintSite(r.Site()) {
+			fire = r.Seq
+		} else if r.Kind == KindFailpointRelease && constraintSite(r.Site()) && fire != 0 && release == 0 {
+			release = r.Seq
+		}
+	}
+	return fire, release, fire != 0 && release != 0 && fire < release
+}
+
+// restartBetween reports whether a restart event for key lies in the
+// open position interval (lo, hi).
+func (c *Capture) restartBetween(key int64, lo, hi uint64) bool {
+	for _, r := range c.Records {
+		if r.Kind != KindEvent || r.Key != key || r.Seq <= lo || r.Seq >= hi {
+			continue
+		}
+		if ev := r.Event(); ev == obs.EvRestartPrev || ev == obs.EvRestartHead {
+			return true
+		}
+	}
+	return false
+}

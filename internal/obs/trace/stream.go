@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"listset/internal/obs"
+	"listset/internal/stats"
+)
+
+// Interval metrics streaming: a Streamer samples the probe counters
+// and latency recorder shards on a ticker and emits windowed deltas —
+// what happened in the last window, not cumulatively since the run
+// began. Counters are monotone, so a delta of two snapshots is itself
+// a valid snapshot; percentiles over a window come from the bucket-
+// count difference of the log-histograms (stats.BucketCounts.Sub).
+// Each row also carries the per-stripe event totals for the window, a
+// contention heatmap row across the key space.
+
+// StreamSchema identifies the JSON-lines row format.
+const StreamSchema = "listset/stream/v1"
+
+// StreamRow is one window of metrics. All counts are deltas over the
+// window, not cumulative totals.
+type StreamRow struct {
+	Schema    string  `json:"schema"`
+	Window    int     `json:"window"`     // 1-based window index
+	ElapsedMS float64 `json:"elapsed_ms"` // since streaming started
+	WindowMS  float64 `json:"window_ms"`  // actual width of this window
+	// Events maps event name to its count in the window (zero counts
+	// omitted). Empty when no probes are attached.
+	Events map[string]uint64 `json:"events,omitempty"`
+	// Stripes is the per-stripe total event count in the window — one
+	// heatmap row across the obs.NumShards key stripes.
+	Stripes []uint64 `json:"stripes,omitempty"`
+	// Latency maps op name ("contains"/"insert"/"remove") to the
+	// window's sampled-latency digest. Empty when no recorders are
+	// attached or nothing was sampled.
+	Latency map[string]stats.LatencySummary `json:"latency_ns,omitempty"`
+}
+
+// Streamer periodically digests probe and recorder state into
+// StreamRows. Attach the sources before Start; Stop flushes a final
+// partial window and waits for the ticker goroutine to exit.
+type Streamer struct {
+	interval time.Duration
+	probes   *obs.Probes
+	recs     []*obs.Recorder
+	sink     func(StreamRow)
+
+	prevStripes [obs.NumShards]obs.Snapshot
+	prevHists   [obs.NumOps]stats.BucketCounts
+	window      int
+	start       time.Time
+	lastTick    time.Time
+
+	last atomic.Pointer[StreamRow]
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewStreamer builds a streamer over the given sources. probes may be
+// nil (no event counters), recs may be empty (no latency windows); the
+// sink receives each completed row and must be safe to call from the
+// streamer's goroutine.
+func NewStreamer(interval time.Duration, probes *obs.Probes, recs []*obs.Recorder, sink func(StreamRow)) *Streamer {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Streamer{
+		interval: interval,
+		probes:   probes,
+		recs:     recs,
+		sink:     sink,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start baselines the counters and launches the ticker goroutine.
+func (s *Streamer) Start() {
+	now := time.Now()
+	s.start, s.lastTick = now, now
+	s.baseline()
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.emit(time.Now())
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the ticker, emits one final partial window (so the tail
+// of a run is never silently dropped), and waits for the goroutine.
+func (s *Streamer) Stop() {
+	s.once.Do(func() {
+		close(s.stop)
+		<-s.done
+		s.emit(time.Now())
+	})
+}
+
+// Last returns the most recently emitted row, for pull-style surfaces
+// (the expvar endpoint). ok is false before the first window closes.
+func (s *Streamer) Last() (StreamRow, bool) {
+	row := s.last.Load()
+	if row == nil {
+		return StreamRow{}, false
+	}
+	return *row, true
+}
+
+// baseline records the current counter state as window zero.
+func (s *Streamer) baseline() {
+	if s.probes != nil {
+		s.prevStripes = s.probes.StripeSnapshot()
+	}
+	s.prevHists = s.histCounts()
+}
+
+// histCounts sums the recorder shards' bucket counts per op kind.
+func (s *Streamer) histCounts() [obs.NumOps]stats.BucketCounts {
+	var out [obs.NumOps]stats.BucketCounts
+	for _, r := range s.recs {
+		if r == nil {
+			continue
+		}
+		for op := obs.OpKind(0); op < obs.NumOps; op++ {
+			out[op] = out[op].Add(r.Hist(op).Buckets())
+		}
+	}
+	return out
+}
+
+// emit closes the current window and hands the row to the sink. Only
+// the ticker goroutine and the post-join Stop call it, never both
+// concurrently.
+func (s *Streamer) emit(now time.Time) {
+	s.window++
+	row := StreamRow{
+		Schema:    StreamSchema,
+		Window:    s.window,
+		ElapsedMS: float64(now.Sub(s.start)) / float64(time.Millisecond),
+		WindowMS:  float64(now.Sub(s.lastTick)) / float64(time.Millisecond),
+	}
+	s.lastTick = now
+
+	if s.probes != nil {
+		stripes := s.probes.StripeSnapshot()
+		var total obs.Snapshot
+		row.Stripes = make([]uint64, obs.NumShards)
+		for i := range stripes {
+			delta := stripes[i].Sub(s.prevStripes[i])
+			row.Stripes[i] = delta.Total()
+			total = total.Add(delta)
+		}
+		s.prevStripes = stripes
+		events := make(map[string]uint64)
+		for ev, n := range total.Map() {
+			if n != 0 {
+				events[ev] = n
+			}
+		}
+		if len(events) > 0 {
+			row.Events = events
+		}
+	}
+
+	hists := s.histCounts()
+	lat := make(map[string]stats.LatencySummary)
+	for op := obs.OpKind(0); op < obs.NumOps; op++ {
+		delta := hists[op].Sub(s.prevHists[op])
+		if delta.Count() > 0 {
+			lat[op.String()] = delta.Percentiles()
+		}
+	}
+	s.prevHists = hists
+	if len(lat) > 0 {
+		row.Latency = lat
+	}
+
+	s.last.Store(&row)
+	if s.sink != nil {
+		s.sink(row)
+	}
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"listset/internal/obs"
+)
+
+// TestStreamerWindows drives the streamer's windowing by hand (via
+// emit) and checks rows carry deltas, not cumulative totals.
+func TestStreamerWindows(t *testing.T) {
+	probes := obs.NewProbes()
+	rec := obs.NewRecorder()
+	var rows []StreamRow
+	s := NewStreamer(time.Hour, probes, []*obs.Recorder{rec}, func(r StreamRow) {
+		rows = append(rows, r)
+	})
+	s.start = time.Now()
+	s.lastTick = s.start
+	s.baseline()
+
+	probes.Inc(obs.EvRestartPrev, 1)
+	probes.Inc(obs.EvRestartPrev, 1)
+	rec.Record(obs.OpInsert, 100)
+	s.emit(time.Now())
+
+	probes.Inc(obs.EvCASFail, 2)
+	s.emit(time.Now())
+
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	if rows[0].Schema != StreamSchema || rows[0].Window != 1 || rows[1].Window != 2 {
+		t.Fatalf("row headers wrong: %+v", rows)
+	}
+	if rows[0].Events[obs.EvRestartPrev.String()] != 2 {
+		t.Errorf("window 1 restarts = %d, want 2", rows[0].Events[obs.EvRestartPrev.String()])
+	}
+	if got := rows[0].Latency[obs.OpInsert.String()]; got.Count != 1 {
+		t.Errorf("window 1 insert latency count = %d, want 1", got.Count)
+	}
+	// Window 2 must show only the window's activity: the restart and
+	// the latency sample belong to window 1.
+	if _, ok := rows[1].Events[obs.EvRestartPrev.String()]; ok {
+		t.Error("window 2 repeats window 1's restart count; rows must be deltas")
+	}
+	if rows[1].Events[obs.EvCASFail.String()] != 1 {
+		t.Errorf("window 2 cas fails = %d, want 1", rows[1].Events[obs.EvCASFail.String()])
+	}
+	if len(rows[1].Latency) != 0 {
+		t.Errorf("window 2 latency = %+v, want empty", rows[1].Latency)
+	}
+	// Stripe rows span the full shard map and sum to the window total.
+	if len(rows[0].Stripes) != obs.NumShards {
+		t.Fatalf("stripe row width = %d, want %d", len(rows[0].Stripes), obs.NumShards)
+	}
+	var total uint64
+	for _, n := range rows[0].Stripes {
+		total += n
+	}
+	if total != 2 {
+		t.Errorf("window 1 stripe total = %d, want 2", total)
+	}
+}
+
+// TestStreamerLifecycle runs the real ticker path: Start, let at least
+// one window close, Stop — which must flush a final partial window and
+// make Last observable.
+func TestStreamerLifecycle(t *testing.T) {
+	probes := obs.NewProbes()
+	var mu chanRows
+	s := NewStreamer(10*time.Millisecond, probes, nil, mu.add)
+	s.Start()
+	probes.Inc(obs.EvRestartHead, 3)
+	time.Sleep(35 * time.Millisecond)
+	s.Stop()
+	s.Stop() // idempotent
+
+	rows := mu.get()
+	if len(rows) < 2 {
+		t.Fatalf("rows = %d, want at least 2 (ticker + final flush)", len(rows))
+	}
+	last, ok := s.Last()
+	if !ok || last.Window != rows[len(rows)-1].Window {
+		t.Fatalf("Last() = %+v/%v, want the final row", last, ok)
+	}
+	var restarts uint64
+	for _, r := range rows {
+		restarts += r.Events[obs.EvRestartHead.String()]
+	}
+	if restarts != 1 {
+		t.Fatalf("restart appears %d times across windows, want exactly once", restarts)
+	}
+}
+
+// chanRows collects rows across goroutines.
+type chanRows struct {
+	mu   sync.Mutex
+	rows []StreamRow
+}
+
+func (c *chanRows) add(r StreamRow) {
+	c.mu.Lock()
+	c.rows = append(c.rows, r)
+	c.mu.Unlock()
+}
+
+func (c *chanRows) get() []StreamRow {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]StreamRow(nil), c.rows...)
+}

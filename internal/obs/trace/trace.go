@@ -1,0 +1,356 @@
+// Package trace is the flight recorder behind internal/obs: lock-free,
+// cache-line-padded per-worker ring buffers of fixed-size event records
+// capturing *when* the contention phenomena the probes count actually
+// happened — each restart, failed validation, CAS loss, unlink, epoch
+// event and failpoint injection, plus op-begin/op-end span events from
+// the harness — in one globally ordered stream.
+//
+// The paper's argument is about which interleavings an algorithm
+// accepts; aggregate counters cannot show an interleaving. A captured
+// trace can: the Chrome trace-event exporter (chrome.go) renders one
+// track per worker for Perfetto, the schedule bridge (reconstruct.go)
+// lifts a capture into internal/schedule form and re-validates it with
+// internal/lincheck, and the interval streamer (stream.go) turns the
+// same probes into windowed heatmap rows.
+//
+// Emission follows the obs guard idiom: a nil *Tracer means disabled,
+// call sites guard with obs.On (which -tags obsoff turns into constant
+// false), and an enabled emit is a handful of atomic stores into a
+// reserved ring slot — no locks, no allocation, no channel.
+//
+// Ring slots are seqlock-published: a writer reserves an index with one
+// atomic add on the ring head, invalidates the slot (seq = 0), stores
+// the fields, then stores the record's globally unique sequence number
+// last. A reader validates seq-before == seq-after ≠ 0, so concurrent
+// snapshots are race-free and torn reads are discarded. When a ring
+// wraps, the oldest records are silently overwritten — flight-recorder
+// semantics — and the loss is accounted per ring (head minus capacity).
+// The one theoretical tear (a writer stalled between its two seq
+// stores for a full ring revolution of the same ring) is bounded by
+// the semantic validation in Snapshot and documented in DESIGN.md §12.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"listset/internal/failpoint"
+	"listset/internal/obs"
+)
+
+// Kind enumerates record types. The zero value is reserved as
+// "invalid" so an unwritten ring slot can never decode into a record.
+type Kind uint8
+
+const (
+	// KindInvalid marks an empty or torn slot; never emitted.
+	KindInvalid Kind = iota
+	// KindOpBegin opens an operation span: Op is the obs.OpKind, Key
+	// the operand, Worker the driving goroutine.
+	KindOpBegin
+	// KindOpEnd closes the worker's current span; Flags bit 0 carries
+	// the operation's boolean result.
+	KindOpEnd
+	// KindEvent is a forwarded probe increment: Aux is the obs.Event.
+	// Worker is -1 — probe sites inside algorithm code do not know
+	// which worker runs them; attribution is by key and time.
+	KindEvent
+	// KindFailpointFire records an armed failpoint firing: Aux is the
+	// failpoint.Site, Op the failpoint.Action.
+	KindFailpointFire
+	// KindFailpointRelease records a goroutine resuming from an
+	// ActPause park: Aux is the failpoint.Site.
+	KindFailpointRelease
+	// KindRunBegin marks the start of a measured interval (harness
+	// run); Key carries the run index.
+	KindRunBegin
+
+	// NumKinds is the number of distinct kinds.
+	NumKinds
+)
+
+// kindNames are the stable identifiers used in exports.
+var kindNames = [NumKinds]string{
+	KindInvalid:          "invalid",
+	KindOpBegin:          "op_begin",
+	KindOpEnd:            "op_end",
+	KindEvent:            "event",
+	KindFailpointFire:    "failpoint_fire",
+	KindFailpointRelease: "failpoint_release",
+	KindRunBegin:         "run_begin",
+}
+
+// String returns the kind's stable identifier.
+func (k Kind) String() string {
+	if k < NumKinds {
+		return kindNames[k]
+	}
+	return "kind(?)"
+}
+
+// FlagResult is the Flags bit carrying an op-end's boolean result.
+const FlagResult = 1 << 0
+
+// Record is one decoded trace event — the logical view of a 32-byte
+// ring slot. Seq is a global emission order (1-based, dense across all
+// rings); Time is nanoseconds since the tracer was created.
+type Record struct {
+	Seq    uint64
+	Time   int64
+	Key    int64
+	Worker int32
+	Kind   Kind
+	Op     uint8 // obs.OpKind (spans) or failpoint.Action (fires)
+	Aux    uint8 // obs.Event (events) or failpoint.Site (fires/releases)
+	Flags  uint8
+}
+
+// Result decodes an op-end's boolean result.
+func (r Record) Result() bool { return r.Flags&FlagResult != 0 }
+
+// OpKind decodes a span record's operation kind.
+func (r Record) OpKind() obs.OpKind { return obs.OpKind(r.Op) }
+
+// Event decodes a probe record's event.
+func (r Record) Event() obs.Event { return obs.Event(r.Aux) }
+
+// Site decodes a failpoint record's site.
+func (r Record) Site() failpoint.Site { return failpoint.Site(r.Aux) }
+
+// Action decodes a failpoint-fire record's action.
+func (r Record) Action() failpoint.Action { return failpoint.Action(r.Op) }
+
+// String renders the record for diagnostics.
+func (r Record) String() string {
+	switch r.Kind {
+	case KindOpBegin:
+		return fmt.Sprintf("#%d w%d %s(%d) begin", r.Seq, r.Worker, r.OpKind(), r.Key)
+	case KindOpEnd:
+		return fmt.Sprintf("#%d w%d %s(%d) end=%v", r.Seq, r.Worker, r.OpKind(), r.Key, r.Result())
+	case KindEvent:
+		return fmt.Sprintf("#%d %s key=%d", r.Seq, r.Event(), r.Key)
+	case KindFailpointFire:
+		return fmt.Sprintf("#%d failpoint %s:%s key=%d", r.Seq, r.Site(), r.Action(), r.Key)
+	case KindFailpointRelease:
+		return fmt.Sprintf("#%d failpoint %s released key=%d", r.Seq, r.Site(), r.Key)
+	case KindRunBegin:
+		return fmt.Sprintf("#%d run %d begin", r.Seq, r.Key)
+	default:
+		return fmt.Sprintf("#%d %s", r.Seq, r.Kind)
+	}
+}
+
+// slot is one seqlock-published ring entry: 32 bytes, all-atomic so
+// concurrent snapshots are race-free. seq is stored last by writers
+// (after an invalidating zero store) and validated twice by readers.
+type slot struct {
+	seq  atomic.Uint64
+	time atomic.Int64
+	key  atomic.Int64
+	meta atomic.Uint64 // worker(32) | kind(8) | op(8) | aux(8) | flags(8)
+}
+
+func packMeta(worker int32, kind Kind, op, aux, flags uint8) uint64 {
+	return uint64(uint32(worker))<<32 | uint64(kind)<<24 | uint64(op)<<16 | uint64(aux)<<8 | uint64(flags)
+}
+
+func unpackMeta(m uint64) (worker int32, kind Kind, op, aux, flags uint8) {
+	return int32(uint32(m >> 32)), Kind(m >> 24), uint8(m >> 16), uint8(m >> 8), uint8(m)
+}
+
+// ring is one per-worker record buffer. The head counts reservations
+// ever made, so head − len(slots) (when positive) is exactly how many
+// oldest records were overwritten. It is padded so two rings' heads —
+// bumped by different workers on every emission — never share a cache
+// line (two lines, against adjacent-line prefetching).
+type ring struct {
+	head  atomic.Uint64
+	_     [120]byte
+	slots []slot
+}
+
+// Tracer is the flight recorder: one ring per worker plus a global
+// sequence counter establishing a total order across rings. The zero
+// value is not usable; construct with NewTracer. All methods are safe
+// for concurrent use.
+type Tracer struct {
+	start   time.Time
+	seq     atomic.Uint64
+	rings   []ring
+	mask    uint64
+	workers int
+}
+
+// DefaultDepth is the per-worker ring capacity NewTracer applies when
+// given a non-positive depth: 64Ki records ≈ 2 MiB per worker, a few
+// hundred milliseconds of a hot benchmark loop.
+const DefaultDepth = 1 << 16
+
+// NewTracer returns a tracer with one ring per worker (minimum one
+// ring; unattributed events are hashed over the rings by key) holding
+// depth records each, rounded up to a power of two.
+func NewTracer(workers, depth int) *Tracer {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	depthPow := 1
+	for depthPow < depth {
+		depthPow <<= 1
+	}
+	t := &Tracer{start: time.Now(), rings: make([]ring, workers), mask: uint64(depthPow - 1), workers: workers}
+	for i := range t.rings {
+		t.rings[i].slots = make([]slot, depthPow)
+	}
+	return t
+}
+
+// Workers returns the number of rings.
+func (t *Tracer) Workers() int { return t.workers }
+
+// Depth returns the per-ring record capacity.
+func (t *Tracer) Depth() int { return int(t.mask + 1) }
+
+// Drops returns how many records have been overwritten before being
+// snapshotted, summed over the rings. Racy while emission is live.
+func (t *Tracer) Drops() uint64 {
+	var d uint64
+	capacity := t.mask + 1
+	for i := range t.rings {
+		if h := t.rings[i].head.Load(); h > capacity {
+			d += h - capacity
+		}
+	}
+	return d
+}
+
+// ringFor picks the destination ring: the worker's own for attributed
+// records, a key-hashed one for probe events emitted from inside
+// algorithm code (which does not know its worker).
+func (t *Tracer) ringFor(worker int32, key int64) *ring {
+	if worker >= 0 && int(worker) < t.workers {
+		return &t.rings[worker]
+	}
+	return &t.rings[(uint64(key)*0x9E3779B97F4A7C15)>>32%uint64(t.workers)]
+}
+
+// Emit appends one record. Callers on hot paths must sit behind the
+// obs.On guard, exactly like a Probes.Inc.
+func (t *Tracer) Emit(worker int, kind Kind, op, aux, flags uint8, key int64) {
+	seq := t.seq.Add(1)
+	now := int64(time.Since(t.start))
+	r := t.ringFor(int32(worker), key)
+	s := &r.slots[(r.head.Add(1)-1)&t.mask]
+	s.seq.Store(0) // invalidate: readers discard the slot mid-write
+	s.time.Store(now)
+	s.key.Store(key)
+	s.meta.Store(packMeta(int32(worker), kind, op, aux, flags))
+	s.seq.Store(seq)
+}
+
+// OpBegin opens an operation span on the worker's ring.
+func (t *Tracer) OpBegin(worker int, op obs.OpKind, key int64) {
+	t.Emit(worker, KindOpBegin, uint8(op), 0, 0, key)
+}
+
+// OpEnd closes the worker's current span with the op's result.
+func (t *Tracer) OpEnd(worker int, op obs.OpKind, key int64, result bool) {
+	var flags uint8
+	if result {
+		flags = FlagResult
+	}
+	t.Emit(worker, KindOpEnd, uint8(op), 0, flags, key)
+}
+
+// RunBegin marks the start of measured interval run (0-based).
+func (t *Tracer) RunBegin(run int) {
+	t.Emit(-1, KindRunBegin, 0, 0, 0, int64(run))
+}
+
+// ObsEvent implements obs.EventSink: every probe increment becomes an
+// unattributed event record.
+func (t *Tracer) ObsEvent(ev obs.Event, key int64) {
+	t.Emit(-1, KindEvent, 0, uint8(ev), 0, key)
+}
+
+// FailpointFired implements failpoint.Sink.
+func (t *Tracer) FailpointFired(site failpoint.Site, action failpoint.Action, key int64) {
+	t.Emit(-1, KindFailpointFire, uint8(action), uint8(site), 0, key)
+}
+
+// FailpointReleased implements failpoint.Sink.
+func (t *Tracer) FailpointReleased(site failpoint.Site, key int64) {
+	t.Emit(-1, KindFailpointRelease, 0, uint8(site), 0, key)
+}
+
+var (
+	_ obs.EventSink  = (*Tracer)(nil)
+	_ failpoint.Sink = (*Tracer)(nil)
+)
+
+// Capture is a decoded snapshot of the rings: the surviving records in
+// global emission order, plus how many were lost to wraparound.
+type Capture struct {
+	// Records is sorted by Seq. Seq numbers are dense over everything
+	// ever emitted, so gaps identify exactly the dropped records.
+	Records []Record
+	// Drops counts records overwritten before the snapshot.
+	Drops uint64
+	// Workers and Depth echo the tracer's geometry.
+	Workers int
+	Depth   int
+}
+
+// Snapshot decodes every live ring slot into a Capture. It is safe
+// concurrently with emission: slots being overwritten mid-read fail
+// seq validation and are retried, then skipped (the record they held
+// was being dropped anyway). For an exact capture, quiesce first.
+func (t *Tracer) Snapshot() *Capture {
+	c := &Capture{Workers: t.workers, Depth: t.Depth()}
+	capacity := t.mask + 1
+	for ri := range t.rings {
+		r := &t.rings[ri]
+		if h := r.head.Load(); h > capacity {
+			c.Drops += h - capacity
+		}
+		for i := range r.slots {
+			s := &r.slots[i]
+			for attempt := 0; attempt < 4; attempt++ {
+				s1 := s.seq.Load()
+				if s1 == 0 {
+					break // empty or mid-write; nothing stable to read
+				}
+				tm := s.time.Load()
+				key := s.key.Load()
+				meta := s.meta.Load()
+				if s.seq.Load() != s1 {
+					continue // torn by a racing writer; retry
+				}
+				worker, kind, op, aux, flags := unpackMeta(meta)
+				if kind == KindInvalid || kind >= NumKinds {
+					break // semantic backstop (see package comment)
+				}
+				c.Records = append(c.Records, Record{
+					Seq: s1, Time: tm, Key: key,
+					Worker: worker, Kind: kind, Op: op, Aux: aux, Flags: flags,
+				})
+				break
+			}
+		}
+	}
+	sort.Slice(c.Records, func(i, j int) bool { return c.Records[i].Seq < c.Records[j].Seq })
+	return c
+}
+
+// CountByKind tallies the capture's records per kind.
+func (c *Capture) CountByKind() [NumKinds]int {
+	var out [NumKinds]int
+	for _, r := range c.Records {
+		out[r.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package schedule
+
+// Schedule reconstruction from captured traces (internal/obs/trace).
+//
+// A flight-recorder capture gives, for each completed operation, its
+// spec, its result, and a handful of globally ordered checkpoints: the
+// op-begin/op-end span boundaries, and — when a failpoint pause pinned
+// the operation mid-update — the fire/release bracket separating its
+// read phase from its write phase. Lift searches the interleavings of
+// the sequential step machines consistent with those checkpoints for
+// one the given algorithm accepts, turning a real execution into a
+// machine-checked Schedule. It is the inverse direction of Accepts:
+// Accepts asks "could the algorithm export this schedule?", Lift asks
+// "which exportable schedule explains this trace?".
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TraceOp is one completed operation lifted from a capture. The
+// position fields are drawn from one global monotone order (trace
+// sequence numbers); only their relative order matters.
+type TraceOp struct {
+	// Spec and Result are the operation and its observed response.
+	Spec   OpSpec
+	Result bool
+	// Begin and End are the op's invocation and return positions.
+	Begin, End uint64
+	// ReadsBefore, when nonzero, asserts every read-phase step of the
+	// operation (traversal reads, node creation) happened before this
+	// position — sound when the op was parked at a pre-lock failpoint
+	// with no restart afterwards, because by the park it had finished
+	// exactly its reads. Zero means unconstrained.
+	ReadsBefore uint64
+	// WritesAfter, when nonzero, asserts every write-phase step (link,
+	// unlink, mark) and the return happened at or after this position
+	// — the release of the park. Sound even when the op restarted
+	// afterwards (a restart re-reads but cannot have written earlier).
+	WritesAfter uint64
+}
+
+// checkpoint kinds, in tie-break order (ends and read-closures resolve
+// before begins and write-openings at equal positions, which cannot
+// happen with distinct trace seqs but keeps the sort total).
+const (
+	cpEnd = iota
+	cpReadsBefore
+	cpBegin
+	cpWritesAfter
+)
+
+type checkpoint struct {
+	pos  uint64
+	kind int
+	op   int
+}
+
+// liftBudget bounds the DFS node count; traces worth lifting are a few
+// operations, far below it.
+const liftBudget = 1 << 22
+
+// Lift reconstructs a Schedule from trace-observed operations: an
+// interleaving of the sequential machines that respects every
+// checkpoint, reproduces every observed result, and is accepted by
+// alg. The machine model (standard vs adjusted) follows alg. It
+// returns an error when no such schedule exists within the search
+// budget — which, for a trustworthy trace, means the algorithm cannot
+// explain the execution.
+func Lift(alg Algorithm, initial []int64, ops []TraceOp) (Schedule, error) {
+	if len(ops) == 0 {
+		return Schedule{}, fmt.Errorf("schedule: Lift needs at least one op")
+	}
+	adjusted := alg.Adjusted()
+	specs := make([]OpSpec, len(ops))
+	var cps []checkpoint
+	for i, o := range ops {
+		specs[i] = o.Spec
+		if o.End <= o.Begin {
+			return Schedule{}, fmt.Errorf("schedule: op %d (%s) has End <= Begin", i, o.Spec)
+		}
+		if o.ReadsBefore > 0 && (o.ReadsBefore <= o.Begin || o.ReadsBefore >= o.End) {
+			return Schedule{}, fmt.Errorf("schedule: op %d (%s) has ReadsBefore outside its span", i, o.Spec)
+		}
+		if o.WritesAfter > 0 && (o.WritesAfter <= o.Begin || o.WritesAfter >= o.End) {
+			return Schedule{}, fmt.Errorf("schedule: op %d (%s) has WritesAfter outside its span", i, o.Spec)
+		}
+		cps = append(cps, checkpoint{o.Begin, cpBegin, i}, checkpoint{o.End, cpEnd, i})
+		if o.ReadsBefore > 0 {
+			cps = append(cps, checkpoint{o.ReadsBefore, cpReadsBefore, i})
+		}
+		if o.WritesAfter > 0 {
+			cps = append(cps, checkpoint{o.WritesAfter, cpWritesAfter, i})
+		}
+	}
+	sort.Slice(cps, func(i, j int) bool {
+		if cps[i].pos != cps[j].pos {
+			return cps[i].pos < cps[j].pos
+		}
+		return cps[i].kind < cps[j].kind
+	})
+
+	l := &lifter{alg: alg, initial: initial, ops: ops, specs: specs, adjusted: adjusted, cps: cps}
+	h := NewHeap(initial)
+	ms := make([]machine, len(ops))
+	for i, spec := range specs {
+		ms[i] = newSeqMachine(i, spec, adjusted)
+	}
+	if s, ok := l.dfs(h, ms, liftState{}, nil); ok {
+		return s, nil
+	}
+	if l.exhausted {
+		return Schedule{}, fmt.Errorf("schedule: Lift search budget exhausted for %d ops", len(ops))
+	}
+	return Schedule{}, fmt.Errorf("schedule: no %v-accepted schedule is consistent with the trace (%d ops)", alg, len(ops))
+}
+
+// liftState is the checkpoint cursor plus the per-op phase gates it
+// implies (recomputed on the fly from the cursor).
+type liftState struct {
+	cursor int
+}
+
+type lifter struct {
+	alg       Algorithm
+	initial   []int64
+	ops       []TraceOp
+	specs     []OpSpec
+	adjusted  bool
+	cps       []checkpoint
+	budget    int
+	exhausted bool
+}
+
+// passed reports whether the checkpoint of the given kind for op i
+// lies strictly before the cursor.
+func (l *lifter) passed(st liftState, kind, op int) bool {
+	for c := 0; c < st.cursor; c++ {
+		if l.cps[c].kind == kind && l.cps[c].op == op {
+			return true
+		}
+	}
+	return false
+}
+
+// readStep classifies the machine's next step as read-phase (traversal
+// reads, mark checks, node creation) vs write-phase (link/unlink/mark
+// writes and the return).
+func readStep(pc int) bool {
+	switch pc {
+	case sReadNext, sCheckMark, sHelpRead, sReadVal, sNewNode, sReadTNext, sCheckLanded:
+		return true
+	}
+	return false
+}
+
+// dfs explores: either pass the next checkpoint, or step an op the
+// gates allow. order carries the interleaving so far; a complete,
+// result-faithful interleaving is rebuilt with Run and kept only if
+// the algorithm accepts it.
+func (l *lifter) dfs(h *Heap, ms []machine, st liftState, order []int) (Schedule, bool) {
+	l.budget++
+	if l.budget > liftBudget {
+		l.exhausted = true
+		return Schedule{}, false
+	}
+	if st.cursor == len(l.cps) {
+		for i, m := range ms {
+			if !m.done() || m.result() != l.ops[i].Result {
+				return Schedule{}, false
+			}
+		}
+		s, err := Run(l.initial, l.specs, l.adjusted, order)
+		if err != nil || !Accepts(l.alg, s) {
+			return Schedule{}, false
+		}
+		return s, true
+	}
+
+	// Option 1: pass the next checkpoint, when its precondition holds.
+	next := l.cps[st.cursor]
+	ok := true
+	switch next.kind {
+	case cpEnd:
+		// An op's span cannot close before the op has returned.
+		ok = ms[next.op].done() && ms[next.op].result() == l.ops[next.op].Result
+	case cpReadsBefore:
+		// Once closed, the op may never read again; closing early on a
+		// machine that still needs reads would dead-end, so prune now.
+		ok = ms[next.op].done() || !readStep(ms[next.op].(*seqMachine).pc)
+	}
+	if ok {
+		if s, found := l.dfs(h, ms, liftState{cursor: st.cursor + 1}, order); found {
+			return s, true
+		}
+	}
+
+	// Option 2: step an op the current gates allow.
+	for i, m := range ms {
+		if m.done() {
+			continue
+		}
+		if !l.passed(st, cpBegin, i) || l.passed(st, cpEnd, i) {
+			continue // may only step inside its own span
+		}
+		sm := m.(*seqMachine)
+		if readStep(sm.pc) {
+			if l.ops[i].ReadsBefore > 0 && l.passed(st, cpReadsBefore, i) {
+				continue // read phase is over for this op
+			}
+		} else {
+			if l.ops[i].WritesAfter > 0 && !l.passed(st, cpWritesAfter, i) {
+				continue // write phase has not opened yet
+			}
+		}
+		h2, ms2 := cloneState(h, ms)
+		ms2[i].step(h2)
+		if ms2[i].done() && ms2[i].result() != l.ops[i].Result {
+			continue // wrong result: this interleaving is not the trace's
+		}
+		if s, found := l.dfs(h2, ms2, st, append(order, i)); found {
+			return s, true
+		}
+	}
+	return Schedule{}, false
+}

@@ -1,0 +1,106 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure2TraceOps is the checkpoint shape a Figure 2 replay captures:
+// insert(2) spans the whole trace with its reads closed at the pause
+// fire (pos 2) and writes opened at the release (pos 5); the failed
+// insert(1) runs to completion strictly inside that bracket.
+func figure2TraceOps() []TraceOp {
+	return []TraceOp{
+		{Spec: OpSpec{Kind: OpInsert, Arg: 2}, Result: true, Begin: 1, End: 6, ReadsBefore: 2, WritesAfter: 5},
+		{Spec: OpSpec{Kind: OpInsert, Arg: 1}, Result: false, Begin: 3, End: 4},
+	}
+}
+
+// TestLiftFigure2 lifts the Figure 2 checkpoint shape: the result must
+// be a VBL-accepted schedule that Lazy rejects — the phase constraints
+// force the failed insert into the middle of the parked update, which
+// is exactly the separation the figure demonstrates.
+func TestLiftFigure2(t *testing.T) {
+	s, err := Lift(AlgVBL, []int64{1}, figure2TraceOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Accepts(AlgVBL, s) {
+		t.Fatalf("lifted schedule not VBL-accepted: %v", s)
+	}
+	if Accepts(AlgLazy, s) {
+		t.Fatalf("lifted Figure 2 schedule must be Lazy-rejected: %v", s)
+	}
+}
+
+// TestLiftMatchesResults rejects a trace whose observed results no
+// machine interleaving can reproduce.
+func TestLiftMatchesResults(t *testing.T) {
+	ops := figure2TraceOps()
+	ops[1].Result = true // insert(1) cannot succeed with 1 present throughout
+	_, err := Lift(AlgVBL, []int64{1}, ops)
+	if err == nil {
+		t.Fatal("Lift accepted a result no interleaving can produce")
+	}
+	if !strings.Contains(err.Error(), "no") {
+		t.Fatalf("err = %v, want a no-consistent-schedule report", err)
+	}
+}
+
+// TestLiftSequentialSpans lifts non-overlapping spans: the only
+// consistent interleavings are the serial ones.
+func TestLiftSequentialSpans(t *testing.T) {
+	ops := []TraceOp{
+		{Spec: OpSpec{Kind: OpInsert, Arg: 5}, Result: true, Begin: 1, End: 2},
+		{Spec: OpSpec{Kind: OpRemove, Arg: 5}, Result: true, Begin: 3, End: 4},
+		{Spec: OpSpec{Kind: OpContains, Arg: 5}, Result: false, Begin: 5, End: 6},
+	}
+	s, err := Lift(AlgVBL, nil, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial spans: every step of op 0 precedes every step of op 1, etc.
+	last := -1
+	for _, e := range s.Events {
+		if e.Op < last {
+			t.Fatalf("serial spans lifted to an interleaved event order %v", s.Events)
+		}
+		last = e.Op
+	}
+}
+
+func TestLiftValidation(t *testing.T) {
+	bad := []struct {
+		name string
+		ops  []TraceOp
+	}{
+		{"empty", nil},
+		{"end before begin", []TraceOp{{Spec: OpSpec{Kind: OpInsert, Arg: 1}, Begin: 5, End: 5}}},
+		{"reads-before outside span", []TraceOp{{Spec: OpSpec{Kind: OpInsert, Arg: 1}, Begin: 2, End: 4, ReadsBefore: 1}}},
+		{"writes-after outside span", []TraceOp{{Spec: OpSpec{Kind: OpInsert, Arg: 1}, Begin: 2, End: 4, WritesAfter: 4}}},
+	}
+	for _, c := range bad {
+		if _, err := Lift(AlgVBL, nil, c.ops); err == nil {
+			t.Errorf("%s: Lift accepted invalid input", c.name)
+		}
+	}
+}
+
+// TestLiftAdjustedModel lifts under Harris, whose reference model is
+// the adjusted one; the lifted schedule must carry that model so
+// Accepts agrees with it.
+func TestLiftAdjustedModel(t *testing.T) {
+	ops := []TraceOp{
+		{Spec: OpSpec{Kind: OpInsert, Arg: 7}, Result: true, Begin: 1, End: 2},
+	}
+	s, err := Lift(AlgHarris, nil, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Adjusted {
+		t.Fatal("Harris lift must build adjusted-model schedules")
+	}
+	if !Accepts(AlgHarris, s) {
+		t.Fatalf("lifted schedule not Harris-accepted: %v", s)
+	}
+}

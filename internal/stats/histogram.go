@@ -65,26 +65,51 @@ func (h *Histogram) Merge(o *Histogram) {
 	}
 }
 
+// BucketCounts is a plain (non-atomic) bucket-count snapshot. Counter
+// snapshots are monotone, so the difference of two snapshots of the
+// same histogram is itself a valid count set — the basis of the
+// interval-metrics windows (internal/obs/trace).
+type BucketCounts [HistBuckets]uint64
+
 // Buckets returns a plain snapshot of the bucket counts.
-func (h *Histogram) Buckets() [HistBuckets]uint64 {
-	var out [HistBuckets]uint64
+func (h *Histogram) Buckets() BucketCounts {
+	var out BucketCounts
 	for i := range h.counts {
 		out[i] = h.counts[i].Load()
 	}
 	return out
 }
 
-// Quantile returns an estimate of the q-quantile (q in [0, 1]) of the
-// recorded samples in nanoseconds, interpolating linearly inside the
-// log-sized bucket holding the target rank; the estimate is therefore
-// accurate to within a factor of two, the bucket resolution. An empty
-// histogram yields 0.
-func (h *Histogram) Quantile(q float64) float64 {
-	counts := h.Buckets()
-	var total uint64
-	for _, c := range counts {
-		total += c
+// Add returns the bucket-wise sum of c and o.
+func (c BucketCounts) Add(o BucketCounts) BucketCounts {
+	for i := range c {
+		c[i] += o[i]
 	}
+	return c
+}
+
+// Sub returns the bucket-wise difference c − o (for deltas over an
+// interval; counts are monotone, so c must postdate o).
+func (c BucketCounts) Sub(o BucketCounts) BucketCounts {
+	for i := range c {
+		c[i] -= o[i]
+	}
+	return c
+}
+
+// Count returns the total number of samples in the counts.
+func (c BucketCounts) Count() uint64 {
+	var n uint64
+	for _, b := range c {
+		n += b
+	}
+	return n
+}
+
+// Quantile estimates the q-quantile of the counted samples; see
+// Histogram.Quantile.
+func (c BucketCounts) Quantile(q float64) float64 {
+	total := c.Count()
 	if total == 0 {
 		return 0
 	}
@@ -102,18 +127,38 @@ func (h *Histogram) Quantile(q float64) float64 {
 		target = total
 	}
 	var cum uint64
-	for i, c := range counts {
-		if c == 0 {
+	for i, n := range c {
+		if n == 0 {
 			continue
 		}
-		if cum+c >= target {
+		if cum+n >= target {
 			lo, hi := BucketBounds(i)
-			frac := float64(target-cum) / float64(c)
+			frac := float64(target-cum) / float64(n)
 			return lo + frac*(hi-lo)
 		}
-		cum += c
+		cum += n
 	}
 	return 0 // unreachable: target <= total
+}
+
+// Percentiles digests the counts into the report percentiles.
+func (c BucketCounts) Percentiles() LatencySummary {
+	return LatencySummary{
+		Count: c.Count(),
+		P50:   c.Quantile(0.50),
+		P90:   c.Quantile(0.90),
+		P99:   c.Quantile(0.99),
+		P999:  c.Quantile(0.999),
+	}
+}
+
+// Quantile returns an estimate of the q-quantile (q in [0, 1]) of the
+// recorded samples in nanoseconds, interpolating linearly inside the
+// log-sized bucket holding the target rank; the estimate is therefore
+// accurate to within a factor of two, the bucket resolution. An empty
+// histogram yields 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Buckets().Quantile(q)
 }
 
 // LatencySummary is the percentile digest the benchmark reports emit

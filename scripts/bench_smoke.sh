@@ -33,6 +33,9 @@ go build -o /tmp/listset-synchrobench ./cmd/synchrobench
 #   7 vbl GC       @ 20000, 100% updates   (arena gate baseline)
 #   8 vbl arena    @ 20000, 100% updates   (allocs/op <= 0.25x row 7,
 #                                           median >= 0.95x row 7)
+#   9 vbl traced   @ 2048   (flight recorder + interval streaming on:
+#                            exercises -trace/-stream and the report's
+#                            timeseries section end to end)
 rows=(
   "-impl vbl          -range 2048  -duration 500ms -warmup 100ms -runs 1"
   "-impl lazy         -range 2048  -duration 500ms -warmup 100ms -runs 1"
@@ -43,6 +46,7 @@ rows=(
   "-impl vbl-sharded  -range 20000 -duration 900ms -warmup 300ms -runs 3 -shards 16"
   "-impl vbl          -range 20000 -duration 900ms -warmup 300ms -runs 3 -update-ratio 100"
   "-impl vbl          -range 20000 -duration 900ms -warmup 300ms -runs 3 -update-ratio 100 -arena"
+  "-impl vbl          -range 2048  -duration 500ms -warmup 100ms -runs 1 -trace /tmp/listset-smoke.trace -stream 100ms"
 )
 
 # Wrap the per-row JSON objects into one array without external tools.
@@ -118,5 +122,47 @@ END {
   }
   printf "bench_smoke: arena gate ok — allocs/op %.4f vs %.4f (%.1fx cut), throughput %.2fx GC\n", arAllocs, gcAllocs, gcAllocs / arAllocs, arTput / gcTput
 }' "$out"
+
+# Row 9 sanity: the traced row must have produced a non-empty trace
+# file and a timeseries section in its report.
+if [ ! -s /tmp/listset-smoke.trace ]; then
+  echo "bench_smoke: traced row left no trace at /tmp/listset-smoke.trace" >&2
+  exit 1
+fi
+if ! grep -q '"timeseries"' "$out"; then
+  echo "bench_smoke: traced row report carries no timeseries section" >&2
+  exit 1
+fi
+
+# Trace-overhead gate: the flight recorder's disabled cost is the nil
+# branch per probe site, so a binary with tracing compiled in but no
+# -trace flag must keep pace with the obsoff build (which compiles the
+# whole observability layer away). The paper-grade claim is <= 2% on a
+# quiet machine (DESIGN.md section 12); CI boxes are noisy, so the gate
+# interleaves best-of-3 pairs and allows 15%.
+go build -tags obsoff -o /tmp/listset-synchrobench-obsoff ./cmd/synchrobench
+ocell="-impl vbl -range 2048 -threads 4 -update-ratio 20 -duration 400ms -warmup 100ms -runs 1 -quiet"
+best_on=0
+best_off=0
+for _ in 1 2 3; do
+  # -quiet prints "impl threads workload mean"; the mean is last.
+  # shellcheck disable=SC2086
+  off=$(/tmp/listset-synchrobench-obsoff $ocell | awk '{ print $NF }')
+  # shellcheck disable=SC2086
+  on=$(/tmp/listset-synchrobench $ocell | awk '{ print $NF }')
+  best_off=$(awk -v a="$best_off" -v b="$off" 'BEGIN { print (b > a) ? b : a }')
+  best_on=$(awk -v a="$best_on" -v b="$on" 'BEGIN { print (b > a) ? b : a }')
+done
+awk -v on="$best_on" -v off="$best_off" 'BEGIN {
+  if (off <= 0 || on <= 0) {
+    printf "bench_smoke: trace-overhead gate got non-positive throughput (on=%.0f off=%.0f)\n", on, off > "/dev/stderr"
+    exit 1
+  }
+  if (on < 0.85 * off) {
+    printf "bench_smoke: disabled tracing (%.0f ops/s) is below 0.85x obsoff (%.0f ops/s)\n", on, off > "/dev/stderr"
+    exit 1
+  }
+  printf "bench_smoke: trace-overhead gate ok — disabled tracing at %.2fx obsoff\n", on / off
+}'
 
 echo "bench_smoke: wrote $out (${#rows[@]} reports)"

@@ -33,12 +33,15 @@ step "unit tests"
 go test -count=1 ./...
 
 step "race gate (short stress, lock-based lists + arena reclamation)"
-go test -race -short -count=1 ./internal/core ./internal/lazy ./internal/harris ./internal/mem ./internal/trylock ./internal/obs ./internal/stats ./internal/failpoint ./internal/harness
+go test -race -short -count=1 ./internal/core ./internal/lazy ./internal/harris ./internal/mem ./internal/trylock ./internal/obs ./internal/obs/trace ./internal/stats ./internal/failpoint ./internal/harness
 
 step "benchmark smoke (probes + JSON report, end to end)"
 scripts/bench_smoke.sh
 
 step "chaos smoke (failpoints + retry ladder + watchdog, end to end)"
 scripts/chaos_smoke.sh
+
+step "trace smoke (flight recorder: replays, tracecat, exports, streaming)"
+scripts/trace_smoke.sh
 
 printf '\nAll checks passed.\n'
