@@ -6,6 +6,10 @@
 //	-fig rtti     §4 ablation — Harris AMR vs RTTI-style marker variant
 //	-fig sharded  beyond the paper — VBL behind the order-preserving
 //	              range partitioner, shard counts from -shards
+//	-fig batch    beyond the paper — batch amortization sweep: the
+//	              one-pass multi-window batch surface at batch sizes
+//	              1/8/64/512 (plus the plain per-key baseline) on a
+//	              short and a long list
 //	-fig chaos    robustness — injected restart-trigger failures at
 //	              increasing probability, bounded-retry ladder armed
 //	-fig replay   audit — Figure 2/3 failpoint replays captured by the
@@ -87,6 +91,8 @@ func main() {
 		figureSkipList(proto)
 	case "sharded":
 		figureSharded(proto, shardList)
+	case "batch":
+		figureBatch(proto)
 	case "chaos":
 		figureChaos(proto)
 	case "replay":
@@ -101,9 +107,10 @@ func main() {
 		figureSurvey(proto)
 		figureSkipList(proto)
 		figureSharded(proto, shardList)
+		figureBatch(proto)
 		figureChaos(proto)
 	default:
-		fmt.Fprintf(os.Stderr, "figures: unknown -fig %q (have: 1, 4, rtti, survey, skiplist, sharded, chaos, replay, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "figures: unknown -fig %q (have: 1, 4, rtti, survey, skiplist, sharded, batch, chaos, replay, all)\n", *fig)
 		os.Exit(2)
 	}
 	if proto.reports != nil {
@@ -129,6 +136,9 @@ type protocol struct {
 	chaos       []failpoint.Scenario
 	retryBudget int
 	watchdog    time.Duration
+	// batchSize forwards to every cell (0 = per-key mode); figureBatch
+	// varies it per sweep.
+	batchSize int
 	// reports, when non-nil, collects every cell's JSON report instead
 	// of printing tables; main flushes the array once at exit so stdout
 	// stays a single valid JSON document.
@@ -196,6 +206,7 @@ func runAndReport(p protocol, title string, cands []harness.Candidate, wl worklo
 		Chaos:       p.chaos,
 		RetryBudget: p.retryBudget,
 		Watchdog:    p.watchdog,
+		BatchSize:   p.batchSize,
 	}
 	res, err := harness.RunSweep(sweep)
 	if err != nil {
@@ -309,6 +320,27 @@ func shardedCandidate(name string, shards int, keyRange int64) harness.Candidate
 		Name:   fmt.Sprintf("%s-s%d", im.Name, shards),
 		New:    func() harness.Set { return im.NewSharded(shards, 0, keyRange) },
 		Shards: shards,
+	}
+}
+
+// figureBatch prices the amortized one-pass batch surface (DESIGN.md
+// §13): the three native lists at batch sizes 1/8/64/512, with the
+// plain per-key loop (batch 0) setting the scale, on a short list
+// (range 200, where a pass saves little) and a long one (range 20000,
+// where one sorted pass replaces k full traversals). Per-key
+// accounting means any ratio over the batch-0 row is amortization, not
+// bookkeeping. Update ratio 100: batches of contains are ordinary
+// traversals; inserts and removes are where the window protocol earns.
+func figureBatch(p protocol) {
+	p.header("=== Batch amortization: one-pass multi-window batches, 100% updates ===")
+	cands := candidates("vbl", "lazy", "harris")
+	for _, keyRange := range []int64{200, 20000} {
+		wl := workload.Config{UpdatePercent: 100, Range: keyRange}
+		for _, bs := range []int{0, 1, 8, 64, 512} {
+			p.batchSize = bs
+			title := fmt.Sprintf("batch k=%d r=%d", bs, keyRange)
+			runAndReport(p, title, cands, wl, "vbl")
+		}
 	}
 }
 

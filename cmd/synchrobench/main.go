@@ -40,6 +40,21 @@
 //	-watchdog      fail the run with a goroutine dump when any worker
 //	               makes no progress for this long
 //
+// Batched and ranged operations (see DESIGN.md §13):
+//
+//	-batch N       batched mode: each worker step draws N keys and
+//	               applies them through the set's batch surface in one
+//	               amortized pass; throughput stays per key, so the
+//	               speedup over -batch 1 is the amortization itself
+//	-scan P        make P% of operations range scans [lo, lo+width)
+//	               (taken out of the contains share; needs a native
+//	               scan surface — vbl, lazy, harris and sharded forms)
+//	-scan-width W  key width of each scan (default 100)
+//
+// Key distribution: -dist uniform (default) or -dist zipf -theta T
+// draws keys Zipfian with skew T in (0, 1) — key 0 hottest, the
+// low-key windows contended.
+//
 // Sharding: -shards N (or -impl vbl-sharded) routes keys through the
 // order-preserving range partitioner of internal/shard, so each of N
 // independent lists owns range/N keys and traversals walk O(n/N) nodes.
@@ -107,6 +122,11 @@ func main() {
 		traceFile   = flag.String("trace", "", "record measured intervals and write the capture here (.json = Chrome trace-event format, else compact binary; implies -probes)")
 		traceDepth  = flag.Int("trace-depth", trace.DefaultDepth, "flight-recorder ring depth per worker, in records (rounded up to a power of two)")
 		streamEvery = flag.Duration("stream", 0, "stream interval metrics as JSON lines every period (0 = off; implies -probes)")
+		batchSize   = flag.Int("batch", 0, "batched mode: apply N keys per call through the set's batch surface (0 = per-key mode; 1 = single-key batches)")
+		scanPct     = flag.Int("scan", 0, "percent of operations that are range scans (out of the contains share; 0 = none)")
+		scanWidth   = flag.Int64("scan-width", 0, "key width of each range scan (0 = default 100)")
+		dist        = flag.String("dist", "uniform", "key distribution: uniform or zipf")
+		theta       = flag.Float64("theta", 0.99, "zipfian skew in (0, 1); used with -dist zipf")
 		chaosSpec   = flag.String("chaos", "", "failpoint scenarios: comma-separated site:action[:prob][:delay], or \"shipped\"")
 		retryBudget = flag.Int("retry-budget", 0, "failed-validation retry budget K before escalation (0 = unbounded)")
 		watchdog    = flag.Duration("watchdog", 0, "liveness deadline: fail the run if a worker stalls this long (0 = off)")
@@ -193,13 +213,31 @@ func main() {
 	case useArena:
 		newSet = func() harness.Set { return im.NewArena() }
 	}
+	wl := workload.Config{
+		UpdatePercent: *updateRatio,
+		Range:         *keyRange,
+		ScanPercent:   *scanPct,
+		ScanWidth:     *scanWidth,
+	}
+	if *dist != "" && *dist != workload.DistUniform {
+		wl.Dist = *dist
+		wl.Theta = *theta
+	}
+	if *scanPct > 0 && !im.Scan {
+		fmt.Fprintf(os.Stderr, "synchrobench: %s has no native range scan; drop -scan or pick vbl, lazy, harris or a sharded form\n", im.Name)
+		os.Exit(2)
+	}
+	if *batchSize > 1 && !im.Batch {
+		fmt.Fprintf(os.Stderr, "synchrobench: note: %s has no native batch surface; -batch %d runs the per-key fallback\n", im.Name, *batchSize)
+	}
 	cfg := harness.Config{
 		Name:               im.Name,
 		New:                newSet,
 		Shards:             nShards,
 		Arena:              useArena,
 		Threads:            *threads,
-		Workload:           workload.Config{UpdatePercent: *updateRatio, Range: *keyRange},
+		Workload:           wl,
+		BatchSize:          *batchSize,
 		Duration:           *duration,
 		Warmup:             *warmup,
 		Runs:               *runs,
@@ -322,6 +360,9 @@ func printHuman(name string, cfg harness.Config, res harness.Result) {
 		fmt.Printf("arena         slab-backed nodes, epoch-based recycling\n")
 	}
 	fmt.Printf("workload      %s\n", cfg.Workload)
+	if cfg.BatchSize > 0 {
+		fmt.Printf("batch         %d keys per call (throughput counted per key)\n", cfg.BatchSize)
+	}
 	fmt.Printf("protocol      %v measured after %v warm-up, %d runs\n", cfg.Duration, cfg.Warmup, cfg.Runs)
 	if len(cfg.Chaos) > 0 {
 		specs := make([]string, len(cfg.Chaos))
@@ -339,6 +380,10 @@ func printHuman(name string, cfg harness.Config, res harness.Result) {
 	c := res.Counts
 	fmt.Printf("operations    %d total: %d/%d contains hit/miss, %d/%d insert ok/fail, %d/%d remove ok/fail\n",
 		c.Total(), c.ContainsHit, c.ContainsMiss, c.InsertOK, c.InsertFail, c.RemoveOK, c.RemoveFail)
+	if c.Scans > 0 {
+		fmt.Printf("scans         %d completed, %.1f keys returned per scan\n",
+			c.Scans, float64(c.ScanKeys)/float64(c.Scans))
+	}
 	fmt.Printf("effective     %.2f%% of operations modified the structure\n", 100*c.EffectiveUpdateRatio())
 	fmt.Printf("memory        %.2f allocs/op, %.1f B/op (process-wide, measured intervals)\n",
 		res.AllocsPerOp(), res.BytesPerOp())

@@ -56,6 +56,14 @@ var hotNames = map[string]bool{
 	"validate": true,
 	"search":   true,
 	"locate":   true,
+	// The batch surface's one-pass traversals (DESIGN.md §13): a batch
+	// amortizes k operations, so a hidden allocation per window costs
+	// k times less than in a point op — but the whole point of the
+	// pooled scratch buffers is that steady state allocates nothing.
+	"insertall":   true,
+	"removeall":   true,
+	"containsall": true,
+	"rangescan":   true,
 }
 
 // hotFunc reports whether the declared name marks a hot path.

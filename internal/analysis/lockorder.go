@@ -97,7 +97,10 @@ func rankName(r int) string {
 // lockRank assigns a list-position rank to a lock key from its naming:
 // the node expression (the key minus its final selector, e.g. "prev"
 // of "prev.lock", "preds[0]" of "preds[0].lock") ranks as a
-// predecessor when named prev/pred/head and as a successor when named
+// predecessor when named prev/pred/head/anchor (a batch pass's anchor
+// is the predecessor of every remaining key's window, so a helper that
+// re-locks a lower-ranked node after it has held an anchor is the same
+// ascending-position violation) and as a successor when named
 // curr/succ/victim. Everything else is unconstrained.
 func lockRank(key string) (rank int, base string, ok bool) {
 	base = key
@@ -105,7 +108,8 @@ func lockRank(key string) (rank int, base string, ok bool) {
 		base = base[:i]
 	}
 	lower := strings.ToLower(base)
-	isPrev := strings.Contains(lower, "prev") || strings.Contains(lower, "pred") || strings.Contains(lower, "head")
+	isPrev := strings.Contains(lower, "prev") || strings.Contains(lower, "pred") || strings.Contains(lower, "head") ||
+		strings.Contains(lower, "anchor")
 	isCurr := strings.Contains(lower, "curr") || strings.Contains(lower, "succ") || strings.Contains(lower, "victim")
 	switch {
 	case isPrev && !isCurr:

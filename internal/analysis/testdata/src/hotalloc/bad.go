@@ -78,3 +78,31 @@ func visit2(*node) {}
 func helper(v int64) *node {
 	return &node{val: v}
 }
+
+// InsertAll is hot by batch-surface name: a per-window allocation in
+// the amortized pass is flagged like any other hot path.
+func (l *list) InsertAll(keys []int64) int {
+	n := &node{val: 0} // want "allocates on the hot path InsertAll"
+	_ = n
+	return len(keys)
+}
+
+// RangeScan is hot by batch-surface name: the capturing closure forces
+// a heap allocation per scan.
+func (l *list) RangeScan(lo, hi int64) []int64 {
+	sink = func() { // want "closure captures"
+		_ = lo
+	}
+	_ = hi
+	return nil
+}
+
+// RemoveAll allocates nothing: batch passes that reuse pooled scratch
+// stay clean.
+func (l *list) RemoveAll(keys []int64) int {
+	n := 0
+	for range keys {
+		n++
+	}
+	return n
+}

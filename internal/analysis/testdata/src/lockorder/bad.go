@@ -75,3 +75,23 @@ func sameBase(prevOuter, prevInner *node) {
 	prevInner.lock.Unlock()
 	prevOuter.lock.Unlock()
 }
+
+// batchRelockAnchor models a batch pass gone wrong: with a window's
+// successor still locked, the pass re-locks the anchor — a descending
+// acquisition, since the anchor precedes every remaining window. The
+// multi-window protocol only ever advances the anchor forward.
+func batchRelockAnchor(anchor, curr *node) {
+	curr.lock.Lock()
+	anchor.lock.Lock() // want "ascending list position"
+	anchor.lock.Unlock()
+	curr.lock.Unlock()
+}
+
+// batchAnchorFirst is the protocol done right: anchor, then the
+// window's successor; no finding.
+func batchAnchorFirst(anchor, curr *node) {
+	anchor.lock.Lock()
+	curr.lock.Lock()
+	curr.lock.Unlock()
+	anchor.lock.Unlock()
+}

@@ -1,0 +1,63 @@
+// Package batch holds the pooled scratch buffers the batch operations
+// (InsertAll/RemoveAll/ContainsAll/Load) share: every batch entry point
+// sorts and deduplicates its keys before the one-pass multi-window
+// traversal, and doing that into a pooled buffer keeps the steady-state
+// batch path allocation-free — the same discipline the arena
+// (internal/mem) applies to list nodes, applied to the harness-side
+// scratch.
+//
+// The unit is a Buf, not a bare slice: sync.Pool stores pointers, and
+// returning a bare []int64 through an interface would re-box the slice
+// header on every Put. A Buf round-trips as one stable pointer.
+package batch
+
+import (
+	"slices"
+	"sync"
+)
+
+// Buf is a pooled scratch key buffer. Use Get (or Prep) to obtain one
+// and Put to return it; K is valid until Put.
+type Buf struct {
+	// K is the scratch key slice. Callers may re-slice it freely; Put
+	// restores it from the retained backing array.
+	K []int64
+}
+
+var pool = sync.Pool{
+	New: func() any { return &Buf{K: make([]int64, 0, 128)} },
+}
+
+// Get returns an empty scratch buffer (len(K) == 0) from the pool.
+func Get() *Buf {
+	b := pool.Get().(*Buf)
+	b.K = b.K[:0]
+	return b
+}
+
+// Put returns b to the pool. b.K must not be used afterwards.
+func (b *Buf) Put() {
+	pool.Put(b)
+}
+
+// Prep returns a pooled buffer holding a copy of keys, sorted
+// ascending with duplicates removed — the canonical form every batch
+// operation works on. The input is not modified. Release the result
+// with Put.
+func Prep(keys []int64) *Buf {
+	b := Get()
+	b.K = append(b.K, keys...)
+	slices.Sort(b.K)
+	b.K = slices.Compact(b.K)
+	return b
+}
+
+// Span returns the sub-slice of ks (which must be sorted ascending)
+// whose keys fall in the half-open range [lo, hi), found by binary
+// search. The result aliases ks; no copy is made. This is how the
+// sharded façade splits one sorted batch into per-shard sub-batches.
+func Span(ks []int64, lo, hi int64) []int64 {
+	i, _ := slices.BinarySearch(ks, lo)
+	j, _ := slices.BinarySearch(ks, hi)
+	return ks[i:j]
+}

@@ -57,6 +57,17 @@ type Config struct {
 	Arena bool
 	// Workload is the operation mix and key range.
 	Workload workload.Config
+	// BatchSize, when >= 1, switches the workers to batched mode: each
+	// step draws BatchSize keys and applies them through the set's
+	// batch surface (BatchSet) in one call — or an equivalent per-key
+	// loop when the set has none. Throughput accounting stays per key
+	// (a batch of k counts as k operations), so batched and per-key
+	// cells are directly comparable; BatchSize 1 exercises the batch
+	// entry points with single-key batches (the "batch=1 within 10% of
+	// plain" regression cell). 0 means classic per-key mode. Scan
+	// workloads (Workload.ScanPercent > 0) also use the batched loop
+	// and require the set to implement RangeSet.
+	BatchSize int
 	// Duration is the measured interval per run.
 	Duration time.Duration
 	// Warmup runs the same load without counting before each
@@ -131,6 +142,9 @@ func (c Config) Validate() error {
 	if c.RetryBudget < 0 {
 		return fmt.Errorf("harness: RetryBudget = %d, must be non-negative", c.RetryBudget)
 	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("harness: BatchSize = %d, must be non-negative", c.BatchSize)
+	}
 	if c.Watchdog < 0 {
 		return fmt.Errorf("harness: Watchdog = %v, must be non-negative", c.Watchdog)
 	}
@@ -146,6 +160,9 @@ func (c Config) Validate() error {
 }
 
 // Counts aggregates per-operation tallies across all workers of one run.
+// In batched mode the point-op tallies count KEYS (a batch of k
+// submitted keys lands k tallies), so Total stays per-key comparable
+// with classic mode.
 type Counts struct {
 	ContainsHit  int64
 	ContainsMiss int64
@@ -153,11 +170,13 @@ type Counts struct {
 	InsertFail   int64
 	RemoveOK     int64 // effective removes (value was present)
 	RemoveFail   int64
+	Scans        int64 // completed range scans (each counts as one op)
+	ScanKeys     int64 // keys returned across all scans
 }
 
 // Total returns the total number of completed operations.
 func (c Counts) Total() int64 {
-	return c.ContainsHit + c.ContainsMiss + c.InsertOK + c.InsertFail + c.RemoveOK + c.RemoveFail
+	return c.ContainsHit + c.ContainsMiss + c.InsertOK + c.InsertFail + c.RemoveOK + c.RemoveFail + c.Scans
 }
 
 // EffectiveUpdateRatio returns the fraction of all operations that
@@ -178,6 +197,8 @@ func (c *Counts) add(o Counts) {
 	c.InsertFail += o.InsertFail
 	c.RemoveOK += o.RemoveOK
 	c.RemoveFail += o.RemoveFail
+	c.Scans += o.Scans
+	c.ScanKeys += o.ScanKeys
 }
 
 // Result is the outcome of running one Config.
@@ -261,6 +282,13 @@ func Run(cfg Config) (Result, error) {
 // protocol, folding probe/retry tallies into res as it goes.
 func runOnce(cfg Config, r int, res *Result) (Counts, time.Duration, error) {
 	set := cfg.New()
+	if cfg.Workload.ScanPercent > 0 {
+		if _, ok := set.(RangeSet); !ok {
+			// No per-key emulation: a Contains sweep over the scan
+			// width would measure a different algorithm.
+			return Counts{}, 0, fmt.Errorf("harness: %s has no RangeScan; scan workloads need a native scan surface", cfg.Name)
+		}
+	}
 	if cfg.Probes != nil {
 		obs.Attach(set, cfg.Probes)
 	}
@@ -409,6 +437,8 @@ func opKind(op workload.Op) obs.OpKind {
 		return obs.OpInsert
 	case workload.Remove:
 		return obs.OpRemove
+	case workload.Scan:
+		return obs.OpScan
 	default:
 		return obs.OpContains
 	}
@@ -490,7 +520,9 @@ func drive(set Set, cfg Config, d time.Duration, seedBase uint64, rec *obs.Recor
 					myBeat = &beats[id]
 				}
 				<-start
-				if tr != nil {
+				if cfg.batchMode() {
+					batchedLoop(set, cfg, id, gen, &stop, &local, shard, sampleMask(cfg.LatencySampleEvery), myBeat, tr)
+				} else if tr != nil {
 					for !stop.Load() {
 						for i := 0; i < 32; i++ {
 							op, k := gen.Next()

@@ -64,10 +64,16 @@ type JSONMem struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
-// JSONWorkload mirrors workload.Config.
+// JSONWorkload mirrors workload.Config. The distribution and scan
+// fields are new and omitted at their defaults, so pre-existing
+// reports parse and diff unchanged (schema string unchanged).
 type JSONWorkload struct {
-	UpdatePercent int   `json:"update_percent"`
-	Range         int64 `json:"range"`
+	UpdatePercent int     `json:"update_percent"`
+	Range         int64   `json:"range"`
+	Dist          string  `json:"dist,omitempty"`
+	Theta         float64 `json:"theta,omitempty"`
+	ScanPercent   int     `json:"scan_percent,omitempty"`
+	ScanWidth     int64   `json:"scan_width,omitempty"`
 }
 
 // JSONProtocol records the measurement protocol of the run.
@@ -86,6 +92,9 @@ type JSONProtocol struct {
 	RetryBudget int `json:"retry_budget,omitempty"`
 	// WatchdogSec is the liveness watchdog deadline (0 = off).
 	WatchdogSec float64 `json:"watchdog_s,omitempty"`
+	// BatchSize is the batched-mode batch size (0 = per-key mode).
+	// Counts stay per-key either way; see harness.Config.BatchSize.
+	BatchSize int `json:"batch_size,omitempty"`
 }
 
 // JSONRetry mirrors obs.RetryStats.
@@ -115,6 +124,8 @@ type JSONCounts struct {
 	InsertFail           int64   `json:"insert_fail"`
 	RemoveOK             int64   `json:"remove_ok"`
 	RemoveFail           int64   `json:"remove_fail"`
+	Scans                int64   `json:"scans,omitempty"`
+	ScanKeys             int64   `json:"scan_keys,omitempty"`
 	Total                int64   `json:"total"`
 	EffectiveUpdateRatio float64 `json:"effective_update_ratio"`
 }
@@ -140,6 +151,10 @@ func Report(res Result) JSONReport {
 		Workload: JSONWorkload{
 			UpdatePercent: cfg.Workload.UpdatePercent,
 			Range:         cfg.Workload.Range,
+			Dist:          cfg.Workload.Dist,
+			Theta:         cfg.Workload.Theta,
+			ScanPercent:   cfg.Workload.ScanPercent,
+			ScanWidth:     cfg.Workload.ScanWidth,
 		},
 		Protocol: JSONProtocol{
 			DurationSec: cfg.Duration.Seconds(),
@@ -149,6 +164,7 @@ func Report(res Result) JSONReport {
 			SampleEvery: cfg.LatencySampleEvery,
 			RetryBudget: cfg.RetryBudget,
 			WatchdogSec: cfg.Watchdog.Seconds(),
+			BatchSize:   cfg.BatchSize,
 		},
 		InitialSize: res.InitialSize,
 		Throughput: JSONThroughput{
@@ -166,6 +182,8 @@ func Report(res Result) JSONReport {
 			InsertFail:           res.Counts.InsertFail,
 			RemoveOK:             res.Counts.RemoveOK,
 			RemoveFail:           res.Counts.RemoveFail,
+			Scans:                res.Counts.Scans,
+			ScanKeys:             res.Counts.ScanKeys,
 			Total:                res.Counts.Total(),
 			EffectiveUpdateRatio: res.Counts.EffectiveUpdateRatio(),
 		},

@@ -60,10 +60,13 @@ func TestRunWithProbesAndLatency(t *testing.T) {
 	if res.Latency.Count() == 0 {
 		t.Error("no latency samples with LatencySampleEvery=4")
 	}
-	for op := obs.OpKind(0); op < obs.NumOps; op++ {
+	for _, op := range []obs.OpKind{obs.OpContains, obs.OpInsert, obs.OpRemove} {
 		if res.Latency.Percentiles(op).Count == 0 {
 			t.Errorf("no %s samples over a mixed workload", op)
 		}
+	}
+	if res.Latency.Percentiles(obs.OpScan).Count != 0 {
+		t.Error("scan samples recorded by a scan-free workload")
 	}
 }
 

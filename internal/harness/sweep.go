@@ -39,11 +39,12 @@ type Sweep struct {
 	Observe bool
 	// LatencySampleEvery forwards to Config.LatencySampleEvery.
 	LatencySampleEvery int
-	// Chaos, RetryBudget and Watchdog forward to the matching Config
-	// fields of every cell.
+	// Chaos, RetryBudget, Watchdog and BatchSize forward to the
+	// matching Config fields of every cell.
 	Chaos       []failpoint.Scenario
 	RetryBudget int
 	Watchdog    time.Duration
+	BatchSize   int
 }
 
 // SweepResult holds one sweep's results indexed [candidate][thread].
@@ -73,6 +74,7 @@ func RunSweep(s Sweep) (SweepResult, error) {
 				Chaos:              s.Chaos,
 				RetryBudget:        s.RetryBudget,
 				Watchdog:           s.Watchdog,
+				BatchSize:          s.BatchSize,
 			}
 			if s.Observe {
 				cfg.Probes = obs.NewProbes()

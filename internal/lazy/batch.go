@@ -1,0 +1,258 @@
+package lazy
+
+import (
+	"listset/internal/batch"
+	"listset/internal/failpoint"
+	"listset/internal/obs"
+)
+
+// Batched and ranged operations for the Lazy list: the same one-pass
+// multi-window protocol as core's VBL batch (see core/batch.go for the
+// anchor argument), adapted to Lazy's discipline — the window is
+// locked BOTH sides (prev and curr) before the validation, and a
+// failed validation restarts from head, because Lazy has no
+// value-aware validation to make a stale anchor safe to re-validate
+// locally. The anchor still pays off on the common success path: after
+// a served key the pass resumes from the still-adjacent window edge
+// instead of from head.
+
+// findFrom traverses from the anchor — or from head if the anchor has
+// been marked since the caller last held it — and returns the window
+// (prev, curr) with prev.val < v <= curr.val.
+func (l *List) findFrom(anchor *node, v int64) (prev, curr *node) {
+	prev = anchor
+	if prev.marked.Load() {
+		prev = l.head
+	}
+	curr = prev.next.Load()
+	for curr.val < v {
+		prev = curr
+		curr = curr.next.Load()
+	}
+	return prev, curr
+}
+
+// InsertAll adds every key of keys to the set and returns how many
+// were absent (and are now present). The batch is sorted and
+// deduplicated first; each key's insert linearizes individually, in
+// ascending key order, within the call.
+func (l *List) InsertAll(keys []int64) int {
+	b := batch.Prep(keys)
+	ks := b.K
+	g := l.arena.Pin()
+	inserted := 0
+	anchor := l.head
+	i := 0
+	for i < len(ks) {
+		v := ks[i]
+		esc := obs.Escalator{Budget: l.budget, HeadNative: true}
+		for {
+			prev, curr := l.findFrom(anchor, v)
+			l.lockWindow(prev, curr)
+			ok := validate(prev, curr)
+			if fp := l.fps; failpoint.On(fp) && ok && fp.Fail(failpoint.SiteLazyValidate, v) {
+				ok = false
+			}
+			if !ok {
+				curr.lock.Unlock()
+				prev.lock.Unlock()
+				l.countValFail(prev, curr, v)
+				if p := l.probes; obs.On(p) {
+					p.Inc(obs.EvBatchWindowRestart, v)
+				}
+				esc.Failed(l.probes, v)
+				anchor = l.head // Lazy's native restart locality
+				continue
+			}
+			if curr.val == v {
+				curr.lock.Unlock()
+				prev.lock.Unlock()
+				esc.Done(&l.retry)
+				anchor = curr
+				i++
+				break
+			}
+			// Window (prev, curr) is locked and validated: every batch
+			// key in (prev.val, curr.val) is absent. Build the run as a
+			// private ascending chain and publish it with one store.
+			n := l.newNode(g, v)
+			n.next.Store(curr)
+			chainHead, chainTail := n, n
+			inserted++
+			i++
+			for i < len(ks) && ks[i] < curr.val {
+				m := l.newNode(g, ks[i])
+				m.next.Store(curr)
+				chainTail.next.Store(m)
+				chainTail = m
+				inserted++
+				i++
+			}
+			prev.next.Store(chainHead)
+			curr.lock.Unlock()
+			prev.lock.Unlock()
+			esc.Done(&l.retry)
+			anchor = chainTail
+			break
+		}
+	}
+	g.Unpin()
+	b.Put()
+	return inserted
+}
+
+// RemoveAll deletes every key of keys from the set and returns how
+// many were present (and are now absent). The batch is sorted and
+// deduplicated first; each key's remove linearizes individually, in
+// ascending key order, within the call.
+func (l *List) RemoveAll(keys []int64) int {
+	b := batch.Prep(keys)
+	ks := b.K
+	g := l.arena.Pin()
+	removed := 0
+	anchor := l.head
+	for _, v := range ks {
+		esc := obs.Escalator{Budget: l.budget, HeadNative: true}
+		for {
+			prev, curr := l.findFrom(anchor, v)
+			l.lockWindow(prev, curr)
+			ok := validate(prev, curr)
+			if fp := l.fps; failpoint.On(fp) && ok && fp.Fail(failpoint.SiteLazyValidate, v) {
+				ok = false
+			}
+			if !ok {
+				curr.lock.Unlock()
+				prev.lock.Unlock()
+				l.countValFail(prev, curr, v)
+				if p := l.probes; obs.On(p) {
+					p.Inc(obs.EvBatchWindowRestart, v)
+				}
+				esc.Failed(l.probes, v)
+				anchor = l.head
+				continue
+			}
+			if curr.val != v {
+				curr.lock.Unlock()
+				prev.lock.Unlock()
+				esc.Done(&l.retry)
+				anchor = prev
+				break
+			}
+			if fp := l.fps; failpoint.On(fp) {
+				fp.Do(failpoint.SiteUnlink, v)
+			}
+			curr.marked.Store(true)           // logical deletion
+			prev.next.Store(curr.next.Load()) // physical unlink
+			curr.lock.Unlock()
+			prev.lock.Unlock()
+			if p := l.probes; obs.On(p) {
+				p.Inc(obs.EvLogicalDelete, v)
+				p.Inc(obs.EvPhysicalUnlink, v)
+			}
+			if g.Active() {
+				g.Retire(curr)
+			}
+			removed++
+			esc.Done(&l.retry)
+			anchor = prev
+			break
+		}
+	}
+	g.Unpin()
+	b.Put()
+	return removed
+}
+
+// ContainsAll reports how many of the keys are in the set. One
+// wait-free pass serves the whole sorted batch; each key's query
+// linearizes individually at the load that reached its position.
+func (l *List) ContainsAll(keys []int64) int {
+	b := batch.Prep(keys)
+	ks := b.K
+	g := l.arena.Pin()
+	found := 0
+	curr := l.head
+	for _, v := range ks {
+		for curr.val < v {
+			curr = curr.next.Load()
+		}
+		if curr.val == v && !curr.marked.Load() {
+			found++
+		}
+	}
+	g.Unpin()
+	b.Put()
+	return found
+}
+
+// RangeScan returns the unmarked keys in [lo, hi) in ascending order.
+// Wait-free; sorted and duplicate-free by construction (values along
+// any next-chain strictly increase). Each key's presence linearizes
+// individually at the load that passed its position.
+func (l *List) RangeScan(lo, hi int64) []int64 {
+	if hi <= lo {
+		return nil
+	}
+	g := l.arena.Pin()
+	var out []int64
+	curr := l.head
+	for curr.val < lo {
+		curr = curr.next.Load()
+	}
+	for curr.val < hi {
+		if !curr.marked.Load() {
+			out = append(out, curr.val)
+		}
+		curr = curr.next.Load()
+	}
+	g.Unpin()
+	return out
+}
+
+// Ascend calls yield for every unmarked key >= from in ascending order
+// until yield returns false or the list ends. Wait-free; the epoch
+// stays pinned for the duration, so yield should be short.
+func (l *List) Ascend(from int64, yield func(int64) bool) {
+	g := l.arena.Pin()
+	curr := l.head
+	for curr.val < from {
+		curr = curr.next.Load()
+	}
+	for curr.val != MaxSentinel {
+		if !curr.marked.Load() && !yield(curr.val) {
+			break
+		}
+		curr = curr.next.Load()
+	}
+	g.Unpin()
+}
+
+// Load bulk-inserts keys with a single merge walk: O(n + k) total,
+// O(k) on an empty set. It takes no locks and must only be used at
+// quiescence (setup/population), before the list is shared. Returns
+// how many keys were absent.
+func (l *List) Load(keys []int64) int {
+	b := batch.Prep(keys)
+	ks := b.K
+	g := l.arena.Pin()
+	added := 0
+	prev := l.head
+	curr := prev.next.Load()
+	for _, v := range ks {
+		for curr.val < v {
+			prev = curr
+			curr = curr.next.Load()
+		}
+		if curr.val == v {
+			continue
+		}
+		n := l.newNode(g, v)
+		n.next.Store(curr)
+		prev.next.Store(n)
+		prev = n
+		added++
+	}
+	g.Unpin()
+	b.Put()
+	return added
+}

@@ -16,6 +16,9 @@ const (
 	OpInsert
 	// OpRemove is a removal.
 	OpRemove
+	// OpScan is a range scan (RangeScan); its latency covers the whole
+	// scan, not one key.
+	OpScan
 
 	// NumOps is the number of operation kinds.
 	NumOps
@@ -30,6 +33,8 @@ func (k OpKind) String() string {
 		return "insert"
 	case OpRemove:
 		return "remove"
+	case OpScan:
+		return "scan"
 	default:
 		return "op(?)"
 	}

@@ -93,6 +93,14 @@ const (
 	// arena (internal/mem); the gap between this and EvLimboRetire is
 	// how long retired memory waits.
 	EvEpochAdvance
+	// EvBatchWindowRestart counts windows of a batched multi-window
+	// pass (InsertAll/RemoveAll) whose validation failed and restarted
+	// from the pass's last good anchor — the batch analog of
+	// EvRestartPrev.
+	EvBatchWindowRestart
+	// EvBatchSplit counts per-shard sub-batches the sharded façade
+	// split a batch into (one count per non-empty sub-batch routed).
+	EvBatchSplit
 
 	// NumEvents is the number of distinct events.
 	NumEvents
@@ -117,6 +125,8 @@ var eventNames = [NumEvents]string{
 	EvNodeRecycle:          "node_recycle",
 	EvLimboRetire:          "limbo_retire",
 	EvEpochAdvance:         "epoch_advance",
+	EvBatchWindowRestart:   "batch_window_restart",
+	EvBatchSplit:           "batch_split",
 }
 
 // String returns the event's stable report identifier.

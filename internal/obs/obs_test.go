@@ -33,9 +33,14 @@ func TestProbesConcurrentSum(t *testing.T) {
 	if got, want := s.Total(), uint64(workers*perW); got != want {
 		t.Fatalf("Snapshot total = %d, want %d", got, want)
 	}
-	// perW is a multiple of NumEvents, so the per-event counts are even.
-	per := uint64(workers * perW / int(NumEvents))
+	// Each worker walks i%NumEvents over [0, perW), so an event's count
+	// is perW/NumEvents, plus one for the events before perW%NumEvents.
 	for ev := Event(0); ev < NumEvents; ev++ {
+		per := uint64(perW / int(NumEvents))
+		if int(ev) < perW%int(NumEvents) {
+			per++
+		}
+		per *= workers
 		if s[ev] != per {
 			t.Errorf("event %s = %d, want %d", ev, s[ev], per)
 		}
@@ -79,6 +84,8 @@ func TestEventNamesStable(t *testing.T) {
 		EvNodeRecycle:          "node_recycle",
 		EvLimboRetire:          "limbo_retire",
 		EvEpochAdvance:         "epoch_advance",
+		EvBatchWindowRestart:   "batch_window_restart",
+		EvBatchSplit:           "batch_split",
 	}
 	if len(want) != int(NumEvents) {
 		t.Fatalf("test covers %d events, package has %d", len(want), NumEvents)
@@ -147,7 +154,7 @@ func TestRecorderMergeAndPercentiles(t *testing.T) {
 }
 
 func TestOpKindNames(t *testing.T) {
-	want := map[OpKind]string{OpContains: "contains", OpInsert: "insert", OpRemove: "remove"}
+	want := map[OpKind]string{OpContains: "contains", OpInsert: "insert", OpRemove: "remove", OpScan: "scan"}
 	if len(want) != int(NumOps) {
 		t.Fatalf("test covers %d kinds, package has %d", len(want), NumOps)
 	}

@@ -1,0 +1,267 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"listset/internal/batch"
+	"listset/internal/obs"
+)
+
+// Batched and ranged operations for the sharded façade: sort and
+// deduplicate the batch ONCE, split it into per-shard sub-batches by
+// binary search against the shard boundaries (the partition is
+// monotone, so each sub-batch is one contiguous sub-slice — no copy),
+// apply each sub-batch to its shard, and sum the results. Because the
+// partition is a pure function of the key, each key is still served by
+// exactly one shard and linearizes at its per-shard point, so the
+// composition argument of the package doc carries over unchanged.
+//
+// Shards whose backing set implements Batcher get the sub-batch in one
+// native call; others fall back to a per-key loop over the same
+// (already sorted, deduplicated) sub-slice. With SetBatchParallel the
+// non-empty sub-batches run concurrently, one goroutine per shard —
+// safe because sub-batches touch disjoint shards and disjoint keys.
+
+// Batcher is the native batch surface a shard's backing set may
+// provide. Keys passed down are sorted and deduplicated already;
+// re-preparing them in the shard is cheap (it is a no-op sort) but
+// wasteful, which is why the façade calls the native method directly.
+type Batcher interface {
+	InsertAll(keys []int64) int
+	RemoveAll(keys []int64) int
+	ContainsAll(keys []int64) int
+}
+
+// Ranger is the native range surface a shard's backing set may provide.
+type Ranger interface {
+	RangeScan(lo, hi int64) []int64
+	Ascend(from int64, yield func(int64) bool)
+}
+
+// Loader is the native bulk-load surface a shard's backing set may
+// provide.
+type Loader interface {
+	Load(keys []int64) int
+}
+
+// SetBatchParallel enables (or disables) fanning a batch's per-shard
+// sub-batches out to one goroutine per non-empty shard. Off by
+// default: parallel pays off for large batches over many shards, and
+// costs a goroutine spawn per shard otherwise. Call before sharing the
+// set; the field is read without synchronization by every batch op.
+func (s *Sharded) SetBatchParallel(on bool) { s.parallel = on }
+
+// batchOp is one per-shard batch primitive: apply ks to the slot's set
+// and return the effective-operation count.
+type batchOp func(set Set, ks []int64) int
+
+func batchInsert(set Set, ks []int64) int {
+	if b, ok := set.(Batcher); ok {
+		return b.InsertAll(ks)
+	}
+	n := 0
+	for _, v := range ks {
+		if set.Insert(v) {
+			n++
+		}
+	}
+	return n
+}
+
+func batchRemove(set Set, ks []int64) int {
+	if b, ok := set.(Batcher); ok {
+		return b.RemoveAll(ks)
+	}
+	n := 0
+	for _, v := range ks {
+		if set.Remove(v) {
+			n++
+		}
+	}
+	return n
+}
+
+func batchContains(set Set, ks []int64) int {
+	if b, ok := set.(Batcher); ok {
+		return b.ContainsAll(ks)
+	}
+	n := 0
+	for _, v := range ks {
+		if set.Contains(v) {
+			n++
+		}
+	}
+	return n
+}
+
+func batchLoad(set Set, ks []int64) int {
+	if l, ok := set.(Loader); ok {
+		return l.Load(ks)
+	}
+	n := 0
+	for _, v := range ks {
+		if set.Insert(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// apply splits the sorted, deduplicated keys ks into per-shard
+// sub-batches and applies op to each non-empty one, sequentially or in
+// parallel, returning the summed count.
+func (s *Sharded) apply(ks []int64, op batchOp) int {
+	if len(ks) == 0 {
+		return 0
+	}
+	// Locate each shard's sub-slice by binary search against its key
+	// span [start, end): start bounds come from the monotone partition,
+	// so the sub-slices tile ks exactly.
+	type sub struct {
+		slot int
+		ks   []int64
+	}
+	var subs []sub
+	lo, hi := s.shardOf(ks[0]), s.shardOf(ks[len(ks)-1])
+	rest := ks
+	for i := lo; i <= hi && len(rest) > 0; i++ {
+		var part []int64
+		if i == hi {
+			part, rest = rest, nil
+		} else {
+			end := s.boundary(i + 1)
+			part = batch.Span(rest, rest[0], end)
+			rest = rest[len(part):]
+		}
+		if len(part) == 0 {
+			continue
+		}
+		subs = append(subs, sub{slot: i, ks: part})
+		if p := s.probes; obs.On(p) {
+			p.Inc(obs.EvBatchSplit, part[0])
+		}
+	}
+	if s.parallel && len(subs) > 1 {
+		var total atomic.Int64
+		var wg sync.WaitGroup
+		for _, sb := range subs {
+			wg.Add(1)
+			go func(sb sub) {
+				defer wg.Done()
+				total.Add(int64(op(s.slots[sb.slot].set, sb.ks)))
+			}(sb)
+		}
+		wg.Wait()
+		return int(total.Load())
+	}
+	total := 0
+	for _, sb := range subs {
+		total += op(s.slots[sb.slot].set, sb.ks)
+	}
+	return total
+}
+
+// boundary returns the inclusive lower key bound of shard i, saturated
+// at MaxInt64 on overflow (mirrors Boundaries without the slice).
+func (s *Sharded) boundary(i int) int64 {
+	off := uint64(i) << s.shift
+	b := int64(uint64(s.lo) + off)
+	if off>>s.shift != uint64(i) || b < s.lo {
+		return 1<<63 - 1
+	}
+	return b
+}
+
+// InsertAll adds every key of keys and returns how many were absent.
+// The batch is sorted and deduplicated once, here; each key linearizes
+// individually in its owning shard.
+func (s *Sharded) InsertAll(keys []int64) int {
+	b := batch.Prep(keys)
+	n := s.apply(b.K, batchInsert)
+	b.Put()
+	return n
+}
+
+// RemoveAll deletes every key of keys and returns how many were
+// present.
+func (s *Sharded) RemoveAll(keys []int64) int {
+	b := batch.Prep(keys)
+	n := s.apply(b.K, batchRemove)
+	b.Put()
+	return n
+}
+
+// ContainsAll reports how many of the keys are in the set.
+func (s *Sharded) ContainsAll(keys []int64) int {
+	b := batch.Prep(keys)
+	n := s.apply(b.K, batchContains)
+	b.Put()
+	return n
+}
+
+// Load bulk-inserts keys (see the lists' Load: quiescent use only) and
+// returns how many were absent.
+func (s *Sharded) Load(keys []int64) int {
+	b := batch.Prep(keys)
+	n := s.apply(b.K, batchLoad)
+	b.Put()
+	return n
+}
+
+// RangeScan returns the keys in [lo, hi) in ascending order: the
+// partition is order-preserving, so the concatenation of per-shard
+// scans (restricted to the shards that can intersect [lo, hi)) is
+// already sorted. Shards without a native RangeScan contribute their
+// filtered Snapshot.
+func (s *Sharded) RangeScan(lo, hi int64) []int64 {
+	if hi <= lo {
+		return nil
+	}
+	var out []int64
+	for i := s.shardOf(lo); i <= s.shardOf(hi-1); i++ {
+		set := s.slots[i].set
+		if r, ok := set.(Ranger); ok {
+			out = append(out, r.RangeScan(lo, hi)...)
+			continue
+		}
+		for _, v := range set.Snapshot() {
+			if v >= lo && v < hi {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// Ascend calls yield for every key >= from in ascending order until
+// yield returns false or the set ends, walking the shards in partition
+// order. Shards without a native Ascend iterate their Snapshot.
+func (s *Sharded) Ascend(from int64, yield func(int64) bool) {
+	stopped := false
+	for i := s.shardOf(from); i < len(s.slots) && !stopped; i++ {
+		set := s.slots[i].set
+		if r, ok := set.(Ranger); ok {
+			r.Ascend(from, func(v int64) bool {
+				if !yield(v) {
+					stopped = true
+					return false
+				}
+				return true
+			})
+			continue
+		}
+		for _, v := range set.Snapshot() {
+			if v >= from && !yield(v) {
+				stopped = true
+				break
+			}
+		}
+	}
+}
+
+var (
+	_ Batcher = (*Sharded)(nil)
+	_ Ranger  = (*Sharded)(nil)
+	_ Loader  = (*Sharded)(nil)
+)

@@ -96,9 +96,17 @@ type Sharded struct {
 	shift uint  // log2 of the per-shard key span
 	slots []slot
 
+	// parallel, when true, fans batch sub-batches out to one goroutine
+	// per non-empty shard (SetBatchParallel).
+	parallel bool
+
 	// fps, when non-nil, arms the chaos failpoints: the façade's own
 	// SiteShardRoute site plus whatever sites the shards expose.
 	fps *failpoint.Set
+
+	// probes, when non-nil, receives the façade's own events (batch
+	// splits); the shards' events are attached separately by SetProbes.
+	probes *obs.Probes
 }
 
 // New returns a Sharded over the given number of shards (rounded up to
@@ -247,6 +255,7 @@ func (s *Sharded) Boundaries() []int64 {
 // events aggregate into one obs.Probes and surface in the existing
 // listset/bench/v1 report unchanged. Call before sharing the set.
 func (s *Sharded) SetProbes(p *obs.Probes) {
+	s.probes = p
 	for i := range s.slots {
 		obs.Attach(s.slots[i].set, p)
 	}

@@ -29,6 +29,9 @@ const (
 	Insert
 	// Remove deletes a key.
 	Remove
+	// Scan is a range scan [lo, lo+ScanSpan()); the generated key is the
+	// scan's lower bound. Only produced when Config.ScanPercent > 0.
+	Scan
 )
 
 // String returns the lower-case operation name.
@@ -40,19 +43,57 @@ func (o Op) String() string {
 		return "insert"
 	case Remove:
 		return "remove"
+	case Scan:
+		return "scan"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
 }
+
+// Key distributions accepted by Config.Dist.
+const (
+	// DistUniform draws keys uniformly from [0, Range); the empty string
+	// means the same (Synchrobench's default).
+	DistUniform = "uniform"
+	// DistZipf draws keys Zipfian with skew Theta: key 0 hottest. See
+	// zipf.go for why a skewed draw is the interesting stress.
+	DistZipf = "zipf"
+)
 
 // Config describes a Synchrobench workload.
 type Config struct {
 	// UpdatePercent is x in the paper's terminology: x/2 % inserts,
 	// x/2 % removes, (100-x) % contains. Must be in [0, 100].
 	UpdatePercent int
-	// Range is the size of the key range; keys are drawn uniformly from
+	// Range is the size of the key range; keys are drawn from
 	// [0, Range). The steady-state set size is about Range/2.
 	Range int64
+	// Dist selects the key distribution: DistUniform (also the empty
+	// string) or DistZipf.
+	Dist string
+	// Theta is the Zipfian skew, in (0, 1); consulted only when Dist is
+	// DistZipf. Larger is more skewed (0.99 is YCSB's "hotspot" default).
+	Theta float64
+	// ScanPercent carves range scans out of the contains share: x/2 %
+	// inserts, x/2 % removes, ScanPercent % scans, the rest contains.
+	// Must satisfy UpdatePercent + ScanPercent <= 100.
+	ScanPercent int
+	// ScanWidth is the key width of each generated scan [lo, lo+width).
+	// Zero means the DefaultScanWidth.
+	ScanWidth int64
+}
+
+// DefaultScanWidth is the scan width used when Config.ScanWidth is 0:
+// wide enough to cover ~50 resident keys at steady state on the small
+// benchmark range, so a scan is clearly heavier than a point read.
+const DefaultScanWidth int64 = 100
+
+// ScanSpan returns the effective scan width.
+func (c Config) ScanSpan() int64 {
+	if c.ScanWidth > 0 {
+		return c.ScanWidth
+	}
+	return DefaultScanWidth
 }
 
 // Validate reports whether the configuration is well-formed.
@@ -63,12 +104,37 @@ func (c Config) Validate() error {
 	if c.Range <= 0 {
 		return fmt.Errorf("workload: key range %d must be positive", c.Range)
 	}
+	switch c.Dist {
+	case "", DistUniform:
+	case DistZipf:
+		if c.Theta <= 0 || c.Theta >= 1 {
+			return fmt.Errorf("workload: zipf theta %v out of (0, 1)", c.Theta)
+		}
+	default:
+		return fmt.Errorf("workload: unknown distribution %q (have: %s, %s)", c.Dist, DistUniform, DistZipf)
+	}
+	if c.ScanPercent < 0 || c.ScanPercent > 100 {
+		return fmt.Errorf("workload: scan percent %d out of [0, 100]", c.ScanPercent)
+	}
+	if c.UpdatePercent+c.ScanPercent > 100 {
+		return fmt.Errorf("workload: update %d%% + scan %d%% exceed 100%%", c.UpdatePercent, c.ScanPercent)
+	}
+	if c.ScanWidth < 0 {
+		return fmt.Errorf("workload: scan width %d must be non-negative", c.ScanWidth)
+	}
 	return nil
 }
 
 // String renders the config in the paper's notation.
 func (c Config) String() string {
-	return fmt.Sprintf("%d%%-updates/range=%d", c.UpdatePercent, c.Range)
+	s := fmt.Sprintf("%d%%-updates/range=%d", c.UpdatePercent, c.Range)
+	if c.Dist == DistZipf {
+		s += fmt.Sprintf("/zipf=%.2f", c.Theta)
+	}
+	if c.ScanPercent > 0 {
+		s += fmt.Sprintf("/%d%%-scans(w=%d)", c.ScanPercent, c.ScanSpan())
+	}
+	return s
 }
 
 // Generator produces the operation stream for one worker goroutine. It
@@ -78,31 +144,68 @@ type Generator struct {
 	rng       XorShift
 	updateCut uint64 // thresholds over a 0..9999 roll
 	insertCut uint64
+	scanCut   uint64 // scans occupy [updateCut, scanCut)
+	zipf      zipfGen
+	useZipf   bool
 }
 
 // NewGenerator returns a generator for cfg seeded with seed. Two
 // generators with equal seeds produce identical streams.
 func NewGenerator(cfg Config, seed uint64) *Generator {
-	return &Generator{
+	g := &Generator{
 		cfg:       cfg,
 		rng:       NewXorShift(seed),
 		updateCut: uint64(cfg.UpdatePercent) * 100, // out of 10000
 		insertCut: uint64(cfg.UpdatePercent) * 50,
 	}
+	g.scanCut = g.updateCut + uint64(cfg.ScanPercent)*100
+	if cfg.Dist == DistZipf {
+		g.zipf = newZipf(cfg.Range, cfg.Theta)
+		g.useZipf = true
+	}
+	return g
 }
 
-// Next draws the next operation and key.
+// Key draws one key from the configured distribution.
+func (g *Generator) Key() int64 {
+	if g.useZipf {
+		return g.zipf.draw(&g.rng)
+	}
+	return int64(g.rng.Next() % uint64(g.cfg.Range))
+}
+
+// Next draws the next operation and key. For Scan ops the key is the
+// scan's lower bound; the width is Config.ScanSpan().
 func (g *Generator) Next() (Op, int64) {
 	roll := g.rng.Next() % 10000
-	key := int64(g.rng.Next() % uint64(g.cfg.Range))
+	key := g.Key()
 	switch {
 	case roll < g.insertCut:
 		return Insert, key
 	case roll < g.updateCut:
 		return Remove, key
+	case roll < g.scanCut:
+		return Scan, key
 	default:
 		return Contains, key
 	}
+}
+
+// NextBatch draws the next batched operation: one op kind and up to k
+// keys appended into dst[:0] (the returned slice aliases dst's array
+// when it has capacity). The keys are raw draws — unsorted, possibly
+// duplicated — exactly what the sets' batch entry points are specified
+// to accept. Scan ops carry a single key, the scan's lower bound.
+func (g *Generator) NextBatch(dst []int64, k int) (Op, []int64) {
+	op, key := g.Next()
+	dst = append(dst[:0], key)
+	if op == Scan {
+		return op, dst
+	}
+	for i := 1; i < k; i++ {
+		dst = append(dst, g.Key())
+	}
+	return op, dst
 }
 
 // Prepopulate inserts each key of cfg's range into insert with
@@ -121,6 +224,21 @@ func Prepopulate(cfg Config, seed int64, insert func(int64) bool) int {
 		}
 	}
 	return n
+}
+
+// PrepopulateKeys returns the exact key set Prepopulate(cfg, seed, ·)
+// would insert, in ascending order, without touching a set — the input
+// for a bulk Load. Prepopulate and PrepopulateKeys with equal seeds
+// always agree, so a harness may use either interchangeably.
+func PrepopulateKeys(cfg Config, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]int64, 0, cfg.Range/2+1)
+	for k := int64(0); k < cfg.Range; k++ {
+		if rng.Intn(2) == 0 {
+			keys = append(keys, k)
+		}
+	}
+	return keys
 }
 
 // PrepopulateHalf deterministically inserts every even key, yielding an

@@ -170,6 +170,107 @@ func TestPrepopulateHalfExact(t *testing.T) {
 	}
 }
 
+// TestGeneratorScanMix checks the scan band comes out of the contains
+// share and scans carry in-range lower bounds.
+func TestGeneratorScanMix(t *testing.T) {
+	cfg := Config{UpdatePercent: 20, ScanPercent: 10, Range: 1000}
+	g := NewGenerator(cfg, 13)
+	const n = 400000
+	var scans, cons int
+	for i := 0; i < n; i++ {
+		op, k := g.Next()
+		if k < 0 || k >= cfg.Range {
+			t.Fatalf("key %d out of range", k)
+		}
+		switch op {
+		case Scan:
+			scans++
+		case Contains:
+			cons++
+		}
+	}
+	if got := float64(scans) / n; math.Abs(got-0.10) > 0.01 {
+		t.Errorf("scan fraction %.3f, want 0.10", got)
+	}
+	if got := float64(cons) / n; math.Abs(got-0.70) > 0.01 {
+		t.Errorf("contains fraction %.3f, want 0.70", got)
+	}
+}
+
+func TestScanSpanDefault(t *testing.T) {
+	if got := (Config{Range: 10}).ScanSpan(); got != DefaultScanWidth {
+		t.Fatalf("default scan span = %d, want %d", got, DefaultScanWidth)
+	}
+	if got := (Config{Range: 10, ScanWidth: 7}).ScanSpan(); got != 7 {
+		t.Fatalf("explicit scan span = %d, want 7", got)
+	}
+}
+
+// TestNextBatch checks batch draws: k keys in range, buffer reuse, and
+// scans degenerating to a single lower bound.
+func TestNextBatch(t *testing.T) {
+	cfg := Config{UpdatePercent: 50, ScanPercent: 10, Range: 500}
+	g := NewGenerator(cfg, 21)
+	buf := make([]int64, 0, 64)
+	for i := 0; i < 2000; i++ {
+		op, ks := g.NextBatch(buf, 32)
+		if op == Scan {
+			if len(ks) != 1 {
+				t.Fatalf("scan batch has %d keys, want 1", len(ks))
+			}
+		} else if len(ks) != 32 {
+			t.Fatalf("batch has %d keys, want 32", len(ks))
+		}
+		for _, k := range ks {
+			if k < 0 || k >= cfg.Range {
+				t.Fatalf("batch key %d out of range", k)
+			}
+		}
+		if cap(buf) >= 32 && &ks[0] != &buf[:1][0] {
+			t.Fatal("NextBatch did not reuse the caller's buffer")
+		}
+	}
+}
+
+func TestNextBatchDeterministic(t *testing.T) {
+	cfg := Config{UpdatePercent: 30, Range: 200}
+	a := NewGenerator(cfg, 8)
+	b := NewGenerator(cfg, 8)
+	ba, bb := make([]int64, 0, 16), make([]int64, 0, 16)
+	for i := 0; i < 500; i++ {
+		opA, ksA := a.NextBatch(ba, 16)
+		opB, ksB := b.NextBatch(bb, 16)
+		if opA != opB || len(ksA) != len(ksB) {
+			t.Fatal("batch streams diverge with equal seeds")
+		}
+		for j := range ksA {
+			if ksA[j] != ksB[j] {
+				t.Fatal("batch keys diverge with equal seeds")
+			}
+		}
+	}
+}
+
+// TestPrepopulateKeysAgree checks PrepopulateKeys returns exactly the
+// keys Prepopulate inserts, ascending.
+func TestPrepopulateKeysAgree(t *testing.T) {
+	cfg := Config{UpdatePercent: 0, Range: 2000}
+	var streamed []int64
+	Prepopulate(cfg, 17, func(v int64) bool { streamed = append(streamed, v); return true })
+	keys := PrepopulateKeys(cfg, 17)
+	if len(keys) != len(streamed) {
+		t.Fatalf("PrepopulateKeys returned %d keys, Prepopulate inserted %d", len(keys), len(streamed))
+	}
+	for i := range keys {
+		if keys[i] != streamed[i] {
+			t.Fatalf("key %d: %d != %d", i, keys[i], streamed[i])
+		}
+		if i > 0 && keys[i] <= keys[i-1] {
+			t.Fatalf("keys not strictly ascending at %d", i)
+		}
+	}
+}
+
 func TestXorShiftZeroSeed(t *testing.T) {
 	x := NewXorShift(0)
 	if x.Next() == 0 && x.Next() == 0 {

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestZipfQuickBoundsAndDeterminism is the satellite's property check:
+// for arbitrary seed/range/theta, every draw lands in [0, n) and two
+// generators with equal parameters produce identical streams.
+func TestZipfQuickBoundsAndDeterminism(t *testing.T) {
+	f := func(seed uint64, n int64, th uint16) bool {
+		if n <= 0 {
+			n = 1 - n%10000
+		}
+		// theta in (0, 1) from the raw uint16.
+		theta := 0.01 + 0.98*float64(th)/math.MaxUint16
+		cfg := Config{UpdatePercent: 50, Range: n, Dist: DistZipf, Theta: theta}
+		if err := cfg.Validate(); err != nil {
+			return false
+		}
+		a := NewGenerator(cfg, seed)
+		b := NewGenerator(cfg, seed)
+		for i := 0; i < 200; i++ {
+			opA, kA := a.Next()
+			opB, kB := b.Next()
+			if opA != opB || kA != kB {
+				return false
+			}
+			if kA < 0 || kA >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZipfSkew checks the draw is actually Zipfian-shaped: key 0 is the
+// hottest, and the head of the range absorbs far more mass than uniform
+// would give it.
+func TestZipfSkew(t *testing.T) {
+	cfg := Config{UpdatePercent: 0, Range: 1000, Dist: DistZipf, Theta: 0.99}
+	g := NewGenerator(cfg, 11)
+	const n = 200000
+	counts := map[int64]int{}
+	for i := 0; i < n; i++ {
+		_, k := g.Next()
+		counts[k]++
+	}
+	for k, c := range counts {
+		if k != 0 && c > counts[0] {
+			t.Fatalf("key %d drawn %d times > key 0's %d; 0 should be hottest", k, c, counts[0])
+		}
+	}
+	// Under theta=0.99 the top 10 keys carry ~55% of the mass; uniform
+	// would give them 1%.
+	head := 0
+	for k := int64(0); k < 10; k++ {
+		head += counts[k]
+	}
+	if frac := float64(head) / n; frac < 0.25 {
+		t.Fatalf("top-10 keys carry only %.1f%% of draws; not Zipfian", frac*100)
+	}
+}
+
+// TestZipfLargeRangeApproximation exercises the integral-tail zeta
+// path (n > zipfExactMax) and checks draws stay in bounds.
+func TestZipfLargeRangeApproximation(t *testing.T) {
+	n := int64(zipfExactMax) * 8
+	cfg := Config{UpdatePercent: 50, Range: n, Dist: DistZipf, Theta: 0.6}
+	g := NewGenerator(cfg, 3)
+	for i := 0; i < 50000; i++ {
+		_, k := g.Next()
+		if k < 0 || k >= n {
+			t.Fatalf("draw %d out of [0, %d)", k, n)
+		}
+	}
+}
+
+func TestZipfConfigValidate(t *testing.T) {
+	bad := []Config{
+		{UpdatePercent: 10, Range: 100, Dist: DistZipf},              // theta unset
+		{UpdatePercent: 10, Range: 100, Dist: DistZipf, Theta: 1.0},  // theta too big
+		{UpdatePercent: 10, Range: 100, Dist: DistZipf, Theta: -0.5}, // negative
+		{UpdatePercent: 10, Range: 100, Dist: "pareto"},              // unknown dist
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted a bad config", cfg)
+		}
+	}
+	good := []Config{
+		{UpdatePercent: 10, Range: 100},
+		{UpdatePercent: 10, Range: 100, Dist: DistUniform},
+		{UpdatePercent: 10, Range: 100, Dist: DistZipf, Theta: 0.99},
+	}
+	for _, cfg := range good {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", cfg, err)
+		}
+	}
+}

@@ -36,6 +36,17 @@ type Impl struct {
 	// LockFree reports whether the implementation is lock-free (the
 	// progress condition, not merely "uses no sync.Mutex").
 	LockFree bool
+	// Batch reports whether New's sets implement Batcher natively (the
+	// amortized one-pass multi-window traversal). Implementations
+	// without the flag still serve batches through AsBatcher's per-key
+	// fallback.
+	Batch bool
+	// Scan reports whether New's sets implement Ranger natively
+	// (wait-free RangeScan/Ascend on the ordered traversal).
+	Scan bool
+	// BulkLoad reports whether New's sets implement Loader natively
+	// (O(n+k) merge-walk population).
+	BulkLoad bool
 	// Desc is a one-line human description used in tool output.
 	Desc string
 }
@@ -49,6 +60,9 @@ var impls = []Impl{
 		NewArena:        NewVBLArena,
 		NewShardedArena: NewVBLShardedArenaRange,
 		ThreadSafe:      true,
+		Batch:           true,
+		Scan:            true,
+		BulkLoad:        true,
 		Desc:            "VBL — concurrency-optimal value-based list (this paper)",
 	},
 	{
@@ -58,6 +72,9 @@ var impls = []Impl{
 		NewArena:        NewLazyArena,
 		NewShardedArena: NewLazyShardedArenaRange,
 		ThreadSafe:      true,
+		Batch:           true,
+		Scan:            true,
+		BulkLoad:        true,
 		Desc:            "Lazy Linked List (Heller et al. 2006)",
 	},
 	{
@@ -66,6 +83,9 @@ var impls = []Impl{
 		New:        NewHarrisMarker,
 		NewSharded: NewHarrisShardedRange,
 		ThreadSafe: true,
+		Batch:      true,
+		Scan:       true,
+		BulkLoad:   true,
 		LockFree:   true,
 		Desc:       "Harris-Michael, RTTI-style marker nodes (paper's optimized Java variant)",
 	},
@@ -128,12 +148,18 @@ var impls = []Impl{
 		Name:       "vbl-headrestart",
 		New:        NewVBLHeadRestart,
 		ThreadSafe: true,
+		Batch:      true,
+		Scan:       true,
+		BulkLoad:   true,
 		Desc:       "ablation: VBL restarting failed validations from head",
 	},
 	{
 		Name:       "vbl-noprevalidate",
 		New:        NewVBLNoPreValidation,
 		ThreadSafe: true,
+		Batch:      true,
+		Scan:       true,
+		BulkLoad:   true,
 		Desc:       "ablation: VBL locking before validating (no lock-free pre-check)",
 	},
 	{
@@ -149,6 +175,9 @@ var impls = []Impl{
 		NewSharded: NewVBLShardedArenaRange,
 		NewArena:   NewVBLArena,
 		ThreadSafe: true,
+		Batch:      true,
+		Scan:       true,
+		BulkLoad:   true,
 		Desc:       "VBL with slab arenas and epoch-based node recycling (near-zero allocs/op)",
 	},
 	{
@@ -157,6 +186,9 @@ var impls = []Impl{
 		NewSharded: NewLazyShardedArenaRange,
 		NewArena:   NewLazyArena,
 		ThreadSafe: true,
+		Batch:      true,
+		Scan:       true,
+		BulkLoad:   true,
 		Desc:       "Lazy list with slab arenas and epoch-based node recycling",
 	},
 	{
@@ -166,6 +198,9 @@ var impls = []Impl{
 		NewSharded:      NewVBLShardedRange,
 		NewShardedArena: NewVBLShardedArenaRange,
 		ThreadSafe:      true,
+		Batch:           true,
+		Scan:            true,
+		BulkLoad:        true,
 		Desc:            "VBL behind the order-preserving range partitioner (O(n/S) traversals)",
 	},
 	{
@@ -174,6 +209,9 @@ var impls = []Impl{
 		NewSharded:      NewLazyShardedRange,
 		NewShardedArena: NewLazyShardedArenaRange,
 		ThreadSafe:      true,
+		Batch:           true,
+		Scan:            true,
+		BulkLoad:        true,
 		Desc:            "Lazy list behind the range partitioner",
 	},
 	{
@@ -181,6 +219,9 @@ var impls = []Impl{
 		New:        func() Set { return NewHarrisSharded(DefaultShards) },
 		NewSharded: NewHarrisShardedRange,
 		ThreadSafe: true,
+		Batch:      true,
+		Scan:       true,
+		BulkLoad:   true,
 		LockFree:   true,
 		Desc:       "Harris-Michael marker list behind the range partitioner (lock-free preserved)",
 	},

@@ -33,10 +33,16 @@ step "unit tests"
 go test -count=1 ./...
 
 step "race gate (short stress, lock-based lists + arena reclamation)"
-go test -race -short -count=1 ./internal/core ./internal/lazy ./internal/harris ./internal/mem ./internal/trylock ./internal/obs ./internal/obs/trace ./internal/stats ./internal/failpoint ./internal/harness
+go test -race -short -count=1 ./internal/core ./internal/lazy ./internal/harris ./internal/mem ./internal/trylock ./internal/obs ./internal/obs/trace ./internal/stats ./internal/failpoint ./internal/harness ./internal/batch ./internal/shard ./internal/workload
+
+step "race gate (batch/scan conformance, root package)"
+go test -race -short -count=1 -run 'TestBatch|TestRangeScan|TestShardSeam|TestLoad|TestCapabilityFlags|FuzzBatchVsOracle' .
 
 step "benchmark smoke (probes + JSON report, end to end)"
 scripts/bench_smoke.sh
+
+step "batch amortization gate (batch surface, per-key accounting)"
+scripts/bench_batch.sh
 
 step "chaos smoke (failpoints + retry ladder + watchdog, end to end)"
 scripts/chaos_smoke.sh
