@@ -51,9 +51,27 @@
 //	               scan surface — vbl, lazy, harris and sharded forms)
 //	-scan-width W  key width of each scan (default 100)
 //
-// Key distribution: -dist uniform (default) or -dist zipf -theta T
-// draws keys Zipfian with skew T in (0, 1) — key 0 hottest, the
-// low-key windows contended.
+// Key distribution: -dist uniform (default), -dist zipf -theta T
+// (Zipfian with skew T in (0, 1) — key 0 hottest, the low-key windows
+// contended), or -dist hotspot (-hot-frac P percent of the traffic in
+// the window [-hot-lo, -hot-lo + -hot-width), rest uniform).
+//
+// Adaptive contention control (see internal/adapt, DESIGN.md §14):
+//
+//	-adapt           run the obs-driven feedback controller alongside
+//	                 the workers: AIMD per-shard backoff ceilings,
+//	                 retry-budget tightening under validation-failure
+//	                 storms, online shard rebalancing on sustained load
+//	                 skew (sharded impls), and overload shedding;
+//	                 implies -probes, reports an "adapt" section
+//	-adapt-interval  controller tick period (default 50ms)
+//	-phases          time-varying workload preset cycling through full
+//	                 workload configs: bursts (read-heavy → write-burst
+//	                 → delete-churn), seam (hot window parked on the
+//	                 key-space midpoint — a shard boundary for every
+//	                 power-of-two partition), moving (hot window hops
+//	                 across the range each phase)
+//	-phase-dur       dwell time per phase (default 150ms)
 //
 // Sharding: -shards N (or -impl vbl-sharded) routes keys through the
 // order-preserving range partitioner of internal/shard, so each of N
@@ -88,6 +106,7 @@ import (
 	"time"
 
 	"listset"
+	"listset/internal/adapt"
 	"listset/internal/failpoint"
 	"listset/internal/harness"
 	"listset/internal/obs"
@@ -125,8 +144,15 @@ func main() {
 		batchSize   = flag.Int("batch", 0, "batched mode: apply N keys per call through the set's batch surface (0 = per-key mode; 1 = single-key batches)")
 		scanPct     = flag.Int("scan", 0, "percent of operations that are range scans (out of the contains share; 0 = none)")
 		scanWidth   = flag.Int64("scan-width", 0, "key width of each range scan (0 = default 100)")
-		dist        = flag.String("dist", "uniform", "key distribution: uniform or zipf")
+		dist        = flag.String("dist", "uniform", "key distribution: uniform, zipf or hotspot")
 		theta       = flag.Float64("theta", 0.99, "zipfian skew in (0, 1); used with -dist zipf")
+		hotFrac     = flag.Int("hot-frac", workload.DefaultHotPercent, "percent of traffic in the hot window; used with -dist hotspot")
+		hotLo       = flag.Int64("hot-lo", 0, "hot window's lower key bound; used with -dist hotspot")
+		hotWidth    = flag.Int64("hot-width", 0, "hot window's key width (0 = range/128); used with -dist hotspot")
+		adaptOn     = flag.Bool("adapt", false, "run the adaptive contention controller (implies -probes; rebalancing on sharded impls)")
+		adaptEvery  = flag.Duration("adapt-interval", 0, "controller tick period (0 = default 50ms)")
+		phasePreset = flag.String("phases", "", "time-varying workload preset: "+strings.Join(workload.PresetNames(), ", "))
+		phaseDur    = flag.Duration("phase-dur", 0, "dwell per phase (0 = default 150ms)")
 		chaosSpec   = flag.String("chaos", "", "failpoint scenarios: comma-separated site:action[:prob][:delay], or \"shipped\"")
 		retryBudget = flag.Int("retry-budget", 0, "failed-validation retry budget K before escalation (0 = unbounded)")
 		watchdog    = flag.Duration("watchdog", 0, "liveness deadline: fail the run if a worker stalls this long (0 = off)")
@@ -181,7 +207,7 @@ func main() {
 			*sampleEvery = 0
 		}
 	}
-	if *jsonOut || *metricsAddr != "" || *traceFile != "" || *streamEvery > 0 {
+	if *jsonOut || *metricsAddr != "" || *traceFile != "" || *streamEvery > 0 || *adaptOn {
 		*probesOn = true
 	}
 
@@ -219,9 +245,15 @@ func main() {
 		ScanPercent:   *scanPct,
 		ScanWidth:     *scanWidth,
 	}
-	if *dist != "" && *dist != workload.DistUniform {
+	switch *dist {
+	case "", workload.DistUniform:
+	case workload.DistZipf:
+		wl.Dist, wl.Theta = *dist, *theta
+	case workload.DistHotspot:
 		wl.Dist = *dist
-		wl.Theta = *theta
+		wl.HotPercent, wl.HotLo, wl.HotWidth = *hotFrac, *hotLo, *hotWidth
+	default:
+		wl.Dist = *dist // workload.Validate rejects it with the full list
 	}
 	if *scanPct > 0 && !im.Scan {
 		fmt.Fprintf(os.Stderr, "synchrobench: %s has no native range scan; drop -scan or pick vbl, lazy, harris or a sharded form\n", im.Name)
@@ -245,6 +277,23 @@ func main() {
 		LatencySampleEvery: *sampleEvery,
 		RetryBudget:        *retryBudget,
 		Watchdog:           *watchdog,
+	}
+	if *adaptOn {
+		// Rebalancing needs the routing stripes only sharded façades
+		// have; the controller discovers the rest of the actuator
+		// surface itself.
+		cfg.Adapt = &adapt.Config{
+			Interval:  *adaptEvery,
+			Rebalance: nShards > 0,
+		}
+	}
+	if *phasePreset != "" {
+		sched, err := workload.Preset(*phasePreset, wl, *phaseDur)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "synchrobench:", err)
+			os.Exit(2)
+		}
+		cfg.Phases = sched
 	}
 	if *chaosSpec != "" {
 		scs, err := failpoint.ParseScenarios(*chaosSpec, *seed)
@@ -360,6 +409,9 @@ func printHuman(name string, cfg harness.Config, res harness.Result) {
 		fmt.Printf("arena         slab-backed nodes, epoch-based recycling\n")
 	}
 	fmt.Printf("workload      %s\n", cfg.Workload)
+	if cfg.Phases != nil {
+		fmt.Printf("phases        %s\n", cfg.Phases)
+	}
 	if cfg.BatchSize > 0 {
 		fmt.Printf("batch         %d keys per call (throughput counted per key)\n", cfg.BatchSize)
 	}
@@ -403,6 +455,12 @@ func printHuman(name string, cfg harness.Config, res harness.Result) {
 		r := res.Retry
 		fmt.Printf("retry         %d ops retried: %d restarts, %d escalated to head, %d backed off, worst op %d restarts\n",
 			r.Ops, r.Restarts, r.EscalatedHead, r.EscalatedBackoff, r.MaxRestarts)
+	}
+	if a := res.Adapt; a != nil {
+		fmt.Printf("adapt         %d ticks: %d/%d backoff widen/decay, %d/%d budget tighten/relax, %d rebalances (%d keys), %d/%d shed/unshed\n",
+			a.Ticks, a.BackoffWiden, a.BackoffDecay, a.BudgetTighten, a.BudgetRelax,
+			a.Rebalances, a.KeysMigrated, a.Sheds, a.Unsheds)
+		fmt.Printf("              final budget %d, ceilings %v\n", a.FinalBudget, a.FinalCeilings)
 	}
 	if res.Latency != nil {
 		for op := obs.OpKind(0); op < obs.NumOps; op++ {

@@ -1,0 +1,324 @@
+package adapt
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"listset/internal/obs"
+	"listset/internal/trylock"
+)
+
+// fakeShard is a minimal rebalancer + RetryBudgeted the state-machine
+// tests drive: the test feeds per-interval loads and reads back what
+// the controller actuated.
+type fakeShard struct {
+	bounds     []int64
+	lo, hi     int64
+	cum        []uint64 // cumulative per-shard loads (test appends)
+	backoffs   []*trylock.Backoff
+	parallel   bool
+	budget     int
+	rebalanced [][]int64
+	loadStats  bool
+	armed      bool
+}
+
+func newFakeShard(shards int, lo, hi int64) *fakeShard {
+	f := &fakeShard{lo: lo, hi: hi, cum: make([]uint64, shards), parallel: true}
+	span := (hi - lo) / int64(shards)
+	for i := 0; i < shards; i++ {
+		f.bounds = append(f.bounds, lo+int64(i)*span)
+	}
+	return f
+}
+
+func (f *fakeShard) Shards() int                            { return len(f.cum) }
+func (f *fakeShard) Boundaries() []int64                    { return append([]int64(nil), f.bounds...) }
+func (f *fakeShard) FocusRange() (int64, int64)             { return f.lo, f.hi }
+func (f *fakeShard) EnableRebalance()                       { f.armed = true }
+func (f *fakeShard) EnableLoadStats()                       { f.loadStats = true }
+func (f *fakeShard) SetShardBackoffs(bs []*trylock.Backoff) { f.backoffs = bs }
+func (f *fakeShard) SetBatchParallel(on bool)               { f.parallel = on }
+func (f *fakeShard) BatchParallel() bool                    { return f.parallel }
+func (f *fakeShard) SetRetryBudget(k int)                   { f.budget = k }
+func (f *fakeShard) RetryStats() obs.RetryStats             { return obs.RetryStats{} }
+
+func (f *fakeShard) LoadCounts() []uint64 { return append([]uint64(nil), f.cum...) }
+
+func (f *fakeShard) Rebalance(bounds []int64) (int, error) {
+	f.rebalanced = append(f.rebalanced, append([]int64(nil), bounds...))
+	f.bounds = append([]int64(nil), bounds...)
+	return 42, nil
+}
+
+// harness bundles a controller with hand-cranked signal sources.
+type harness struct {
+	c      *Controller
+	p      *obs.Probes
+	ops    atomic.Uint64
+	f      *fakeShard
+	budget *int
+}
+
+func newHarness(t *testing.T, cfg Config) *harness {
+	t.Helper()
+	h := &harness{p: obs.NewProbes(), f: newFakeShard(4, 0, 4000)}
+	h.c = New(h.f, h.p, h.ops.Load, cfg)
+	if h.f.budget != h.c.cfg.BudgetBase {
+		t.Fatalf("New did not pre-position the budget: %d, want %d", h.f.budget, h.c.cfg.BudgetBase)
+	}
+	if !h.f.loadStats {
+		t.Fatal("New did not enable load stats")
+	}
+	if len(h.f.backoffs) != 4 {
+		t.Fatalf("New attached %d backoff policies, want 4", len(h.f.backoffs))
+	}
+	return h
+}
+
+// interval feeds one control interval's worth of signal and ticks:
+// nOps operations, contention·nOps contended locks, valfail·nOps
+// failed validations, and per-shard load weights.
+func (h *harness) interval(contention, valfail float64, weights []uint64) {
+	const nOps = 10000
+	h.ops.Add(nOps)
+	for i := 0; i < int(contention*nOps); i++ {
+		h.p.Inc(obs.EvTryLockContended, int64(i))
+	}
+	for i := 0; i < int(valfail*nOps); i++ {
+		h.p.Inc(obs.EvValFailSucc, int64(i))
+	}
+	for i, w := range weights {
+		h.f.cum[i] += w
+	}
+	h.c.tick()
+}
+
+var uniform = []uint64{100, 100, 100, 100}
+
+// TestAIMDStationaryConvergence is the stability property the ISSUE
+// demands: on a stationary workload — any fixed contention ratio, any
+// fixed load split — the AIMD loop must converge, not oscillate.
+// After a transient the spin ceilings have to sit still.
+func TestAIMDStationaryConvergence(t *testing.T) {
+	prop := func(ratioPct uint8, hotShard uint8, skewed bool) bool {
+		ratio := float64(ratioPct%100) / 100
+		h := newHarness(t, Config{Rebalance: false})
+		weights := append([]uint64(nil), uniform...)
+		if skewed {
+			weights[int(hotShard)%4] = 5000
+		}
+		// Transient: let the loop move as far as it wants.
+		for i := 0; i < 80; i++ {
+			h.interval(ratio, 0.0, weights)
+		}
+		// Stationary regime: every ceiling must now be a fixed point.
+		var frozen [4]int32
+		for i, b := range h.f.backoffs {
+			frozen[i] = b.Ceiling()
+		}
+		for i := 0; i < 40; i++ {
+			h.interval(ratio, 0.0, weights)
+			for j, b := range h.f.backoffs {
+				if b.Ceiling() != frozen[j] {
+					t.Logf("ratio %.2f: shard %d ceiling moved %d → %d after transient", ratio, j, frozen[j], b.Ceiling())
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAIMDDirection pins the loop's sign: high contention widens the
+// hot shard's ceiling (and only the hot shard's), low contention
+// decays it back to the default.
+func TestAIMDDirection(t *testing.T) {
+	h := newHarness(t, Config{})
+	hot := []uint64{5000, 100, 100, 100}
+	for i := 0; i < 10; i++ {
+		h.interval(0.30, 0.0, hot)
+	}
+	if c := h.f.backoffs[0].Ceiling(); c <= trylock.DefaultMaxSpin {
+		t.Fatalf("hot shard ceiling = %d after sustained contention, want > default %d", c, trylock.DefaultMaxSpin)
+	}
+	if c := h.f.backoffs[2].Ceiling(); c != trylock.DefaultMaxSpin {
+		t.Fatalf("cold shard ceiling = %d, want untouched default %d", c, trylock.DefaultMaxSpin)
+	}
+	for i := 0; i < 60; i++ {
+		h.interval(0.005, 0.0, uniform)
+	}
+	if c := h.f.backoffs[0].Ceiling(); c != trylock.DefaultMaxSpin {
+		t.Fatalf("hot shard ceiling = %d after sustained quiet, want decayed to %d", c, trylock.DefaultMaxSpin)
+	}
+	st := h.c.snapshotStats()
+	if st.BackoffWiden == 0 || st.BackoffDecay == 0 {
+		t.Fatalf("stats = %+v, want both widen and decay counted", st)
+	}
+	// Decisions must be auditable: the widen/decay events are in the
+	// probes the flight recorder taps.
+	snap := h.p.Snapshot()
+	if snap[obs.EvAdaptBackoffWiden] == 0 || snap[obs.EvAdaptBackoffDecay] == 0 {
+		t.Fatal("adapt backoff events not emitted to probes")
+	}
+}
+
+// TestBudgetStormAndRecovery: a validation-failure storm must walk the
+// retry budget down to the floor; calm must walk it back to base.
+func TestBudgetStormAndRecovery(t *testing.T) {
+	h := newHarness(t, Config{BudgetBase: 32, BudgetMin: 4})
+	for i := 0; i < 6; i++ {
+		h.interval(0.05, 0.60, uniform)
+	}
+	if h.f.budget != 4 {
+		t.Fatalf("budget = %d after storm, want floor 4", h.f.budget)
+	}
+	for i := 0; i < 6; i++ {
+		h.interval(0.05, 0.0, uniform)
+	}
+	if h.f.budget != 32 {
+		t.Fatalf("budget = %d after recovery, want base 32", h.f.budget)
+	}
+	snap := h.p.Snapshot()
+	if snap[obs.EvAdaptBudgetTighten] == 0 || snap[obs.EvAdaptBudgetRelax] == 0 {
+		t.Fatal("budget adaptation events not emitted")
+	}
+}
+
+// TestSheddingTripsAndRecovers: sustained overload must serialize
+// batches, pin ceilings and floor the budget — then restore all three
+// after the recovery streak.
+func TestSheddingTripsAndRecovers(t *testing.T) {
+	h := newHarness(t, Config{ShedRecover: 3})
+	h.interval(0.80, 0.0, uniform)
+	if !h.f.parallel {
+		t.Fatal("shed tripped after a single hot interval; needs two")
+	}
+	h.interval(0.80, 0.0, uniform)
+	if h.f.parallel {
+		t.Fatal("batches still parallel under overload")
+	}
+	if h.f.budget != h.c.cfg.BudgetMin {
+		t.Fatalf("budget = %d under shed, want floor %d", h.f.budget, h.c.cfg.BudgetMin)
+	}
+	for _, b := range h.f.backoffs {
+		if b.Ceiling() != trylock.CeilingLimit {
+			t.Fatalf("ceiling = %d under shed, want pinned at %d", b.Ceiling(), trylock.CeilingLimit)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		h.interval(0.01, 0.0, uniform)
+	}
+	if !h.f.parallel {
+		t.Fatal("batch parallelism not restored after recovery")
+	}
+	if h.f.budget != h.c.cfg.BudgetBase {
+		t.Fatalf("budget = %d after unshed, want base %d", h.f.budget, h.c.cfg.BudgetBase)
+	}
+	st := h.c.snapshotStats()
+	if st.Sheds != 1 || st.Unsheds != 1 {
+		t.Fatalf("sheds/unsheds = %d/%d, want 1/1", st.Sheds, st.Unsheds)
+	}
+	snap := h.p.Snapshot()
+	if snap[obs.EvAdaptShed] != 1 || snap[obs.EvAdaptUnshed] != 1 {
+		t.Fatal("shed/unshed events not emitted")
+	}
+}
+
+// TestRebalanceTriggerAndCooldown: sustained skew arms the boundary
+// actuator after HotStreak intervals, exactly once per cooldown.
+func TestRebalanceTriggerAndCooldown(t *testing.T) {
+	h := newHarness(t, Config{Rebalance: true, HotStreak: 3, Cooldown: 5})
+	if !h.f.armed {
+		t.Fatal("New with Rebalance did not arm the façade")
+	}
+	skew := []uint64{3700, 100, 100, 100}
+	for i := 0; i < 3; i++ {
+		if len(h.f.rebalanced) != 0 {
+			t.Fatalf("rebalanced after only %d hot intervals", i)
+		}
+		h.interval(0.05, 0.0, skew)
+	}
+	if len(h.f.rebalanced) != 1 {
+		t.Fatalf("rebalances = %d after the streak, want 1", len(h.f.rebalanced))
+	}
+	nb := h.f.rebalanced[0]
+	// The quantile split must shrink the hot shard: its upper bound
+	// moves down toward the load mass.
+	if nb[1] >= 1000 {
+		t.Fatalf("new bound[1] = %d, want < 1000 (hot shard 0 must shrink)", nb[1])
+	}
+	for i := 1; i < len(nb); i++ {
+		if nb[i] <= nb[i-1] {
+			t.Fatalf("bounds not strictly increasing: %v", nb)
+		}
+	}
+	// Cooldown: five more skewed intervals must not re-trigger.
+	for i := 0; i < 5; i++ {
+		h.interval(0.05, 0.0, skew)
+	}
+	if len(h.f.rebalanced) != 1 {
+		t.Fatalf("rebalances = %d during cooldown, want still 1", len(h.f.rebalanced))
+	}
+	st := h.c.snapshotStats()
+	if st.Rebalances != 1 || st.KeysMigrated != 42 {
+		t.Fatalf("stats rebalances/keys = %d/%d, want 1/42", st.Rebalances, st.KeysMigrated)
+	}
+	if h.p.Snapshot()[obs.EvAdaptRebalance] != 1 {
+		t.Fatal("rebalance event not emitted")
+	}
+}
+
+// TestStartStop exercises the timer path end to end (everything else
+// drives tick() directly).
+func TestStartStop(t *testing.T) {
+	h := newHarness(t, Config{Interval: time.Millisecond})
+	h.c.Start()
+	for i := 0; i < 50; i++ {
+		h.ops.Add(100)
+		time.Sleep(time.Millisecond)
+	}
+	st := h.c.Stop()
+	if st.Ticks == 0 {
+		t.Fatal("controller never ticked")
+	}
+	if st.FinalBudget != h.c.cfg.BudgetBase {
+		t.Fatalf("FinalBudget = %d, want %d", st.FinalBudget, h.c.cfg.BudgetBase)
+	}
+	if len(st.FinalCeilings) != 4 {
+		t.Fatalf("FinalCeilings = %v, want 4 entries", st.FinalCeilings)
+	}
+}
+
+// TestPlainSetGetsSinglePolicy: a non-sharded Tunable set still gets
+// the backoff actuator, as one set-wide policy.
+func TestPlainSetGetsSinglePolicy(t *testing.T) {
+	set := &tunableSet{}
+	p := obs.NewProbes()
+	var ops atomic.Uint64
+	c := New(set, p, ops.Load, Config{})
+	if set.b == nil {
+		t.Fatal("controller did not attach a policy to a plain Tunable set")
+	}
+	if len(c.backoffs) != 1 {
+		t.Fatalf("controller holds %d policies for a plain set, want 1", len(c.backoffs))
+	}
+	// High contention with no load histogram: the single policy widens.
+	ops.Add(10000)
+	for i := 0; i < 3000; i++ {
+		p.Inc(obs.EvTryLockContended, int64(i))
+	}
+	c.tick()
+	if set.b.Ceiling() <= trylock.DefaultMaxSpin {
+		t.Fatalf("plain-set ceiling = %d, want widened past %d", set.b.Ceiling(), trylock.DefaultMaxSpin)
+	}
+}
+
+type tunableSet struct{ b *trylock.Backoff }
+
+func (s *tunableSet) SetBackoff(b *trylock.Backoff) { s.b = b }

@@ -1,0 +1,90 @@
+package adapt
+
+// quantileBounds computes the weighted-quantile repartition: given the
+// current shard lower bounds over the focus range [lo, hi) and the
+// operations each shard served this interval, place new boundaries so
+// every shard would have carried ~1/S of the observed load. Load is
+// assumed uniform *within* a shard (the histogram cannot see finer),
+// so each new boundary is a linear interpolation inside the old shard
+// whose cumulative weight crosses the quantile.
+//
+// Returns nil when no useful split exists: zero total load, or the
+// skew is so extreme the interpolated bounds collapse (each boundary
+// is forced at least one key past its predecessor, and a table that
+// cannot fit inside [lo, hi) that way is rejected rather than
+// clamped into a partition the trigger would immediately re-fire on).
+func quantileBounds(cur []int64, lo, hi int64, loads []uint64) []int64 {
+	s := len(cur)
+	if s < 2 || len(loads) != s || hi <= lo {
+		return nil
+	}
+	var total uint64
+	for _, w := range loads {
+		total += w
+	}
+	if total == 0 {
+		return nil
+	}
+	// Old shard i spans [edge(i), edge(i+1)) clipped to the focus
+	// range; shard 0's conceptual -inf edge is the focus lower bound
+	// (keys outside the focus clamp to the edge shards and are counted
+	// against them — close enough for weights).
+	edge := func(i int) int64 {
+		if i <= 0 {
+			return lo
+		}
+		if i >= s {
+			return hi
+		}
+		b := cur[i]
+		if b < lo {
+			return lo
+		}
+		if b > hi {
+			return hi
+		}
+		return b
+	}
+
+	out := make([]int64, s)
+	out[0] = lo
+	target := float64(total) / float64(s)
+	var acc float64 // cumulative load below the current position
+	i := 0          // old shard whose span we are consuming
+	for j := 1; j < s; j++ {
+		want := target * float64(j)
+		for i < s-1 && acc+float64(loads[i]) < want {
+			acc += float64(loads[i])
+			i++
+		}
+		span := float64(edge(i+1) - edge(i))
+		w := float64(loads[i])
+		var pos int64
+		if w <= 0 || span <= 0 {
+			pos = edge(i)
+		} else {
+			pos = edge(i) + int64((want-acc)/w*span)
+		}
+		// Boundaries must strictly increase; push forward at minimum
+		// key width when the interpolation collapses.
+		if pos <= out[j-1] {
+			pos = out[j-1] + 1
+		}
+		if pos >= hi {
+			return nil // cannot fit the remaining shards into the range
+		}
+		out[j] = pos
+	}
+	// Reject a no-op split: identical to the current table.
+	same := true
+	for j := 1; j < s; j++ {
+		if out[j] != cur[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package adapt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuantileBoundsSkew: all load on shard 0 → the new partition
+// carves shard 0's old span into S pieces.
+func TestQuantileBoundsSkew(t *testing.T) {
+	cur := []int64{0, 1000, 2000, 3000}
+	out := quantileBounds(cur, 0, 4000, []uint64{4000, 0, 0, 0})
+	if out == nil {
+		t.Fatal("no split for maximal skew")
+	}
+	// Quartiles of [0, 1000): 250, 500, 750.
+	want := []int64{0, 250, 500, 750}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", out, want)
+		}
+	}
+}
+
+// TestQuantileBoundsUniformIsNoop: a balanced histogram reproduces the
+// current partition, which the function rejects as a no-op.
+func TestQuantileBoundsUniformIsNoop(t *testing.T) {
+	cur := []int64{0, 1000, 2000, 3000}
+	if out := quantileBounds(cur, 0, 4000, []uint64{500, 500, 500, 500}); out != nil {
+		t.Fatalf("uniform load produced a split: %v", out)
+	}
+}
+
+// TestQuantileBoundsDegenerate: zero load, bad shapes, empty ranges.
+func TestQuantileBoundsDegenerate(t *testing.T) {
+	cur := []int64{0, 1000, 2000, 3000}
+	if out := quantileBounds(cur, 0, 4000, []uint64{0, 0, 0, 0}); out != nil {
+		t.Fatalf("zero load produced a split: %v", out)
+	}
+	if out := quantileBounds(cur, 0, 4000, []uint64{1, 2}); out != nil {
+		t.Fatalf("mismatched load length produced a split: %v", out)
+	}
+	if out := quantileBounds([]int64{0}, 0, 4000, []uint64{5}); out != nil {
+		t.Fatalf("single shard produced a split: %v", out)
+	}
+	if out := quantileBounds(cur, 10, 10, []uint64{1, 1, 1, 1}); out != nil {
+		t.Fatalf("empty focus range produced a split: %v", out)
+	}
+	// A range too narrow for strictly increasing bounds must be
+	// rejected, not clamped into nonsense.
+	if out := quantileBounds([]int64{0, 1, 2, 3}, 0, 3, []uint64{100, 0, 0, 0}); out != nil {
+		t.Fatalf("unsatisfiable range produced a split: %v", out)
+	}
+}
+
+// TestQuantileBoundsInvariants: for arbitrary loads the split is
+// either nil or a valid boundary table — strictly increasing, inside
+// the focus range, starting at its lower edge.
+func TestQuantileBoundsInvariants(t *testing.T) {
+	prop := func(w0, w1, w2, w3 uint16, loQ int8) bool {
+		lo := int64(loQ)
+		hi := lo + 4096
+		cur := []int64{lo, lo + 1024, lo + 2048, lo + 3072}
+		loads := []uint64{uint64(w0), uint64(w1), uint64(w2), uint64(w3)}
+		out := quantileBounds(cur, lo, hi, loads)
+		if out == nil {
+			return true
+		}
+		if len(out) != len(cur) || out[0] != lo {
+			return false
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i] <= out[i-1] || out[i] >= hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuantileThenRealRebalance closes the loop against the real
+// façade math: a hot window's load histogram must produce bounds that,
+// after shard.Rebalance, give the hot window more shards than before.
+// (The shard side of the migration is tested in internal/shard; this
+// pins that the quantile output is a *useful* input to it.)
+func TestQuantileThenRealRebalance(t *testing.T) {
+	// 4 shards over [0, 4000), hot window [900, 1100): spans the seam
+	// at 1000 between shards 0 and 1.
+	cur := []int64{0, 1000, 2000, 3000}
+	loads := []uint64{1800, 1800, 200, 200}
+	out := quantileBounds(cur, 0, 4000, loads)
+	if out == nil {
+		t.Fatal("seam skew produced no split")
+	}
+	// Half the load sits in each of shards 0 and 1, so the split must
+	// pull boundaries 2 and 3 down into the old hot territory.
+	if out[2] > 2000 || out[3] > 2600 {
+		t.Fatalf("split %v did not concentrate shards on the hot span", out)
+	}
+}

@@ -53,3 +53,41 @@ func plainFlip(c *counter) bool {
 func okPlain(c *counter) string {
 	return c.name
 }
+
+// ---- adaptive-contention shapes (DESIGN.md §14) ----
+
+// migrator mirrors the rebalance watermark and the controller's
+// backoff ceiling: both are written with function-style atomics from
+// the control plane and must never be read plainly from the routing
+// or lock paths.
+type migrator struct {
+	watermark int64
+	ceiling   int32
+}
+
+// advance is the watermark's atomic home (the migrator publishes it
+// under the stripes).
+func advance(m *migrator, w int64) {
+	atomic.StoreInt64(&m.watermark, w)
+}
+
+// widen is the ceiling's atomic home (the controller's AIMD step).
+func widen(m *migrator) {
+	atomic.AddInt32(&m.ceiling, 1)
+}
+
+// route reads the watermark plainly: an op racing the migrator would
+// tear or reorder the routing decision.
+func route(m *migrator, k int64) bool {
+	return k < m.watermark // want "mixed atomic/plain access"
+}
+
+// spin reads the ceiling plainly inside the lock loop.
+func spin(m *migrator) bool {
+	return m.ceiling > 0 // want "mixed atomic/plain access"
+}
+
+// snapshotOK reads both through sync/atomic: sanctioned, no finding.
+func snapshotOK(m *migrator) (int64, int32) {
+	return atomic.LoadInt64(&m.watermark), atomic.LoadInt32(&m.ceiling)
+}

@@ -44,7 +44,7 @@ func (s *VBL) InsertAll(keys []int64) int {
 	i := 0
 	for i < len(ks) {
 		v := ks[i]
-		esc := obs.Escalator{Budget: s.budget, HeadNative: s.headRestart}
+		esc := obs.Escalator{Budget: int(s.budget.Load()), HeadNative: s.headRestart}
 		for {
 			if fp := s.fps; failpoint.On(fp) {
 				fp.Do(failpoint.SiteVBLTraverse, v)
@@ -61,9 +61,11 @@ func (s *VBL) InsertAll(keys []int64) int {
 			}
 			injected := false
 			if fp := s.fps; failpoint.On(fp) {
-				injected = fp.Fail(failpoint.SiteVBLLockNextAt, v)
+				if injected = fp.Fail(failpoint.SiteVBLLockNextAt, v); injected {
+					s.countInjectedFail(obs.EvValFailSucc, v)
+				}
 			}
-			if injected || !prev.lockNextAt(curr, !s.noPreValidate, s.probes) {
+			if injected || !prev.lockNextAt(curr, !s.noPreValidate, s.probes, s.backoff) {
 				prev = s.restartBatch(prev, &esc, v)
 				continue
 			}
@@ -108,7 +110,7 @@ func (s *VBL) RemoveAll(keys []int64) int {
 	removed := 0
 	prev := s.head
 	for _, v := range ks {
-		esc := obs.Escalator{Budget: s.budget, HeadNative: s.headRestart}
+		esc := obs.Escalator{Budget: int(s.budget.Load()), HeadNative: s.headRestart}
 		for {
 			if fp := s.fps; failpoint.On(fp) {
 				fp.Do(failpoint.SiteVBLTraverse, v)
@@ -127,18 +129,22 @@ func (s *VBL) RemoveAll(keys []int64) int {
 			next := curr.next.Load()
 			injected := false
 			if fp := s.fps; failpoint.On(fp) {
-				injected = fp.Fail(failpoint.SiteVBLLockNextAtValue, v)
+				if injected = fp.Fail(failpoint.SiteVBLLockNextAtValue, v); injected {
+					s.countInjectedFail(obs.EvValFailValue, v)
+				}
 			}
-			if injected || !prev.lockNextAtValue(v, !s.noPreValidate, s.probes) {
+			if injected || !prev.lockNextAtValue(v, !s.noPreValidate, s.probes, s.backoff) {
 				prev = s.restartBatch(prev, &esc, v)
 				continue
 			}
 			curr = prev.next.Load()
 			injected = false
 			if fp := s.fps; failpoint.On(fp) {
-				injected = fp.Fail(failpoint.SiteVBLLockNextAt, v)
+				if injected = fp.Fail(failpoint.SiteVBLLockNextAt, v); injected {
+					s.countInjectedFail(obs.EvValFailSucc, v)
+				}
 			}
-			if injected || !curr.lockNextAt(next, !s.noPreValidate, s.probes) {
+			if injected || !curr.lockNextAt(next, !s.noPreValidate, s.probes, s.backoff) {
 				prev.lock.Unlock()
 				prev = s.restartBatch(prev, &esc, v)
 				continue

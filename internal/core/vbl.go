@@ -92,14 +92,14 @@ func newSentinel(v int64) *node {
 // is no point bouncing the lock's cache line. This is the "validate
 // before locking, not after" property the paper credits for VBL's
 // behaviour under contention.
-func (n *node) lockNextAt(succ *node, preValidate bool, p *obs.Probes) bool {
+func (n *node) lockNextAt(succ *node, preValidate bool, p *obs.Probes, bo *trylock.Backoff) bool {
 	if preValidate && (n.deleted.Load() || n.next.Load() != succ) {
 		if obs.On(p) {
 			n.countIdentityFail(p)
 		}
 		return false
 	}
-	n.acquire(p)
+	n.acquire(p, bo)
 	if n.deleted.Load() || n.next.Load() != succ {
 		n.lock.Unlock()
 		if obs.On(p) {
@@ -111,16 +111,17 @@ func (n *node) lockNextAt(succ *node, preValidate bool, p *obs.Probes) bool {
 }
 
 // acquire takes n's lock, counting a contended acquisition when probes
-// are attached. Like the lock helpers it wraps, it returns holding the
-// lock by contract.
-func (n *node) acquire(p *obs.Probes) {
+// are attached and drawing the contended path's spin bounds from the
+// list's backoff policy bo (nil = package defaults). Like the lock
+// helpers it wraps, it returns holding the lock by contract.
+func (n *node) acquire(p *obs.Probes, bo *trylock.Backoff) {
 	if obs.On(p) {
-		if n.lock.LockContended() {
+		if n.lock.LockContendedWith(bo) {
 			p.Inc(obs.EvTryLockContended, n.val)
 		}
 		return
 	}
-	n.lock.Lock()
+	n.lock.LockWith(bo)
 }
 
 // countIdentityFail classifies a failed identity validation for the
@@ -144,19 +145,31 @@ func (n *node) countValueFail(p *obs.Probes) {
 	}
 }
 
+// countInjectedFail mirrors a chaos-injected validation failure into
+// the probe counters. An injected failure short-circuits the real
+// validation, so without this the fault would be observationally
+// invisible — consumers of the valfail signal (the adaptive
+// controller, the flight recorder) must see an injected storm exactly
+// as they would a real one.
+func (s *VBL) countInjectedFail(ev obs.Event, v int64) {
+	if p := s.probes; obs.On(p) {
+		p.Inc(ev, v)
+	}
+}
+
 // lockNextAtValue implements the value-validating half of the try-lock
 // (Section 3.1, operation (2)): acquire n's lock, then verify that n is
 // not logically deleted and that the *value* of n's successor is v. The
 // successor node's identity is allowed to have changed — that is the
 // value-awareness that distinguishes VBL from the Lazy list.
-func (n *node) lockNextAtValue(v int64, preValidate bool, p *obs.Probes) bool {
+func (n *node) lockNextAtValue(v int64, preValidate bool, p *obs.Probes, bo *trylock.Backoff) bool {
 	if preValidate && (n.deleted.Load() || n.next.Load().val != v) {
 		if obs.On(p) {
 			n.countValueFail(p)
 		}
 		return false
 	}
-	n.acquire(p)
+	n.acquire(p, bo)
 	if n.deleted.Load() || n.next.Load().val != v {
 		n.lock.Unlock()
 		if obs.On(p) {
@@ -186,9 +199,17 @@ type VBL struct {
 	arena *mem.Arena[node]
 
 	// budget is the failed-validation retry budget K (0 = the paper's
-	// unbounded retries); retry aggregates what the escalators saw.
-	budget int
+	// unbounded retries), atomic so the adaptive controller
+	// (internal/adapt) can retune it while operations are in flight;
+	// retry aggregates what the escalators saw.
+	budget atomic.Int32
 	retry  obs.RetryCounter
+
+	// backoff, when non-nil, supplies the per-set spin bounds for
+	// contended node-lock acquisitions; nil means the package defaults.
+	// One policy per set makes backoff per-shard under the sharded
+	// façade — the process-wide constants are only the fallback.
+	backoff *trylock.Backoff
 }
 
 // SetProbes attaches (or with nil detaches) the contention-event
@@ -213,8 +234,15 @@ func (s *VBL) SetFailpoints(fp *failpoint.Set) {
 // SetRetryBudget sets the failed-validation retry budget K: after K
 // restarts an update escalates from the prev-restart to head-restarts,
 // and after 2K it also backs off between attempts. 0 restores the
-// paper's unbounded retry loop. Call before sharing the set.
-func (s *VBL) SetRetryBudget(k int) { s.budget = k }
+// paper's unbounded retry loop. The budget is atomic: it may be
+// retuned while the set is shared (each in-flight operation keeps the
+// budget it started with).
+func (s *VBL) SetRetryBudget(k int) { s.budget.Store(int32(k)) }
+
+// SetBackoff attaches (or with nil detaches) the per-set backoff
+// policy for contended node-lock acquisitions. Call before sharing the
+// set; retuning the attached policy's ceiling afterwards is safe.
+func (s *VBL) SetBackoff(b *trylock.Backoff) { s.backoff = b }
 
 // RetryStats reports the aggregated restart/escalation tallies.
 func (s *VBL) RetryStats() obs.RetryStats { return s.retry.Stats() }
@@ -273,7 +301,7 @@ func (s *VBL) Contains(v int64) bool {
 func (s *VBL) Insert(v int64) bool {
 	g := s.arena.Pin()
 	prev := s.head
-	esc := obs.Escalator{Budget: s.budget, HeadNative: s.headRestart}
+	esc := obs.Escalator{Budget: int(s.budget.Load()), HeadNative: s.headRestart}
 	// The speculative node is allocated once and reused across failed
 	// validations; it is unpublished until the successful link, so no
 	// traversal can observe the reuse.
@@ -302,9 +330,11 @@ func (s *VBL) Insert(v int64) bool {
 		n.next.Store(curr)
 		injected := false
 		if fp := s.fps; failpoint.On(fp) {
-			injected = fp.Fail(failpoint.SiteVBLLockNextAt, v)
+			if injected = fp.Fail(failpoint.SiteVBLLockNextAt, v); injected {
+				s.countInjectedFail(obs.EvValFailSucc, v)
+			}
 		}
-		if injected || !prev.lockNextAt(curr, !s.noPreValidate, s.probes) {
+		if injected || !prev.lockNextAt(curr, !s.noPreValidate, s.probes, s.backoff) {
 			prev = s.restart(prev, &esc, v)
 			continue // revalidate from prev (traverse handles deleted prev)
 		}
@@ -344,7 +374,7 @@ func (s *VBL) restart(prev *node, esc *obs.Escalator, v int64) *node {
 func (s *VBL) Remove(v int64) bool {
 	g := s.arena.Pin()
 	prev := s.head
-	esc := obs.Escalator{Budget: s.budget, HeadNative: s.headRestart}
+	esc := obs.Escalator{Budget: int(s.budget.Load()), HeadNative: s.headRestart}
 	for {
 		if fp := s.fps; failpoint.On(fp) {
 			fp.Do(failpoint.SiteVBLTraverse, v)
@@ -362,9 +392,11 @@ func (s *VBL) Remove(v int64) bool {
 		// one inserted meanwhile.
 		injected := false
 		if fp := s.fps; failpoint.On(fp) {
-			injected = fp.Fail(failpoint.SiteVBLLockNextAtValue, v)
+			if injected = fp.Fail(failpoint.SiteVBLLockNextAtValue, v); injected {
+				s.countInjectedFail(obs.EvValFailValue, v)
+			}
 		}
-		if injected || !prev.lockNextAtValue(v, !s.noPreValidate, s.probes) {
+		if injected || !prev.lockNextAtValue(v, !s.noPreValidate, s.probes, s.backoff) {
 			prev = s.restart(prev, &esc, v)
 			continue
 		}
@@ -379,9 +411,11 @@ func (s *VBL) Remove(v int64) bool {
 		// insert after curr (line 41).
 		injected = false
 		if fp := s.fps; failpoint.On(fp) {
-			injected = fp.Fail(failpoint.SiteVBLLockNextAt, v)
+			if injected = fp.Fail(failpoint.SiteVBLLockNextAt, v); injected {
+				s.countInjectedFail(obs.EvValFailSucc, v)
+			}
 		}
-		if injected || !curr.lockNextAt(next, !s.noPreValidate, s.probes) {
+		if injected || !curr.lockNextAt(next, !s.noPreValidate, s.probes, s.backoff) {
 			prev.lock.Unlock()
 			prev = s.restart(prev, &esc, v)
 			continue

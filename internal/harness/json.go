@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 
+	"listset/internal/adapt"
 	"listset/internal/obs"
 	"listset/internal/obs/trace"
 )
@@ -51,6 +52,10 @@ type JSONReport struct {
 	// streaming tick over the measured drives); nil unless the run
 	// streamed. A new optional field; schema string unchanged.
 	Timeseries []trace.StreamRow `json:"timeseries,omitempty"`
+	// Adapt is the contention controller's decision tally for the last
+	// run; nil unless the cell ran adaptively. A new optional field;
+	// schema string unchanged.
+	Adapt *adapt.Stats `json:"adapt,omitempty"`
 }
 
 // JSONMem is the runtime.MemStats delta summed over the measured
@@ -74,6 +79,10 @@ type JSONWorkload struct {
 	Theta         float64 `json:"theta,omitempty"`
 	ScanPercent   int     `json:"scan_percent,omitempty"`
 	ScanWidth     int64   `json:"scan_width,omitempty"`
+	InsertShare   int     `json:"insert_share,omitempty"`
+	HotPercent    int     `json:"hot_percent,omitempty"`
+	HotLo         int64   `json:"hot_lo,omitempty"`
+	HotWidth      int64   `json:"hot_width,omitempty"`
 }
 
 // JSONProtocol records the measurement protocol of the run.
@@ -95,6 +104,12 @@ type JSONProtocol struct {
 	// BatchSize is the batched-mode batch size (0 = per-key mode).
 	// Counts stay per-key either way; see harness.Config.BatchSize.
 	BatchSize int `json:"batch_size,omitempty"`
+	// AdaptIntervalSec is the adaptive controller's tick period; 0
+	// means the cell ran without adaptive control.
+	AdaptIntervalSec float64 `json:"adapt_interval_s,omitempty"`
+	// Phases renders the time-varying schedule's cycle; empty for a
+	// fixed workload.
+	Phases string `json:"phases,omitempty"`
 }
 
 // JSONRetry mirrors obs.RetryStats.
@@ -155,6 +170,10 @@ func Report(res Result) JSONReport {
 			Theta:         cfg.Workload.Theta,
 			ScanPercent:   cfg.Workload.ScanPercent,
 			ScanWidth:     cfg.Workload.ScanWidth,
+			InsertShare:   cfg.Workload.InsertShare,
+			HotPercent:    cfg.Workload.HotPercent,
+			HotLo:         cfg.Workload.HotLo,
+			HotWidth:      cfg.Workload.HotWidth,
 		},
 		Protocol: JSONProtocol{
 			DurationSec: cfg.Duration.Seconds(),
@@ -197,6 +216,16 @@ func Report(res Result) JSONReport {
 	for _, sc := range cfg.Chaos {
 		rep.Protocol.Chaos = append(rep.Protocol.Chaos, sc.String())
 	}
+	if cfg.Adapt != nil {
+		// Report the effective interval (defaults resolved), not the
+		// possibly-zero configured one.
+		acfg := cfg.Adapt.WithDefaults()
+		rep.Protocol.AdaptIntervalSec = acfg.Interval.Seconds()
+	}
+	if cfg.Phases != nil {
+		rep.Protocol.Phases = cfg.Phases.String()
+	}
+	rep.Adapt = res.Adapt
 	if res.HasRetry {
 		rep.Retry = &JSONRetry{
 			Ops:              res.Retry.Ops,

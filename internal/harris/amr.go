@@ -64,10 +64,10 @@ type AMR struct {
 	// fps, when non-nil, arms the chaos failpoints (internal/failpoint).
 	fps *failpoint.Set
 
-	// budget is the failed-CAS retry budget K (0 = unbounded retries);
+	// budget is the failed-CAS retry budget K (0 = unbounded retries, atomic for mid-run retuning);
 	// retry aggregates what the escalators saw. Harris restarts natively
 	// from head, so the ladder's only live stage is the backoff at K.
-	budget int
+	budget atomic.Int32
 	retry  obs.RetryCounter
 }
 
@@ -82,7 +82,7 @@ func (s *AMR) SetFailpoints(fp *failpoint.Set) { s.fps = fp }
 // SetRetryBudget sets the failed-CAS retry budget K: past K restarts an
 // update backs off between attempts. 0 restores unbounded retries.
 // Call before sharing the set.
-func (s *AMR) SetRetryBudget(k int) { s.budget = k }
+func (s *AMR) SetRetryBudget(k int) { s.budget.Store(int32(k)) }
 
 // RetryStats reports the aggregated restart/escalation tallies.
 func (s *AMR) RetryStats() obs.RetryStats { return s.retry.Stats() }
@@ -158,7 +158,7 @@ func (s *AMR) Contains(v int64) bool {
 
 // Insert adds v to the set and reports whether v was absent.
 func (s *AMR) Insert(v int64) bool {
-	esc := obs.Escalator{Budget: s.budget, HeadNative: true}
+	esc := obs.Escalator{Budget: int(s.budget.Load()), HeadNative: true}
 	for {
 		prev, prevCell, curr := s.find(v, &esc)
 		if curr.val == v {
@@ -192,7 +192,7 @@ func (s *AMR) Insert(v int64) bool {
 // physical removal is attempted once and otherwise left to future
 // traversals.
 func (s *AMR) Remove(v int64) bool {
-	esc := obs.Escalator{Budget: s.budget, HeadNative: true}
+	esc := obs.Escalator{Budget: int(s.budget.Load()), HeadNative: true}
 	for {
 		prev, prevCell, curr := s.find(v, &esc)
 		if curr.val != v {

@@ -71,7 +71,7 @@ func (s *Marker) InsertAll(keys []int64) int {
 	inserted := 0
 	anchor := s.head
 	for _, v := range ks {
-		esc := obs.Escalator{Budget: s.budget, HeadNative: true}
+		esc := obs.Escalator{Budget: int(s.budget.Load()), HeadNative: true}
 		for {
 			prev, curr := s.findFrom(anchor, v, &esc)
 			if curr.val == v {
@@ -113,7 +113,7 @@ func (s *Marker) RemoveAll(keys []int64) int {
 	removed := 0
 	anchor := s.head
 	for _, v := range ks {
-		esc := obs.Escalator{Budget: s.budget, HeadNative: true}
+		esc := obs.Escalator{Budget: int(s.budget.Load()), HeadNative: true}
 		for {
 			prev, curr := s.findFrom(anchor, v, &esc)
 			if curr.val != v {

@@ -46,9 +46,9 @@ type Marker struct {
 	// fps, when non-nil, arms the chaos failpoints (internal/failpoint).
 	fps *failpoint.Set
 
-	// budget is the failed-CAS retry budget K (0 = unbounded retries);
+	// budget is the failed-CAS retry budget K (0 = unbounded retries, atomic for mid-run retuning);
 	// retry aggregates what the escalators saw. See AMR.
-	budget int
+	budget atomic.Int32
 	retry  obs.RetryCounter
 }
 
@@ -63,7 +63,7 @@ func (s *Marker) SetFailpoints(fp *failpoint.Set) { s.fps = fp }
 // SetRetryBudget sets the failed-CAS retry budget K: past K restarts an
 // update backs off between attempts. 0 restores unbounded retries.
 // Call before sharing the set.
-func (s *Marker) SetRetryBudget(k int) { s.budget = k }
+func (s *Marker) SetRetryBudget(k int) { s.budget.Store(int32(k)) }
 
 // RetryStats reports the aggregated restart/escalation tallies.
 func (s *Marker) RetryStats() obs.RetryStats { return s.retry.Stats() }
@@ -145,7 +145,7 @@ func (s *Marker) Contains(v int64) bool {
 
 // Insert adds v to the set and reports whether v was absent.
 func (s *Marker) Insert(v int64) bool {
-	esc := obs.Escalator{Budget: s.budget, HeadNative: true}
+	esc := obs.Escalator{Budget: int(s.budget.Load()), HeadNative: true}
 	for {
 		prev, curr := s.find(v, &esc)
 		if curr.val == v {
@@ -177,7 +177,7 @@ func (s *Marker) Insert(v int64) bool {
 // linearization point of a successful remove is the CAS that installs
 // the marker; the subsequent unlink is best-effort.
 func (s *Marker) Remove(v int64) bool {
-	esc := obs.Escalator{Budget: s.budget, HeadNative: true}
+	esc := obs.Escalator{Budget: int(s.budget.Load()), HeadNative: true}
 	for {
 		prev, curr := s.find(v, &esc)
 		if curr.val != v {

@@ -45,7 +45,7 @@ func (l *List) InsertAll(keys []int64) int {
 	i := 0
 	for i < len(ks) {
 		v := ks[i]
-		esc := obs.Escalator{Budget: l.budget, HeadNative: true}
+		esc := obs.Escalator{Budget: int(l.budget.Load()), HeadNative: true}
 		for {
 			prev, curr := l.findFrom(anchor, v)
 			l.lockWindow(prev, curr)
@@ -112,7 +112,7 @@ func (l *List) RemoveAll(keys []int64) int {
 	removed := 0
 	anchor := l.head
 	for _, v := range ks {
-		esc := obs.Escalator{Budget: l.budget, HeadNative: true}
+		esc := obs.Escalator{Budget: int(l.budget.Load()), HeadNative: true}
 		for {
 			prev, curr := l.findFrom(anchor, v)
 			l.lockWindow(prev, curr)

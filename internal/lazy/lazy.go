@@ -73,11 +73,16 @@ type List struct {
 	arena *mem.Arena[node]
 
 	// budget is the failed-validation retry budget K (0 = unbounded
-	// retries); retry aggregates what the escalators saw. Lazy's native
-	// restart already goes to head, so the ladder's only live stage is
-	// the backoff, which begins at K.
-	budget int
+	// retries), atomic so the adaptive controller (internal/adapt) can
+	// retune it mid-run; retry aggregates what the escalators saw.
+	// Lazy's native restart already goes to head, so the ladder's only
+	// live stage is the backoff, which begins at K.
+	budget atomic.Int32
 	retry  obs.RetryCounter
+
+	// backoff, when non-nil, supplies the per-list spin bounds for
+	// contended window-lock acquisitions; nil means package defaults.
+	backoff *trylock.Backoff
 }
 
 // SetProbes attaches (or with nil detaches) the contention-event
@@ -100,8 +105,14 @@ func (l *List) SetFailpoints(fp *failpoint.Set) {
 
 // SetRetryBudget sets the failed-validation retry budget K: past K
 // restarts an update backs off between attempts. 0 restores unbounded
-// retries. Call before sharing the list.
-func (l *List) SetRetryBudget(k int) { l.budget = k }
+// retries. The budget is atomic and may be retuned while the list is
+// shared; in-flight operations keep the budget they started with.
+func (l *List) SetRetryBudget(k int) { l.budget.Store(int32(k)) }
+
+// SetBackoff attaches (or with nil detaches) the per-list backoff
+// policy for contended window-lock acquisitions. Call before sharing
+// the list; retuning the attached policy afterwards is safe.
+func (l *List) SetBackoff(b *trylock.Backoff) { l.backoff = b }
 
 // RetryStats reports the aggregated restart/escalation tallies.
 func (l *List) RetryStats() obs.RetryStats { return l.retry.Stats() }
@@ -139,17 +150,18 @@ func validate(prev, curr *node) bool {
 // when probes are attached. It returns holding both locks by contract;
 // the callers release them on every path.
 func (l *List) lockWindow(prev, curr *node) {
+	bo := l.backoff
 	if p := l.probes; obs.On(p) {
-		if prev.lock.LockContended() {
+		if prev.lock.LockContendedWith(bo) {
 			p.Inc(obs.EvTryLockContended, prev.val)
 		}
-		if curr.lock.LockContended() {
+		if curr.lock.LockContendedWith(bo) {
 			p.Inc(obs.EvTryLockContended, curr.val)
 		}
 		return
 	}
-	prev.lock.Lock()
-	curr.lock.Lock()
+	prev.lock.LockWith(bo)
+	curr.lock.LockWith(bo)
 }
 
 // countValFail classifies a failed window validation for the probe
@@ -183,7 +195,7 @@ func (l *List) Contains(v int64) bool {
 // Insert adds v to the set and reports whether v was absent.
 func (l *List) Insert(v int64) bool {
 	g := l.arena.Pin()
-	esc := obs.Escalator{Budget: l.budget, HeadNative: true}
+	esc := obs.Escalator{Budget: int(l.budget.Load()), HeadNative: true}
 	// The speculative node is allocated once and reused across failed
 	// validations; it stays unpublished until the successful link.
 	var n *node
@@ -228,7 +240,7 @@ func (l *List) Insert(v int64) bool {
 // Remove deletes v from the set and reports whether v was present.
 func (l *List) Remove(v int64) bool {
 	g := l.arena.Pin()
-	esc := obs.Escalator{Budget: l.budget, HeadNative: true}
+	esc := obs.Escalator{Budget: int(l.budget.Load()), HeadNative: true}
 	for {
 		prev, curr := l.find(v)
 		l.lockWindow(prev, curr)

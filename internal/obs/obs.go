@@ -101,6 +101,28 @@ const (
 	// EvBatchSplit counts per-shard sub-batches the sharded façade
 	// split a batch into (one count per non-empty sub-batch routed).
 	EvBatchSplit
+	// EvAdaptBackoffWiden counts adaptive-controller decisions that
+	// widened a shard's try-lock spin ceiling (additive increase under
+	// contention); the key is the shard index (internal/adapt).
+	EvAdaptBackoffWiden
+	// EvAdaptBackoffDecay counts controller decisions that decayed a
+	// shard's spin ceiling back toward the default (multiplicative
+	// decrease when quiet).
+	EvAdaptBackoffDecay
+	// EvAdaptBudgetTighten counts controller decisions that tightened
+	// the retry budget under a validation-failure storm.
+	EvAdaptBudgetTighten
+	// EvAdaptBudgetRelax counts controller decisions that relaxed the
+	// retry budget back toward its configured value when quiet.
+	EvAdaptBudgetRelax
+	// EvAdaptRebalance counts shard-boundary rebalances: one count per
+	// completed weighted-quantile repartition + migration.
+	EvAdaptRebalance
+	// EvAdaptShed counts transitions into overload shedding (batch
+	// serialization forced, backoff widened, budget floored).
+	EvAdaptShed
+	// EvAdaptUnshed counts recoveries out of overload shedding.
+	EvAdaptUnshed
 
 	// NumEvents is the number of distinct events.
 	NumEvents
@@ -127,6 +149,13 @@ var eventNames = [NumEvents]string{
 	EvEpochAdvance:         "epoch_advance",
 	EvBatchWindowRestart:   "batch_window_restart",
 	EvBatchSplit:           "batch_split",
+	EvAdaptBackoffWiden:    "adapt_backoff_widen",
+	EvAdaptBackoffDecay:    "adapt_backoff_decay",
+	EvAdaptBudgetTighten:   "adapt_budget_tighten",
+	EvAdaptBudgetRelax:     "adapt_budget_relax",
+	EvAdaptRebalance:       "adapt_rebalance",
+	EvAdaptShed:            "adapt_shed",
+	EvAdaptUnshed:          "adapt_unshed",
 }
 
 // String returns the event's stable report identifier.

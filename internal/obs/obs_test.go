@@ -86,6 +86,13 @@ func TestEventNamesStable(t *testing.T) {
 		EvEpochAdvance:         "epoch_advance",
 		EvBatchWindowRestart:   "batch_window_restart",
 		EvBatchSplit:           "batch_split",
+		EvAdaptBackoffWiden:    "adapt_backoff_widen",
+		EvAdaptBackoffDecay:    "adapt_backoff_decay",
+		EvAdaptBudgetTighten:   "adapt_budget_tighten",
+		EvAdaptBudgetRelax:     "adapt_budget_relax",
+		EvAdaptRebalance:       "adapt_rebalance",
+		EvAdaptShed:            "adapt_shed",
+		EvAdaptUnshed:          "adapt_unshed",
 	}
 	if len(want) != int(NumEvents) {
 		t.Fatalf("test covers %d events, package has %d", len(want), NumEvents)

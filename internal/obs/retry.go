@@ -45,6 +45,29 @@ func (s RetryStats) Add(o RetryStats) RetryStats {
 	return s
 }
 
+// Sub returns the field-wise difference s - o, for bracketing a
+// measured interval with two Stats reads. MaxRestarts carries s's
+// value unchanged: a maximum has no meaningful delta, and the worst op
+// seen by the later snapshot is still the honest "worst so far". The
+// subtraction saturates at zero per field: an online rebalance swaps
+// fresh shard slots (fresh retry counters) into the aggregate
+// mid-interval, so a later snapshot can legitimately read lower — the
+// saturated delta undercounts the migrated shards' tail, which is the
+// honest floor, instead of wrapping to 2^64.
+func (s RetryStats) Sub(o RetryStats) RetryStats {
+	sat := func(a, b uint64) uint64 {
+		if a < b {
+			return 0
+		}
+		return a - b
+	}
+	s.Ops = sat(s.Ops, o.Ops)
+	s.Restarts = sat(s.Restarts, o.Restarts)
+	s.EscalatedHead = sat(s.EscalatedHead, o.EscalatedHead)
+	s.EscalatedBackoff = sat(s.EscalatedBackoff, o.EscalatedBackoff)
+	return s
+}
+
 // Zero reports whether no operation ever restarted.
 func (s RetryStats) Zero() bool { return s == RetryStats{} }
 

@@ -1,0 +1,183 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"listset/internal/failpoint"
+	"listset/internal/obs"
+	"listset/internal/trylock"
+)
+
+// Online shard-range rebalancing (DESIGN.md §14). A rebalance replaces
+// the current generation's boundary table with a caller-supplied one
+// (the adaptive controller derives it as a weighted quantile of the
+// observed per-shard load) and migrates every key to its new shard.
+//
+// The migration runs chunk by chunk in key order behind a watermark:
+// keys below the watermark live in the new generation, keys at or
+// above it in the old one. Each chunk transfer — range-scan the old
+// generation, bulk-load the new shard, remove from the old shards,
+// advance the watermark — happens while the migrator holds every
+// routing stripe exclusively, so no operation is in flight anywhere in
+// the façade during a transfer and the per-shard bulk Load (a
+// quiescent-only primitive) is safe. Between chunks the stripes are
+// released and operations proceed, routed by the watermark: each op
+// holds its key's stripe shared for its whole critical section, so it
+// executes against exactly one routing state and lands on the one list
+// that owns its key at its linearization point. Linearizability is
+// therefore preserved by the same key-locality argument as the static
+// partition — the owner function changes only at stripe-exclusive
+// instants that no operation spans.
+//
+// Lock order: all multi-stripe acquisitions (migrator, whole-set
+// reads, batches) walk the stripe table in index order, so there is no
+// circular wait; single-key operations hold exactly one stripe.
+
+// ErrRebalanceDisabled is returned by Rebalance on a façade that was
+// not armed with EnableRebalance before sharing.
+var ErrRebalanceDisabled = errors.New("shard: rebalance not enabled (call EnableRebalance before sharing the set)")
+
+// maxChunkKeys caps the keys one chunk transfer moves while holding
+// every routing stripe. The cap bounds the pause a migration imposes
+// on concurrent operations' tail latency; larger shards migrate as a
+// sequence of slices with the stripes released between them.
+const maxChunkKeys = 512
+
+// Rebalance repartitions the key space along bounds — element i the
+// new inclusive lower bound of shard i, strictly increasing from index
+// 1, element 0 ignored (shard 0 keeps owning everything below) — and
+// migrates every resident key to its new shard. It returns the number
+// of keys moved. Concurrent Rebalance calls serialize; operations on
+// the set proceed concurrently except during chunk transfers.
+func (s *Sharded) Rebalance(bounds []int64) (moved int, err error) {
+	if !s.rebalanceable {
+		return 0, ErrRebalanceDisabled
+	}
+	cur := s.gen.Load()
+	if len(bounds) != len(cur.slots) {
+		return 0, fmt.Errorf("shard: Rebalance with %d bounds for %d shards", len(bounds), len(cur.slots))
+	}
+	nb := make([]int64, len(bounds))
+	copy(nb, bounds)
+	nb[0] = s.lo // reported edge; routing treats bounds[0] as -inf
+	for i := 1; i < len(nb); i++ {
+		if i > 1 && nb[i] <= nb[i-1] {
+			return 0, fmt.Errorf("shard: Rebalance bounds not strictly increasing at %d (%d <= %d)", i, nb[i], nb[i-1])
+		}
+	}
+
+	s.rebalanceMu.Lock()
+	defer s.rebalanceMu.Unlock()
+	// Reload under the migrator lock: a previous rebalance may have
+	// swapped generations since the validation read.
+	cur = s.gen.Load()
+
+	to := &generation{
+		lo:     cur.lo,
+		shift:  cur.shift,
+		bounds: nb,
+		slots:  make([]slot, len(cur.slots)),
+	}
+	for i := range to.slots {
+		to.slots[i].set = s.newSet()
+		obs.Attach(to.slots[i].set, s.probes)
+		failpoint.Attach(to.slots[i].set, s.fps)
+		if k := s.budget.Load(); k != 0 {
+			obs.AttachRetryBudget(to.slots[i].set, int(k))
+		}
+		if bp := s.backoffs.Load(); bp != nil && i < len(*bp) {
+			trylock.AttachBackoff(to.slots[i].set, (*bp)[i])
+		}
+	}
+
+	m := &migration{from: cur, to: to}
+	m.watermark.Store(math.MinInt64)
+
+	// Publish the migration under all stripes: operations already past
+	// their mig load hold a stripe, so taking them all drains every
+	// in-flight op routed by the old state.
+	s.locks.lockAll()
+	s.mig.Store(m)
+	s.locks.unlockAll()
+
+	// Transfer one new-shard chunk at a time, in key order. A chunk
+	// never moves more than maxChunkKeys at once: the stripes are held
+	// exclusively for the whole transfer, so the chunk size IS the
+	// pause the migration imposes on the tail latency of every
+	// concurrent operation. Oversized shards migrate as several slices,
+	// the watermark advancing to just past each slice's last key.
+	for i := range to.slots {
+		hi := int64(math.MaxInt64)
+		if i+1 < len(to.slots) {
+			hi = nb[i+1]
+		}
+		for {
+			s.locks.lockAll()
+			w := m.watermark.Load()
+			if w >= hi {
+				s.locks.unlockAll()
+				break
+			}
+			if w == math.MinInt64 {
+				// The lists' head sentinel carries MinInt64; real keys
+				// are strictly above it, so nudging the first chunk's
+				// lower edge keeps the sentinel out of the scan.
+				w = math.MinInt64 + 1
+			}
+			// Bounded collection: the walk stops at the chunk cap, so
+			// the stripe-held pause is O(maxChunkKeys), not O(shard).
+			// Keys below the watermark were removed from the old
+			// generation by earlier slices, so each walk resumes at the
+			// frontier rather than re-traversing migrated territory.
+			keys := make([]int64, 0, maxChunkKeys)
+			cur.ascend(w, func(v int64) bool {
+				if v >= hi {
+					return false
+				}
+				keys = append(keys, v)
+				return len(keys) < maxChunkKeys
+			})
+			next := hi
+			if len(keys) == maxChunkKeys {
+				next = keys[len(keys)-1] + 1
+			}
+			if len(keys) > 0 {
+				// Quiescent bulk load: every stripe is held, no
+				// operation is in flight anywhere in the façade.
+				batchLoad(to.slots[i].set, keys)
+				removeRuns(cur, keys)
+				moved += len(keys)
+			}
+			m.watermark.Store(next)
+			s.locks.unlockAll()
+			if next >= hi {
+				break
+			}
+		}
+	}
+
+	// Swap: the new generation now owns every key; retire the
+	// migration and the old slots together.
+	s.locks.lockAll()
+	s.gen.Store(to)
+	s.mig.Store(nil)
+	s.locks.unlockAll()
+	return moved, nil
+}
+
+// removeRuns deletes keys (sorted ascending) from g, batching each
+// contiguous run that lands on one shard into a single native call.
+// The partition is monotone, so the runs tile the slice.
+func removeRuns(g *generation, keys []int64) {
+	for len(keys) > 0 {
+		i := g.shardOf(keys[0])
+		end := 1
+		for end < len(keys) && g.shardOf(keys[end]) == i {
+			end++
+		}
+		batchRemove(g.slots[i].set, keys[:end])
+		keys = keys[end:]
+	}
+}

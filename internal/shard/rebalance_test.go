@@ -1,0 +1,287 @@
+package shard
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// lockedSet wraps sliceSet behind a mutex: the concurrent backing set
+// for rebalance tests (the façade's stripes serialize routing, not
+// same-shard operations on different keys).
+type lockedSet struct {
+	mu sync.Mutex
+	s  sliceSet
+}
+
+func newLockedSet() Set { return &lockedSet{} }
+
+func (l *lockedSet) Insert(v int64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.s.Insert(v)
+}
+
+func (l *lockedSet) Remove(v int64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.s.Remove(v)
+}
+
+func (l *lockedSet) Contains(v int64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.s.Contains(v)
+}
+
+func (l *lockedSet) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.s.Len()
+}
+
+func (l *lockedSet) Snapshot() []int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.s.Snapshot()
+}
+
+// TestRebalanceErrors pins the misuse surface: unarmed façades refuse,
+// and malformed boundary tables are rejected before any key moves.
+func TestRebalanceErrors(t *testing.T) {
+	s := NewRange(4, 0, 100, newSliceSet)
+	if _, err := s.Rebalance([]int64{0, 25, 50, 75}); err != ErrRebalanceDisabled {
+		t.Fatalf("unarmed Rebalance error = %v, want ErrRebalanceDisabled", err)
+	}
+	s = NewRange(4, 0, 100, newSliceSet)
+	s.EnableRebalance()
+	if !s.RebalanceEnabled() {
+		t.Fatal("RebalanceEnabled() = false after EnableRebalance")
+	}
+	if _, err := s.Rebalance([]int64{0, 25, 50}); err == nil {
+		t.Fatal("Rebalance with wrong bound count succeeded")
+	}
+	if _, err := s.Rebalance([]int64{0, 25, 25, 75}); err == nil {
+		t.Fatal("Rebalance with non-increasing bounds succeeded")
+	}
+}
+
+// TestRebalanceSequentialOracle repartitions a quiescent set twice —
+// uniform → skewed → uniform — and checks after each migration that
+// the contents, ordering, routing and boundary table all agree with a
+// map oracle.
+func TestRebalanceSequentialOracle(t *testing.T) {
+	s := NewRange(4, 0, 1000, newSliceSet)
+	s.EnableRebalance()
+	oracle := map[int64]bool{}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 600; i++ {
+		k := int64(rng.Intn(1100) - 50) // spill past the focus range on both sides
+		s.Insert(k)
+		oracle[k] = true
+	}
+
+	check := func(tag string) {
+		t.Helper()
+		if got, want := s.Len(), len(oracle); got != want {
+			t.Fatalf("%s: Len = %d, want %d", tag, got, want)
+		}
+		snap := s.Snapshot()
+		if len(snap) != len(oracle) {
+			t.Fatalf("%s: Snapshot has %d keys, want %d", tag, len(snap), len(oracle))
+		}
+		for i := 1; i < len(snap); i++ {
+			if snap[i-1] >= snap[i] {
+				t.Fatalf("%s: Snapshot not strictly ascending at %d", tag, i)
+			}
+		}
+		for _, k := range snap {
+			if !oracle[k] {
+				t.Fatalf("%s: Snapshot has phantom key %d", tag, k)
+			}
+		}
+		// Routing agreement: every key lives in exactly the shard the
+		// current partition assigns it.
+		g := s.gen.Load()
+		for i := range g.slots {
+			for _, k := range g.slots[i].set.Snapshot() {
+				if got := s.shardOf(k); got != i {
+					t.Fatalf("%s: key %d resides in shard %d but routes to %d", tag, k, i, got)
+				}
+			}
+		}
+	}
+	check("pre-rebalance")
+
+	// Skew hard: give shard 0 almost everything.
+	skew := []int64{0, 900, 950, 975}
+	moved, err := s.Rebalance(skew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Fatal("skewed rebalance moved no keys")
+	}
+	if got := s.Boundaries(); !boundsEqual(got, skew) {
+		t.Fatalf("Boundaries = %v, want %v", got, skew)
+	}
+	check("post-skew")
+
+	// Operations against the oracle on the new partition.
+	for i := 0; i < 4000; i++ {
+		k := int64(rng.Intn(1100) - 50)
+		switch rng.Intn(3) {
+		case 0:
+			if got, want := s.Insert(k), !oracle[k]; got != want {
+				t.Fatalf("Insert(%d) = %v, want %v", k, got, want)
+			}
+			oracle[k] = true
+		case 1:
+			if got, want := s.Remove(k), oracle[k]; got != want {
+				t.Fatalf("Remove(%d) = %v, want %v", k, got, want)
+			}
+			delete(oracle, k)
+		default:
+			if got := s.Contains(k); got != oracle[k] {
+				t.Fatalf("Contains(%d) = %v, want %v", k, got, oracle[k])
+			}
+		}
+	}
+	check("post-skew churn")
+
+	if _, err := s.Rebalance([]int64{0, 250, 500, 750}); err != nil {
+		t.Fatal(err)
+	}
+	check("post-uniform")
+}
+
+func boundsEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRebalanceDuringChurn is the generation-swap linearizability
+// test the CI race leg runs: workers churn insert/remove/contains on
+// disjoint key stripes — so each worker's view must be exactly
+// sequential — while the main goroutine drives repeated rebalances
+// between contradictory partitions. Any op routed to a shard that no
+// longer (or does not yet) own its key surfaces as an oracle mismatch;
+// any missed happens-before edge in the stripe/watermark protocol
+// surfaces under -race.
+func TestRebalanceDuringChurn(t *testing.T) {
+	const (
+		workers  = 4
+		keySpace = 8192
+		steps    = 6000
+	)
+	s := NewRange(8, 0, keySpace, newLockedSet)
+	s.EnableRebalance()
+	s.EnableLoadStats()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			oracle := map[int64]bool{}
+			for i := 0; i < steps; i++ {
+				// Worker w owns keys ≡ w (mod workers): disjoint, so the
+				// façade must look sequential to each worker.
+				k := int64(rng.Intn(keySpace/workers))*workers + int64(w)
+				switch rng.Intn(3) {
+				case 0:
+					if got, want := s.Insert(k), !oracle[k]; got != want {
+						t.Errorf("worker %d: Insert(%d) = %v, want %v", w, k, got, want)
+						return
+					}
+					oracle[k] = true
+				case 1:
+					if got, want := s.Remove(k), oracle[k]; got != want {
+						t.Errorf("worker %d: Remove(%d) = %v, want %v", w, k, got, want)
+						return
+					}
+					delete(oracle, k)
+				default:
+					if got := s.Contains(k); got != oracle[k] {
+						t.Errorf("worker %d: Contains(%d) = %v, want %v", w, k, got, oracle[k])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// One batch worker exercises apply() across the watermark split: it
+	// owns a key range disjoint from the modular stripes above (keys >=
+	// keySpace), inserts a block, verifies it, removes it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		block := make([]int64, 64)
+		for round := 0; round < 60; round++ {
+			for i := range block {
+				block[i] = int64(keySpace + round*len(block) + i)
+			}
+			if got := s.InsertAll(block); got != len(block) {
+				t.Errorf("batch: InsertAll = %d, want %d", got, len(block))
+				return
+			}
+			if got := s.ContainsAll(block); got != len(block) {
+				t.Errorf("batch: ContainsAll = %d, want %d", got, len(block))
+				return
+			}
+			if got := s.RemoveAll(block); got != len(block) {
+				t.Errorf("batch: RemoveAll = %d, want %d", got, len(block))
+				return
+			}
+		}
+	}()
+
+	// Rebalancer: swing the partition between contradictory shapes
+	// until the workers drain.
+	go func() {
+		shapes := [][]int64{
+			{0, 512, 1024, 1536, 2048, 2560, 3072, 3584},
+			{0, 7000, 7200, 7400, 7600, 7800, 8000, 8200},
+			{0, 100, 200, 300, 400, 500, 600, 700},
+			{0, 1024, 2048, 3072, 4096, 5120, 6144, 7168},
+		}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := s.Rebalance(shapes[i%len(shapes)]); err != nil {
+				t.Errorf("rebalance %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+
+	// Quiescent sanity: the snapshot is strictly ascending and scans
+	// agree with it.
+	snap := s.Snapshot()
+	if !sort.SliceIsSorted(snap, func(i, j int) bool { return snap[i] < snap[j] }) {
+		t.Fatal("post-churn Snapshot not sorted")
+	}
+	if got := s.RangeScan(0, keySpace*2); len(got) != len(snap) {
+		t.Fatalf("RangeScan = %d keys, Snapshot = %d", len(got), len(snap))
+	}
+	if lc := s.LoadCounts(); lc == nil {
+		t.Fatal("LoadCounts = nil after EnableLoadStats")
+	}
+}

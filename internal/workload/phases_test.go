@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHotspotConcentration: the hotspot distribution must place its
+// configured share (±ε) of draws inside the hot window and spread the
+// rest over the whole range.
+func TestHotspotConcentration(t *testing.T) {
+	cfg := Config{
+		UpdatePercent: 50,
+		Range:         20000,
+		Dist:          DistHotspot,
+		HotLo:         9900,
+		HotWidth:      200,
+		HotPercent:    90,
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(cfg, 42)
+	const draws = 200000
+	hot, outside := 0, 0
+	for i := 0; i < draws; i++ {
+		k := g.Key()
+		if k < 0 || k >= cfg.Range {
+			t.Fatalf("key %d escaped the range [0, %d)", k, cfg.Range)
+		}
+		if k >= cfg.HotLo && k < cfg.HotLo+cfg.HotWidth {
+			hot++
+		} else {
+			outside++
+		}
+	}
+	// 90% targeted + ~1% of the uniform remainder falls in the window; accept a
+	// generous band around it.
+	frac := float64(hot) / draws
+	if frac < 0.87 || frac > 0.95 {
+		t.Fatalf("hot-window fraction = %.3f, want ≈0.90", frac)
+	}
+	if outside == 0 {
+		t.Fatal("no draws outside the hot window; background traffic missing")
+	}
+}
+
+// TestInsertShareBias: InsertShare must skew the insert/remove split
+// of the update half without touching the read share.
+func TestInsertShareBias(t *testing.T) {
+	cfg := Config{UpdatePercent: 80, Range: 1000, InsertShare: 20}
+	g := NewGenerator(cfg, 7)
+	const draws = 100000
+	var ins, rem, rd int
+	for i := 0; i < draws; i++ {
+		switch op, _ := g.Next(); op {
+		case Insert:
+			ins++
+		case Remove:
+			rem++
+		default:
+			rd++
+		}
+	}
+	if f := float64(ins) / draws; f < 0.14 || f > 0.18 {
+		t.Errorf("insert fraction = %.3f, want ≈0.16 (20%% of 80%%)", f)
+	}
+	if f := float64(rem) / draws; f < 0.61 || f > 0.67 {
+		t.Errorf("remove fraction = %.3f, want ≈0.64", f)
+	}
+	if f := float64(rd) / draws; f < 0.17 || f > 0.23 {
+		t.Errorf("read fraction = %.3f, want ≈0.20", f)
+	}
+}
+
+// TestPresetSchedulesValid: every preset must compile into a valid
+// schedule over a typical benchmark base config.
+func TestPresetSchedulesValid(t *testing.T) {
+	base := Config{UpdatePercent: 50, Range: 20000}
+	for _, name := range PresetNames() {
+		sched, err := Preset(name, base, 0)
+		if err != nil {
+			t.Fatalf("preset %q: %v", name, err)
+		}
+		if len(sched.Phases) == 0 {
+			t.Fatalf("preset %q: empty schedule", name)
+		}
+		if sched.MaxRange() != base.Range {
+			t.Errorf("preset %q: MaxRange = %d, want %d", name, sched.MaxRange(), base.Range)
+		}
+		// Every phase must draw keys that stay in range.
+		g := NewPhasedGenerator(sched, 3)
+		for i := range sched.Phases {
+			sched.Advance(i)
+			for j := 0; j < 2000; j++ {
+				if _, k := g.Next(); k < 0 || k >= base.Range {
+					t.Fatalf("preset %q phase %d: key %d out of range", name, i, k)
+				}
+			}
+		}
+	}
+	if _, err := Preset("nope", base, 0); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+// TestSeamPresetStraddlesMidpoint: the seam preset's hot window must
+// contain the key-space midpoint — a shard boundary for every
+// power-of-two shard count over [0, Range).
+func TestSeamPresetStraddlesMidpoint(t *testing.T) {
+	base := Config{UpdatePercent: 50, Range: 1 << 14}
+	sched, err := Preset("seam", base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sched.Phases[0].Cfg
+	mid := base.Range / 2
+	if cfg.HotLo >= mid || cfg.HotLo+cfg.HotSpan() <= mid {
+		t.Fatalf("seam window [%d, %d) misses the midpoint %d", cfg.HotLo, cfg.HotLo+cfg.HotSpan(), mid)
+	}
+}
+
+// TestPhasedGeneratorFollowsClock: advancing the shared clock must
+// switch the op mix the generator samples.
+func TestPhasedGeneratorFollowsClock(t *testing.T) {
+	base := Config{UpdatePercent: 50, Range: 1000}
+	sched, err := Preset("bursts", base, time.Hour) // advanced by hand
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewPhasedGenerator(sched, 9)
+	mix := func() float64 {
+		upd := 0
+		const draws = 20000
+		for i := 0; i < draws; i++ {
+			if op, _ := g.Next(); op == Insert || op == Remove {
+				upd++
+			}
+		}
+		return float64(upd) / draws
+	}
+	sched.Advance(0) // read-heavy: 10% updates
+	if f := mix(); f > 0.15 {
+		t.Errorf("read-heavy update fraction = %.3f, want ≈0.10", f)
+	}
+	sched.Advance(1) // write-burst: 80% updates
+	if f := mix(); f < 0.75 {
+		t.Errorf("write-burst update fraction = %.3f, want ≈0.80", f)
+	}
+	if i, ph := sched.Current(); i != 1 || ph.Name != "write-burst" {
+		t.Errorf("Current() = %d/%q, want 1/write-burst", i, ph.Name)
+	}
+}

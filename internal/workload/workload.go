@@ -58,6 +58,12 @@ const (
 	// DistZipf draws keys Zipfian with skew Theta: key 0 hottest. See
 	// zipf.go for why a skewed draw is the interesting stress.
 	DistZipf = "zipf"
+	// DistHotspot sends HotPercent% of the traffic into the window
+	// [HotLo, HotLo+HotWidth) and the rest uniformly over the range —
+	// the adversarial shape for a range partitioner, because unlike
+	// Zipf the hot mass can be parked on an arbitrary point of the key
+	// space (a shard seam, say) and moved between phases.
+	DistHotspot = "hotspot"
 )
 
 // Config describes a Synchrobench workload.
@@ -81,6 +87,44 @@ type Config struct {
 	// ScanWidth is the key width of each generated scan [lo, lo+width).
 	// Zero means the DefaultScanWidth.
 	ScanWidth int64
+	// InsertShare is the percentage of update operations that are
+	// inserts; 0 means the paper's even 50/50 split. Phase presets use
+	// it to shape write bursts (inserts dominate) and delete churn
+	// (removes dominate).
+	InsertShare int
+	// HotPercent is the share of traffic drawn from the hot window,
+	// consulted only when Dist is DistHotspot; 0 means
+	// DefaultHotPercent.
+	HotPercent int
+	// HotLo is the hot window's inclusive lower key bound.
+	HotLo int64
+	// HotWidth is the hot window's key width; 0 means
+	// max(Range/128, 1).
+	HotWidth int64
+}
+
+// DefaultHotPercent is the hot-window traffic share used when
+// Config.HotPercent is 0: hot enough that a static partition melts,
+// with enough uniform background that the rest of the set stays live.
+const DefaultHotPercent = 90
+
+// HotSpan returns the effective hot-window width.
+func (c Config) HotSpan() int64 {
+	if c.HotWidth > 0 {
+		return c.HotWidth
+	}
+	if w := c.Range / 128; w > 0 {
+		return w
+	}
+	return 1
+}
+
+// HotShare returns the effective hot-window traffic percentage.
+func (c Config) HotShare() int {
+	if c.HotPercent > 0 {
+		return c.HotPercent
+	}
+	return DefaultHotPercent
 }
 
 // DefaultScanWidth is the scan width used when Config.ScanWidth is 0:
@@ -110,8 +154,18 @@ func (c Config) Validate() error {
 		if c.Theta <= 0 || c.Theta >= 1 {
 			return fmt.Errorf("workload: zipf theta %v out of (0, 1)", c.Theta)
 		}
+	case DistHotspot:
+		if c.HotPercent < 0 || c.HotPercent > 100 {
+			return fmt.Errorf("workload: hot percent %d out of [0, 100]", c.HotPercent)
+		}
+		if c.HotLo < 0 || c.HotWidth < 0 || c.HotLo+c.HotSpan() > c.Range {
+			return fmt.Errorf("workload: hot window [%d, %d) escapes the key range [0, %d)", c.HotLo, c.HotLo+c.HotSpan(), c.Range)
+		}
 	default:
-		return fmt.Errorf("workload: unknown distribution %q (have: %s, %s)", c.Dist, DistUniform, DistZipf)
+		return fmt.Errorf("workload: unknown distribution %q (have: %s, %s, %s)", c.Dist, DistUniform, DistZipf, DistHotspot)
+	}
+	if c.InsertShare < 0 || c.InsertShare > 100 {
+		return fmt.Errorf("workload: insert share %d out of [0, 100]", c.InsertShare)
 	}
 	if c.ScanPercent < 0 || c.ScanPercent > 100 {
 		return fmt.Errorf("workload: scan percent %d out of [0, 100]", c.ScanPercent)
@@ -128,8 +182,14 @@ func (c Config) Validate() error {
 // String renders the config in the paper's notation.
 func (c Config) String() string {
 	s := fmt.Sprintf("%d%%-updates/range=%d", c.UpdatePercent, c.Range)
+	if c.InsertShare > 0 && c.InsertShare != 50 {
+		s += fmt.Sprintf("/insert-share=%d%%", c.InsertShare)
+	}
 	if c.Dist == DistZipf {
 		s += fmt.Sprintf("/zipf=%.2f", c.Theta)
+	}
+	if c.Dist == DistHotspot {
+		s += fmt.Sprintf("/hot=%d%%@[%d,%d)", c.HotShare(), c.HotLo, c.HotLo+c.HotSpan())
 	}
 	if c.ScanPercent > 0 {
 		s += fmt.Sprintf("/%d%%-scans(w=%d)", c.ScanPercent, c.ScanSpan())
@@ -137,33 +197,94 @@ func (c Config) String() string {
 	return s
 }
 
-// Generator produces the operation stream for one worker goroutine. It
-// is NOT safe for concurrent use: give each goroutine its own Generator.
-type Generator struct {
+// genState is the compiled sampling state for one Config: thresholds
+// and distribution tables precomputed so Next is a few arithmetic ops.
+// A phased generator holds one genState per phase and swaps them
+// wholesale when the shared clock advances.
+type genState struct {
 	cfg       Config
-	rng       XorShift
 	updateCut uint64 // thresholds over a 0..9999 roll
 	insertCut uint64
 	scanCut   uint64 // scans occupy [updateCut, scanCut)
 	zipf      zipfGen
 	useZipf   bool
+	useHot    bool
+	hotCut    uint64 // hot-window share of a 0..9999 roll
+	hotLo     int64
+	hotWidth  int64
+}
+
+// compile precomputes cfg's sampling state.
+func compile(cfg Config) genState {
+	share := uint64(cfg.InsertShare)
+	if share == 0 {
+		share = 50
+	}
+	st := genState{
+		cfg:       cfg,
+		updateCut: uint64(cfg.UpdatePercent) * 100, // out of 10000
+		insertCut: uint64(cfg.UpdatePercent) * share,
+	}
+	st.scanCut = st.updateCut + uint64(cfg.ScanPercent)*100
+	switch cfg.Dist {
+	case DistZipf:
+		st.zipf = newZipf(cfg.Range, cfg.Theta)
+		st.useZipf = true
+	case DistHotspot:
+		st.useHot = true
+		st.hotCut = uint64(cfg.HotShare()) * 100
+		st.hotLo = cfg.HotLo
+		st.hotWidth = cfg.HotSpan()
+	}
+	return st
+}
+
+// Generator produces the operation stream for one worker goroutine. It
+// is NOT safe for concurrent use: give each goroutine its own Generator.
+type Generator struct {
+	genState
+	rng XorShift
+
+	// Phased operation (NewPhasedGenerator): states holds one compiled
+	// genState per phase and sched's clock says which is current.
+	sched     *Schedule
+	states    []genState
+	lastPhase int32
 }
 
 // NewGenerator returns a generator for cfg seeded with seed. Two
 // generators with equal seeds produce identical streams.
 func NewGenerator(cfg Config, seed uint64) *Generator {
-	g := &Generator{
-		cfg:       cfg,
-		rng:       NewXorShift(seed),
-		updateCut: uint64(cfg.UpdatePercent) * 100, // out of 10000
-		insertCut: uint64(cfg.UpdatePercent) * 50,
+	return &Generator{genState: compile(cfg), rng: NewXorShift(seed)}
+}
+
+// NewPhasedGenerator returns a generator that follows sched's clock:
+// each draw samples from the phase the clock currently names. The
+// phase check is one atomic load per draw; recompiling on a phase
+// switch is O(1) because every phase was compiled up front.
+func NewPhasedGenerator(sched *Schedule, seed uint64) *Generator {
+	states := make([]genState, len(sched.Phases))
+	for i, ph := range sched.Phases {
+		states[i] = compile(ph.Cfg)
 	}
-	g.scanCut = g.updateCut + uint64(cfg.ScanPercent)*100
-	if cfg.Dist == DistZipf {
-		g.zipf = newZipf(cfg.Range, cfg.Theta)
-		g.useZipf = true
+	return &Generator{
+		genState: states[0],
+		rng:      NewXorShift(seed),
+		sched:    sched,
+		states:   states,
 	}
-	return g
+}
+
+// syncPhase swaps in the current phase's compiled state if the shared
+// clock moved since the last draw.
+func (g *Generator) syncPhase() {
+	if g.sched == nil {
+		return
+	}
+	if ph := g.sched.Clock.Phase(); ph != g.lastPhase {
+		g.lastPhase = ph
+		g.genState = g.states[ph]
+	}
 }
 
 // Key draws one key from the configured distribution.
@@ -171,12 +292,16 @@ func (g *Generator) Key() int64 {
 	if g.useZipf {
 		return g.zipf.draw(&g.rng)
 	}
+	if g.useHot && g.rng.Next()%10000 < g.hotCut {
+		return g.hotLo + int64(g.rng.Next()%uint64(g.hotWidth))
+	}
 	return int64(g.rng.Next() % uint64(g.cfg.Range))
 }
 
 // Next draws the next operation and key. For Scan ops the key is the
 // scan's lower bound; the width is Config.ScanSpan().
 func (g *Generator) Next() (Op, int64) {
+	g.syncPhase()
 	roll := g.rng.Next() % 10000
 	key := g.Key()
 	switch {

@@ -57,6 +57,38 @@ for impl in vbl lazy; do
   }
 done
 
+# Adaptive storm: a 50% validation-failure storm on the sharded VBL
+# with the controller armed. The controller must absorb the storm —
+# tighten the retry budget (injected failures mirror into the valfail
+# counters, so the controller sees the storm exactly as a real one) —
+# and the run must complete WITHOUT the watchdog firing. The whole
+# control history must be auditable offline: tracecat -dump over the
+# flight-recorder capture shows the controller's decisions interleaved
+# with the failures that caused them. (Zero warmup so the first tick,
+# where the tightening lands, falls inside the traced interval; the
+# deep rings keep the one decision record from being overwritten by
+# the storm's restart records.)
+echo "chaos_smoke: adaptive storm (controller must tighten, watchdog must stay quiet)"
+cat=/tmp/listset-tracecat-chaos
+go build -o "$cat" ./cmd/tracecat
+storm_trace=/tmp/listset-chaos-adapt.trace
+out=$("$bin" -impl vbl-sharded -shards 16 -threads 4 -update-ratio 60 \
+  -range 256 -duration 150ms -warmup 0s -runs 1 \
+  -chaos vbl-lock-next-at:fail:0.5 -retry-budget 8 -watchdog 5s \
+  -adapt -adapt-interval 20ms -trace-depth 524288 -trace "$storm_trace" -json)
+echo "$out" | grep -q '"budget_tighten": [1-9]' || {
+  echo "chaos_smoke: adaptive storm did not tighten the retry budget" >&2
+  echo "$out" | grep -A12 '"adapt"' | head -14 >&2
+  exit 1
+}
+# Plain grep, not -q: under pipefail an early-exiting grep -q would
+# kill tracecat with SIGPIPE and fail the pipeline on a found match.
+"$cat" -dump "$storm_trace" | grep 'adapt_budget_tighten' >/dev/null || {
+  echo "chaos_smoke: tracecat dump shows no adapt_budget_tighten decision record" >&2
+  exit 1
+}
+rm -f "$storm_trace"
+
 # Watchdog gate: a probability-1 validation failure livelocks every
 # update; the run must FAIL, quickly, with an error naming the
 # watchdog. (|| true captures the exit code under set -e.)

@@ -33,7 +33,7 @@ step "unit tests"
 go test -count=1 ./...
 
 step "race gate (short stress, lock-based lists + arena reclamation)"
-go test -race -short -count=1 ./internal/core ./internal/lazy ./internal/harris ./internal/mem ./internal/trylock ./internal/obs ./internal/obs/trace ./internal/stats ./internal/failpoint ./internal/harness ./internal/batch ./internal/shard ./internal/workload
+go test -race -short -count=1 ./internal/core ./internal/lazy ./internal/harris ./internal/mem ./internal/trylock ./internal/obs ./internal/obs/trace ./internal/stats ./internal/failpoint ./internal/harness ./internal/batch ./internal/shard ./internal/workload ./internal/adapt
 
 step "race gate (batch/scan conformance, root package)"
 go test -race -short -count=1 -run 'TestBatch|TestRangeScan|TestShardSeam|TestLoad|TestCapabilityFlags|FuzzBatchVsOracle' .
@@ -43,6 +43,9 @@ scripts/bench_smoke.sh
 
 step "batch amortization gate (batch surface, per-key accounting)"
 scripts/bench_batch.sh
+
+step "adaptive contention gate (controller vs static under skew)"
+scripts/bench_adapt.sh
 
 step "chaos smoke (failpoints + retry ladder + watchdog, end to end)"
 scripts/chaos_smoke.sh
