@@ -95,6 +95,8 @@ func main() {
 		figureSurvey(proto)
 	case "skiplist":
 		figureSkipList(proto)
+	case "index":
+		figureIndex(proto)
 	case "sharded":
 		figureSharded(proto, shardList)
 	case "batch":
@@ -114,12 +116,13 @@ func main() {
 		figureRTTI(proto)
 		figureSurvey(proto)
 		figureSkipList(proto)
+		figureIndex(proto)
 		figureSharded(proto, shardList)
 		figureBatch(proto)
 		figureChaos(proto)
 		figureAdapt(proto)
 	default:
-		fmt.Fprintf(os.Stderr, "figures: unknown -fig %q (have: 1, 4, rtti, survey, skiplist, sharded, batch, chaos, adapt, replay, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "figures: unknown -fig %q (have: 1, 4, rtti, survey, skiplist, index, sharded, batch, chaos, adapt, replay, all)\n", *fig)
 		os.Exit(2)
 	}
 	if proto.reports != nil {
@@ -299,6 +302,28 @@ func figureSkipList(p protocol) {
 		}
 		title := fmt.Sprintf("skiplist r=%d", keyRange)
 		runAndReport(p, title, candidates(names...),
+			workload.Config{UpdatePercent: 20, Range: keyRange}, "vbskip")
+	}
+}
+
+// figureIndex is the ROADMAP's large-range milestone check: past range
+// ~2·10⁴ every flat list is traversal-bound — even sharded VBL only
+// divides O(n) by S — while the skip indexes stay log-time. The
+// figure lines up the strongest lists (flat and sharded VBL, Lazy,
+// Harris) against vbskip, vbskip-arena, and their sharded forms at the
+// same shard count; scripts/bench_index.sh turns the expected ordering
+// into a committed gate.
+func figureIndex(p protocol) {
+	p.header("=== Log-time at large ranges: skip indexes vs every list ===")
+	for _, keyRange := range []int64{20000, 200000} {
+		cands := candidates("vbl", "lazy", "harris", "vbskip", "vbskip-arena")
+		cands = append(cands,
+			shardedCandidate("vbl", listset.DefaultShards, keyRange),
+			shardedCandidate("vbskip", listset.DefaultShards, keyRange),
+			shardedCandidate("vbskip-arena", listset.DefaultShards, keyRange),
+		)
+		title := fmt.Sprintf("index r=%d", keyRange)
+		runAndReport(p, title, cands,
 			workload.Config{UpdatePercent: 20, Range: keyRange}, "vbskip")
 	}
 }

@@ -48,7 +48,8 @@
 //	               speedup over -batch 1 is the amortization itself
 //	-scan P        make P% of operations range scans [lo, lo+width)
 //	               (taken out of the contains share; needs a native
-//	               scan surface — vbl, lazy, harris and sharded forms)
+//	               scan surface — vbl, lazy, harris, the skip lists and
+//	               sharded forms)
 //	-scan-width W  key width of each scan (default 100)
 //
 // Key distribution: -dist uniform (default), -dist zipf -theta T
@@ -81,7 +82,7 @@
 //
 //	-arena         arena-backed node lifetimes: slab allocation,
 //	               per-worker free lists, epoch-based recycling
-//	               (vbl and lazy only; composes with -shards)
+//	               (vbl, lazy and vbskip; composes with -shards)
 //	-gcpercent     set GOGC for the process (-1 disables the GC)
 //	-memprofile    write a heap profile after the measured runs
 //
@@ -193,7 +194,7 @@ func main() {
 		nShards = listset.DefaultShards
 	}
 	if nShards > 0 && im.NewSharded == nil {
-		fmt.Fprintf(os.Stderr, "synchrobench: %s has no sharded form; drop -shards or pick vbl, lazy or harris\n", im.Name)
+		fmt.Fprintf(os.Stderr, "synchrobench: %s has no sharded form; drop -shards or pick vbl, lazy, harris or a skip list\n", im.Name)
 		os.Exit(2)
 	}
 
@@ -215,7 +216,7 @@ func main() {
 	// same thing; either way the report carries arena=true.
 	useArena := *arena || im.NewArena != nil && strings.HasSuffix(im.Name, "-arena")
 	if useArena && im.NewArena == nil {
-		fmt.Fprintf(os.Stderr, "synchrobench: %s has no arena form (node reuse is an ABA hazard for the lock-free lists); drop -arena or pick vbl or lazy\n", im.Name)
+		fmt.Fprintf(os.Stderr, "synchrobench: %s has no arena form (node reuse is an ABA hazard for the lock-free lists); drop -arena or pick vbl, lazy or vbskip\n", im.Name)
 		os.Exit(2)
 	}
 	if useArena && nShards > 0 && im.NewShardedArena == nil {
@@ -256,7 +257,7 @@ func main() {
 		wl.Dist = *dist // workload.Validate rejects it with the full list
 	}
 	if *scanPct > 0 && !im.Scan {
-		fmt.Fprintf(os.Stderr, "synchrobench: %s has no native range scan; drop -scan or pick vbl, lazy, harris or a sharded form\n", im.Name)
+		fmt.Fprintf(os.Stderr, "synchrobench: %s has no native range scan; drop -scan or pick vbl, lazy, harris, a skip list or a sharded form\n", im.Name)
 		os.Exit(2)
 	}
 	if *batchSize > 1 && !im.Batch {

@@ -72,12 +72,39 @@ var hotNames = map[string]bool{
 	// priced.
 	"shardof": true,
 	"tick":    true,
+	// The skip lists' entry points (DESIGN.md §15): tower
+	// materialization, index maintenance, the per-level descents and
+	// the finger-seeded batch passes all run on the measured path — a
+	// hidden allocation in any of them multiplies by the operation
+	// rate exactly like a flat list's.
+	"newtower":        true,
+	"randomheight":    true,
+	"linkindex":       true,
+	"sweep":           true,
+	"tryunlinklevel":  true,
+	"findpredatlevel": true,
+	"findfrom":        true,
+	"descendto":       true,
+	"insertfrom":      true,
+	"removefrom":      true,
 }
 
-// hotFunc reports whether the declared name marks a hot path.
-func hotFunc(name string) bool {
-	lower := strings.ToLower(name)
-	return hotNames[lower] || strings.HasPrefix(lower, "lock")
+// methodHotNames are set-surface verbs that mark a hot path only when
+// declared as a method: a plain function named Load (the analysis
+// package's loader, say) is not a set traversal, but a set's
+// Load/Ascend walks the structure like any other hot path.
+var methodHotNames = map[string]bool{
+	"load":   true,
+	"ascend": true,
+}
+
+// hotFunc reports whether the declaration marks a hot path.
+func hotFunc(fn *ast.FuncDecl) bool {
+	lower := strings.ToLower(fn.Name.Name)
+	if hotNames[lower] || strings.HasPrefix(lower, "lock") {
+		return true
+	}
+	return fn.Recv != nil && methodHotNames[lower]
 }
 
 func runHotAlloc(pass *Pass) {
@@ -88,7 +115,7 @@ func runHotAlloc(pass *Pass) {
 		}
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil || !hotFunc(fn.Name.Name) {
+			if !ok || fn.Body == nil || !hotFunc(fn) {
 				continue
 			}
 			checkHotFunc(pass, fn)

@@ -60,13 +60,24 @@ func runLockOrder(pass *Pass) {
 func runLockOrderBody(pass *Pass, fd *ast.FuncDecl, body *ast.BlockStmt) []*ast.FuncLit {
 	ex := newExecEngine(pass, pass.Prog)
 	ex.onAcquire = func(st absState, key string, pos token.Pos) {
+		arr, idx, leveled := levelIndex(key)
 		rank, base, ranked := lockRank(key)
-		if !ranked {
+		if !ranked && !leveled {
 			return
 		}
 		for _, h := range st.held {
+			if leveled {
+				if hArr, hIdx, ok := levelIndex(h.key); ok && hArr == arr {
+					if hIdx > idx {
+						ex.reportOnce(pos,
+							"%s (level %d) is acquired while already holding %s (level %d); per-level predecessor locks must be taken bottom-up — level 0 first, the skip lists' decreasing-key global order — or two tower updates can deadlock",
+							key, idx, h.key, hIdx)
+					}
+					continue
+				}
+			}
 			hRank, hBase, hRanked := lockRank(h.key)
-			if !hRanked || hBase == base {
+			if !ranked || !hRanked || hBase == base {
 				continue
 			}
 			if hRank > rank {
@@ -92,6 +103,40 @@ func rankName(r int) string {
 		return "predecessor"
 	}
 	return "successor"
+}
+
+// levelIndex parses a per-level lock key of the shape base[N].lock
+// with a literal integer index, returning the array name and the
+// level. The skip lists' lockPreds discipline acquires the distinct
+// per-level predecessors of one tower bottom-up (level 0 first) —
+// which is decreasing-key order, the global order that keeps two
+// concurrent tower updates deadlock-free — so literal-indexed
+// acquisitions into the same array are ranked by level. Variable
+// indices (preds[l]) stay unconstrained: the loop structure, not the
+// key, carries their order.
+func levelIndex(key string) (arr string, idx int, ok bool) {
+	base := key
+	if i := strings.LastIndex(base, "."); i >= 0 {
+		base = base[:i]
+	}
+	if !strings.HasSuffix(base, "]") {
+		return "", 0, false
+	}
+	open := strings.LastIndex(base, "[")
+	if open < 1 {
+		return "", 0, false
+	}
+	arr, lit := base[:open], base[open+1:len(base)-1]
+	if lit == "" {
+		return "", 0, false
+	}
+	for _, r := range lit {
+		if r < '0' || r > '9' {
+			return "", 0, false
+		}
+		idx = idx*10 + int(r-'0')
+	}
+	return arr, idx, true
 }
 
 // lockRank assigns a list-position rank to a lock key from its naming:

@@ -142,3 +142,57 @@ func (r *router) rebalance(n int) []*node {
 	}
 	return out
 }
+
+// ---- skip-list entry points (DESIGN.md §15) ----
+
+type towerList struct {
+	head *node
+}
+
+// newTower is hot by skip-list name: it runs on every insert attempt,
+// so the heap path must be the deliberate, suppressed one.
+func (l *towerList) newTower(v int64, h int) *node {
+	return &node{val: v} // want "allocates on the hot path newTower"
+}
+
+// findFrom is hot by skip-list name: the finger-seeded descent is the
+// batch pass's inner loop.
+func (l *towerList) findFrom(v int64) *node {
+	spare := new(node) // want "new"
+	spare.val = v
+	return spare
+}
+
+// sweep is hot by skip-list name: it runs on every remove.
+func (l *towerList) sweep(n *node) {
+	sink = func() { // want "closure captures"
+		_ = n
+	}
+}
+
+// Load is hot as a METHOD (a set's bulk population walks the
+// structure).
+func (l *towerList) Load(keys []int64) int {
+	n := &node{val: 0} // want "allocates on the hot path Load"
+	_ = n
+	return len(keys)
+}
+
+// Load as a plain function is NOT hot: a package loader may allocate
+// freely.
+func Load(paths []string) []*node {
+	out := make([]*node, 0, len(paths))
+	for range paths {
+		out = append(out, &node{})
+	}
+	return out
+}
+
+// Ascend as a method is hot: no allocation here, no finding.
+func (l *towerList) Ascend(from int64, yield func(int64) bool) {
+	for curr := l.head; curr != nil; curr = curr.next {
+		if curr.val >= from && !yield(curr.val) {
+			return
+		}
+	}
+}

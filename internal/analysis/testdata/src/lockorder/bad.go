@@ -95,3 +95,32 @@ func batchAnchorFirst(anchor, curr *node) {
 	curr.lock.Unlock()
 	anchor.lock.Unlock()
 }
+
+// towersTopDown locks one tower's per-level predecessors top-down with
+// literal level indices. The skip lists' lockPreds discipline is
+// bottom-up (level 0 first, which is decreasing-key order); mixing the
+// two directions deadlocks two concurrent tower updates.
+func towersTopDown(preds [4]*node) {
+	preds[2].lock.Lock()
+	preds[0].lock.Lock() // want "bottom-up"
+	preds[0].lock.Unlock()
+	preds[2].lock.Unlock()
+}
+
+// towersBottomUp is the sanctioned per-level order: no finding.
+func towersBottomUp(preds [4]*node) {
+	preds[0].lock.Lock()
+	preds[2].lock.Lock()
+	preds[2].lock.Unlock()
+	preds[0].lock.Unlock()
+}
+
+// towersDistinctArrays: literal indices into DIFFERENT arrays carry no
+// per-level relation (and same-name rank dedup keeps prev-vs-prev
+// silent): no finding.
+func towersDistinctArrays(preds, others [4]*node) {
+	others[2].lock.Lock()
+	preds[0].lock.Lock()
+	preds[0].lock.Unlock()
+	others[2].lock.Unlock()
+}

@@ -66,3 +66,31 @@ func notAField() int64 {
 	val++
 	return val
 }
+
+// ---- tower-shaped nodes (the skip lists) ----
+
+// tower is node-like in the skip lists' shape: val beside a per-level
+// successor array and synchronization fields. The wait-free index
+// descent reads val unsynchronized at every level, so the immutability
+// contract is the same as the flat lists' — recycled-tower
+// re-initialization (before publication) is the one sanctioned
+// exception and must carry a suppression.
+type tower struct {
+	val     int64
+	height  int
+	next    [4]atomic.Pointer[tower]
+	deleted atomic.Bool
+	lock    trylock.SpinLock
+}
+
+// retypeTower rewrites a published tower's value — with equal values
+// transiently coexisting across lives, this corrupts the level-0
+// value-window argument.
+func retypeTower(n *tower, v int64) {
+	n.val = v // want "outside construction"
+}
+
+// buildTower is the sanctioned construction site.
+func buildTower(v int64, h int) *tower {
+	return &tower{val: v, height: h}
+}

@@ -93,6 +93,22 @@ const (
 	// period and starving the free lists, never unsafely shortening it
 	// — so chaos runs exercise the arena under reclamation pressure.
 	SiteEpochAdvance
+	// SiteSkipLockNextAt fires just before the VB skip list's
+	// identity/value-validating try-lock at level 0 — the membership
+	// level, where the skip list IS the VBL protocol. An injected
+	// failure takes the same restart path as a genuine failed
+	// validation.
+	SiteSkipLockNextAt
+	// SiteSkipIndexLink fires just before an index-level link or unlink
+	// try-lock (levels >= 1, best-effort maintenance). An injected
+	// failure abandons the attempt exactly like a lost try-lock race —
+	// membership is unaffected, only search-path quality.
+	SiteSkipIndexLink
+	// SiteSkipTraverse fires at the start of each attempt of a skip-list
+	// update operation, before its wait-free descent. Side-effect
+	// actions only; the anchor for pausing an op whose failure path
+	// touches no other site.
+	SiteSkipTraverse
 
 	// NumSites is the number of distinct sites.
 	NumSites
@@ -111,6 +127,9 @@ var siteNames = [NumSites]string{
 	SiteShardRoute:         "shard-route",
 	SiteUnlink:             "unlink",
 	SiteEpochAdvance:       "epoch-advance",
+	SiteSkipLockNextAt:     "skip-lock-next-at",
+	SiteSkipIndexLink:      "skip-index-link",
+	SiteSkipTraverse:       "skip-traverse",
 }
 
 // String returns the site's stable identifier.
@@ -311,6 +330,9 @@ func Shipped(seed int64) []Scenario {
 		{Site: SiteTryLockAcquire, Action: ActDelay, Probability: 0.02, Delay: 5 * us, Seed: seed + 6},
 		{Site: SiteShardRoute, Action: ActDelay, Probability: 0.02, Delay: 5 * us, Seed: seed + 7},
 		{Site: SiteEpochAdvance, Action: ActFail, Probability: 0.2, Seed: seed + 8},
+		{Site: SiteSkipLockNextAt, Action: ActFail, Probability: 0.2, Seed: seed + 9},
+		{Site: SiteSkipIndexLink, Action: ActFail, Probability: 0.2, Seed: seed + 10},
+		{Site: SiteSkipTraverse, Action: ActYield, Probability: 0.1, Seed: seed + 11},
 	}
 }
 

@@ -81,7 +81,24 @@ type Options struct {
 	// values shorten the limbo queue at the cost of more advance
 	// scans.
 	AdvanceEvery int
+	// Classes is the number of size classes the arena partitions its
+	// free lists, slabs and limbo buckets into (default 1, max
+	// MaxClasses). Nodes of one class only ever recycle into
+	// allocations of the same class — the discipline the skip lists
+	// use to keep towers of similar height on shared slabs (cache
+	// density) and to guarantee a recycled "tower" always has at least
+	// the height the allocation asked for. Class indices are
+	// caller-defined; the classless Get/Retire/Free methods operate on
+	// class 0, so single-class users never see the partition.
+	Classes int
 }
+
+// MaxClasses is the size-class cap. The per-worker class state is a
+// fixed-size embedded array rather than a heap slice so the classless
+// hot path (class 0, the flat lists) costs one constant-index access —
+// a slice-of-slices here measurably taxes every Get on the flat lists
+// for a partition they never use.
+const MaxClasses = 4
 
 const (
 	defaultSlabSize     = 256
@@ -116,6 +133,7 @@ type Arena[T any] struct {
 
 	slabSize     int
 	advanceEvery uint64
+	classes      int
 
 	// probes, when non-nil, receives reclamation events (internal/obs).
 	probes *obs.Probes
@@ -131,7 +149,13 @@ func New[T any](opts Options) *Arena[T] {
 	if opts.AdvanceEvery <= 0 {
 		opts.AdvanceEvery = defaultAdvanceEvery
 	}
-	a := &Arena[T]{slabSize: opts.SlabSize, advanceEvery: uint64(opts.AdvanceEvery)}
+	if opts.Classes <= 0 {
+		opts.Classes = 1
+	}
+	if opts.Classes > MaxClasses {
+		opts.Classes = MaxClasses
+	}
+	a := &Arena[T]{slabSize: opts.SlabSize, advanceEvery: uint64(opts.AdvanceEvery), classes: opts.Classes}
 	a.epoch.Store(1)
 	empty := make([]*worker[T], 0)
 	a.workers.Store(&empty)
@@ -141,6 +165,9 @@ func New[T any](opts Options) *Arena[T] {
 // SetProbes attaches (or with nil detaches) the contention-event
 // counters. Call it before sharing the arena between goroutines.
 func (a *Arena[T]) SetProbes(p *obs.Probes) { a.probes = p }
+
+// Classes returns the number of size classes the arena was built with.
+func (a *Arena[T]) Classes() int { return a.classes }
 
 // SetFailpoints attaches (or with nil detaches) the fault-injection
 // layer. Call it before sharing the arena between goroutines.
@@ -162,9 +189,14 @@ type worker[T any] struct {
 	arena *Arena[T]
 	id    int64 // probe key: registration index
 
-	free  []*T // private stack of immediately-reusable nodes
-	slab  []T  // current bump-pointer slab
-	used  int  // nodes handed out of slab
+	// free, slab and used are indexed by size class (single-class
+	// arenas see only index 0): one private reusable-node stack and one
+	// bump-pointer slab per class, so recycling never crosses classes.
+	// Fixed-size arrays, not slices: class 0 is the flat lists' whole
+	// hot path and must not pay a pointer chase per Get.
+	free  [MaxClasses][]*T
+	slab  [MaxClasses][]T
+	used  [MaxClasses]int
 	limbo [limboBuckets]limbo[T]
 	// retires counts retires since the last epoch-advance attempt.
 	retires uint64
@@ -178,10 +210,21 @@ type worker[T any] struct {
 	_            [64]byte
 }
 
-// limbo is one grace-period bucket: nodes retired at a single epoch.
+// limbo is one grace-period bucket: nodes retired at a single epoch,
+// kept per size class so recycling restores each node to the free
+// list it must come back out of.
 type limbo[T any] struct {
 	epoch uint64
-	nodes []*T
+	nodes [MaxClasses][]*T
+}
+
+// total returns the number of nodes waiting in the bucket.
+func (b *limbo[T]) total() int {
+	n := 0
+	for _, ns := range &b.nodes {
+		n += len(ns)
+	}
+	return n
 }
 
 // Guard is a pinned worker handle: the capability to allocate, retire
@@ -265,56 +308,68 @@ func (g Guard[T]) Unpin() {
 	w.arena.pool.Put(w)
 }
 
-// Get returns a node: from the free list, from a limbo bucket whose
-// grace period expired, or carved from the current slab. The node's
-// contents are whatever its previous life left there — the caller
-// re-initializes every field before publishing it.
-func (g Guard[T]) Get() *T {
+// Get returns a class-0 node; see GetClass.
+func (g Guard[T]) Get() *T { return g.GetClass(0) }
+
+// GetClass returns a node of size class c: from the class's free list,
+// from a limbo bucket whose grace period expired, or carved from the
+// class's current slab. The node's contents are whatever its previous
+// life left there — the caller re-initializes every field before
+// publishing it.
+func (g Guard[T]) GetClass(c int) *T {
 	w := g.w
-	if len(w.free) == 0 {
+	if len(w.free[c]) == 0 {
 		w.scavenge()
 	}
 	w.statAllocs.Add(1)
 	if p := w.arena.probes; obs.On(p) {
 		p.Inc(obs.EvNodeAlloc, w.id)
 	}
-	if n := len(w.free); n > 0 {
-		p := w.free[n-1]
-		w.free[n-1] = nil
-		w.free = w.free[:n-1]
+	if n := len(w.free[c]); n > 0 {
+		p := w.free[c][n-1]
+		w.free[c][n-1] = nil
+		w.free[c] = w.free[c][:n-1]
 		return p
 	}
-	if w.used == len(w.slab) {
-		w.slab = make([]T, w.arena.slabSize)
-		w.used = 0
+	if w.used[c] == len(w.slab[c]) {
+		w.slab[c] = make([]T, w.arena.slabSize)
+		w.used[c] = 0
 		w.statSlabs.Add(1)
 	}
-	p := &w.slab[w.used]
-	w.used++
+	p := &w.slab[c][w.used[c]]
+	w.used[c]++
 	return p
 }
 
 // scavenge moves every limbo bucket whose grace period has expired
-// (bucket epoch + 2 <= global epoch) onto the free list.
+// (bucket epoch + 2 <= global epoch) onto the free lists.
 func (w *worker[T]) scavenge() {
 	ge := w.arena.epoch.Load()
 	for i := range w.limbo {
 		b := &w.limbo[i]
-		if len(b.nodes) > 0 && b.epoch+2 <= ge {
+		if b.total() > 0 && b.epoch+2 <= ge {
 			w.recycleBucket(b)
 		}
 	}
 }
 
-// recycleBucket empties one expired bucket onto the free list.
+// recycleBucket empties one expired bucket onto the per-class free
+// lists.
 func (w *worker[T]) recycleBucket(b *limbo[T]) {
-	w.free = append(w.free, b.nodes...)
-	w.statRecycled.Add(uint64(len(b.nodes)))
+	n := 0
+	for c, ns := range &b.nodes {
+		if len(ns) == 0 {
+			continue
+		}
+		w.free[c] = append(w.free[c], ns...)
+		n += len(ns)
+		clear(ns)
+		b.nodes[c] = ns[:0]
+	}
+	w.statRecycled.Add(uint64(n))
 	if p := w.arena.probes; obs.On(p) {
 		p.Inc(obs.EvNodeRecycle, w.id)
 	}
-	clear(b.nodes)
-	b.nodes = b.nodes[:0]
 }
 
 // Retire queues a physically-unlinked node for reclamation after the
@@ -331,7 +386,13 @@ func (w *worker[T]) recycleBucket(b *limbo[T]) {
 // the bucket's recycling waits for. Bucketing by the (possibly older)
 // pin epoch would recycle one epoch too early for readers pinned
 // after the global moved past the retirer.
-func (g Guard[T]) Retire(p *T) {
+func (g Guard[T]) Retire(p *T) { g.RetireClass(p, 0) }
+
+// RetireClass queues a node of size class c for reclamation; the class
+// must match the one the node was allocated with, so the grace-period
+// expiry returns it to the free list GetClass(c) draws from. See
+// Retire for the epoch-bucketing argument.
+func (g Guard[T]) RetireClass(p *T, c int) {
 	w := g.w
 	e := w.arena.epoch.Load()
 	b := &w.limbo[e%limboBuckets]
@@ -339,12 +400,12 @@ func (g Guard[T]) Retire(p *T) {
 		// The bucket holds nodes from epoch b.epoch <= e-3 (the ring
 		// reuses a slot every third epoch), so their grace period has
 		// long expired: recycle them as we rotate the bucket to e.
-		if len(b.nodes) > 0 {
+		if b.total() > 0 {
 			w.recycleBucket(b)
 		}
 		b.epoch = e
 	}
-	b.nodes = append(b.nodes, p)
+	b.nodes[c] = append(b.nodes[c], p)
 	w.statRetired.Add(1)
 	if pr := w.arena.probes; obs.On(pr) {
 		pr.Inc(obs.EvLimboRetire, w.id)
@@ -359,8 +420,11 @@ func (g Guard[T]) Retire(p *T) {
 // Free returns a node that was never published (a failed insert's
 // speculative node) straight to the free list: nothing can hold a
 // pointer to it, so it needs no grace period.
-func (g Guard[T]) Free(p *T) {
-	g.w.free = append(g.w.free, p)
+func (g Guard[T]) Free(p *T) { g.FreeClass(p, 0) }
+
+// FreeClass is Free for a node of size class c.
+func (g Guard[T]) FreeClass(p *T, c int) {
+	g.w.free[c] = append(g.w.free[c], p)
 }
 
 // tryAdvance attempts one global epoch advance e → e+1. The advance is

@@ -123,6 +123,24 @@ const (
 	EvAdaptShed
 	// EvAdaptUnshed counts recoveries out of overload shedding.
 	EvAdaptUnshed
+	// EvSkipRestartL0 counts skip-list update operations restarted after
+	// a failed level-0 validation — the VB-skip analogue of
+	// EvRestartHead (the skip list's native restart locality is the head,
+	// since the descent re-derives every level's predecessor).
+	EvSkipRestartL0
+	// EvSkipIndexLinkRetry counts retried index-level link attempts: the
+	// per-level predecessor moved (or died) between the descent and the
+	// try-lock, so the inserter re-derived the level and tried again.
+	EvSkipIndexLinkRetry
+	// EvSkipIndexUnlink counts index-level unlinks of deleted towers
+	// (by the remover's sweep or an opportunistic traversing helper) —
+	// the upper-level analogue of EvPhysicalUnlink.
+	EvSkipIndexUnlink
+	// EvSkipTowerHeight counts tower allocations, keyed by the tower's
+	// height rather than the operation's key, so a trace or stripe
+	// snapshot reconstructs the height histogram the geometric
+	// distribution promises.
+	EvSkipTowerHeight
 
 	// NumEvents is the number of distinct events.
 	NumEvents
@@ -156,6 +174,10 @@ var eventNames = [NumEvents]string{
 	EvAdaptRebalance:       "adapt_rebalance",
 	EvAdaptShed:            "adapt_shed",
 	EvAdaptUnshed:          "adapt_unshed",
+	EvSkipRestartL0:        "skip_restart_l0",
+	EvSkipIndexLinkRetry:   "skip_index_link_retry",
+	EvSkipIndexUnlink:      "skip_index_unlink",
+	EvSkipTowerHeight:      "skip_tower_height",
 }
 
 // String returns the event's stable report identifier.

@@ -93,6 +93,10 @@ func TestEventNamesStable(t *testing.T) {
 		EvAdaptRebalance:       "adapt_rebalance",
 		EvAdaptShed:            "adapt_shed",
 		EvAdaptUnshed:          "adapt_unshed",
+		EvSkipRestartL0:        "skip_restart_l0",
+		EvSkipIndexLinkRetry:   "skip_index_link_retry",
+		EvSkipIndexUnlink:      "skip_index_unlink",
+		EvSkipTowerHeight:      "skip_tower_height",
 	}
 	if len(want) != int(NumEvents) {
 		t.Fatalf("test covers %d events, package has %d", len(want), NumEvents)

@@ -209,6 +209,7 @@ func (g *generation) ascend(from int64, yield func(int64) bool) (stopped bool) {
 	for i := g.shardOf(from); i < len(g.slots) && !stopped; i++ {
 		set := g.slots[i].set
 		if r, ok := set.(Ranger); ok {
+			//lint:ignore hotalloc the stop-propagating wrapper must capture yield and stopped to end the walk across shard boundaries; one closure per shard per scan, amortized over the whole walk
 			r.Ascend(from, func(v int64) bool {
 				if !yield(v) {
 					stopped = true

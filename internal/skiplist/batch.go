@@ -1,0 +1,641 @@
+package skiplist
+
+import (
+	"runtime"
+
+	"listset/internal/batch"
+	"listset/internal/failpoint"
+	"listset/internal/mem"
+	"listset/internal/obs"
+)
+
+// Batched and ranged operations for the skip lists: the one-pass
+// multi-window discipline of DESIGN.md §13 lifted to log-time.
+//
+// A flat list amortizes a batch by never rewinding its single cursor.
+// A skip list amortizes by FINGER SEARCH: the per-level predecessors of
+// the previous key are remembered, and the next (strictly larger) key's
+// descent starts its horizontal walk from each remembered finger
+// instead of from head — expected O(log d) per key for distance d
+// between consecutive keys, so a dense sorted batch costs ~O(k + log n)
+// instead of O(k log n).
+//
+// Fingers obey the same adoption rule as find(): a finger is only
+// trusted if it was observed LIVE (not deleted/marked) during this
+// pinned pass and still precedes the key — otherwise the descent for
+// that level falls back to wherever the level above landed, exactly as
+// if the finger had never been recorded. Deleted fingers therefore cost
+// speed, never correctness. On a failed level-0 validation the pass
+// restarts from the fingers (the skip-list analogue of PR 8's
+// anchor-restart), counting obs.EvBatchWindowRestart on top of the
+// usual restart events.
+//
+// There is no whole-batch atomicity: each key linearizes individually,
+// in ascending key order, with the very same per-key window protocol
+// the single-key operations use.
+
+// adoptFinger returns the descent start for one level: the finger when
+// it is live and strictly precedes v (and does not sit behind the
+// position inherited from the level above), else the inherited pred.
+func adoptVBFinger(pred, f *vbNode, v int64) *vbNode {
+	if f != nil && f.val >= pred.val && f.val < v && !f.deleted.Load() {
+		return f
+	}
+	return pred
+}
+
+// findFrom is find() with finger search: fingers[l], when valid, seeds
+// the level-l walk. It updates fingers to the new per-level preds.
+func (s *VB) findFrom(g mem.Guard[vbNode], v int64, fingers *[maxLevel]*vbNode) (preds, succs [maxLevel]*vbNode) {
+	pred := s.head
+	for l := s.levels - 1; l >= 0; l-- {
+		pred = adoptVBFinger(pred, fingers[l], v)
+		curr := pred.next[l].Load()
+		for curr.val < v {
+			if l > 0 && curr.deleted.Load() {
+				if s.tryUnlinkLevel(g, pred, curr, l) {
+					curr = pred.next[l].Load()
+				} else {
+					curr = curr.next[l].Load() // route through, don't adopt
+				}
+				continue
+			}
+			pred = curr
+			curr = pred.next[l].Load()
+		}
+		preds[l], succs[l] = pred, curr
+		fingers[l] = pred
+	}
+	return preds, succs
+}
+
+// restartBatch counts a batch-window restart on top of the usual
+// level-0 restart accounting. The fingers stay as they are: adoption
+// re-validates them on the next descent, falling back to head exactly
+// when they died.
+func (s *VB) restartBatch(esc *obs.Escalator, v int64) {
+	if p := s.probes; obs.On(p) {
+		p.Inc(obs.EvBatchWindowRestart, v)
+	}
+	s.restart(esc, v)
+}
+
+// InsertAll adds every key of keys to the set and returns how many
+// were absent (and are now present). The batch is sorted and
+// deduplicated first; each key's insert linearizes individually, in
+// ascending key order, within the call.
+func (s *VB) InsertAll(keys []int64) int {
+	b := batch.Prep(keys)
+	ks := b.K
+	g := s.arena.Pin()
+	inserted := 0
+	var fingers [maxLevel]*vbNode
+	for _, v := range ks {
+		esc := obs.Escalator{Budget: int(s.budget.Load()), HeadNative: true}
+		var n *vbNode
+		var h int
+		for {
+			if fp := s.fps; failpoint.On(fp) {
+				fp.Do(failpoint.SiteSkipTraverse, v)
+			}
+			preds, succs := s.findFrom(g, v, &fingers)
+			if succs[0].val == v {
+				if n != nil && g.Active() {
+					g.FreeClass(n, towerClass(h)) // never published
+				}
+				esc.Done(&s.retry)
+				break
+			}
+			if n == nil {
+				h = s.randomHeight()
+				n = s.newTower(g, v, h)
+			}
+			for l := 0; l < h; l++ {
+				n.next[l].Store(succs[l])
+			}
+			injected := false
+			if fp := s.fps; failpoint.On(fp) {
+				if injected = fp.Fail(failpoint.SiteSkipLockNextAt, v); injected {
+					s.countInjectedFail(obs.EvValFailSucc, v)
+				}
+			}
+			if injected || !preds[0].lockNextAt(0, succs[0], s.probes, s.backoff) {
+				s.restartBatch(&esc, v)
+				continue
+			}
+			n.setLinked(0)
+			preds[0].next[0].Store(n)
+			preds[0].lock.Unlock()
+			s.linkIndex(g, n, h, preds, succs)
+			// The new tower precedes every remaining (larger) key: it is
+			// the tightest finger for every level it was linked at.
+			for l := 0; l < h; l++ {
+				fingers[l] = n
+			}
+			inserted++
+			esc.Done(&s.retry)
+			break
+		}
+	}
+	g.Unpin()
+	b.Put()
+	return inserted
+}
+
+// RemoveAll deletes every key of keys from the set and returns how
+// many were present (and are now absent). The batch is sorted and
+// deduplicated first; each key's remove linearizes individually, in
+// ascending key order, within the call.
+func (s *VB) RemoveAll(keys []int64) int {
+	b := batch.Prep(keys)
+	ks := b.K
+	g := s.arena.Pin()
+	removed := 0
+	var fingers [maxLevel]*vbNode
+	for _, v := range ks {
+		esc := obs.Escalator{Budget: int(s.budget.Load()), HeadNative: true}
+		for {
+			if fp := s.fps; failpoint.On(fp) {
+				fp.Do(failpoint.SiteSkipTraverse, v)
+			}
+			preds, succs := s.findFrom(g, v, &fingers)
+			if succs[0].val != v {
+				esc.Done(&s.retry)
+				break
+			}
+			// From here this is the single-key Remove window protocol
+			// verbatim: value-lock the predecessor, identity-lock the
+			// victim, mark, unlink, sweep the index.
+			curr := succs[0]
+			next := curr.next[0].Load()
+			injected := false
+			if fp := s.fps; failpoint.On(fp) {
+				if injected = fp.Fail(failpoint.SiteSkipLockNextAt, v); injected {
+					s.countInjectedFail(obs.EvValFailValue, v)
+				}
+			}
+			if injected || !preds[0].lockNextAtValue(v, s.probes, s.backoff) {
+				s.restartBatch(&esc, v)
+				continue
+			}
+			curr = preds[0].next[0].Load()
+			injected = false
+			if fp := s.fps; failpoint.On(fp) {
+				if injected = fp.Fail(failpoint.SiteSkipLockNextAt, v); injected {
+					s.countInjectedFail(obs.EvValFailSucc, v)
+				}
+			}
+			if injected || !curr.lockNextAt(0, next, s.probes, s.backoff) {
+				preds[0].lock.Unlock()
+				s.restartBatch(&esc, v)
+				continue
+			}
+			if fp := s.fps; failpoint.On(fp) {
+				fp.Do(failpoint.SiteUnlink, v)
+			}
+			curr.deleted.Store(true)
+			preds[0].next[0].Store(next)
+			curr.clearLinked(0) // after the unlink store: linked==0 now implies unreachable
+			curr.lock.Unlock()
+			preds[0].lock.Unlock()
+			if p := s.probes; obs.On(p) {
+				p.Inc(obs.EvLogicalDelete, v)
+				p.Inc(obs.EvPhysicalUnlink, v)
+			}
+			s.sweep(g, curr)
+			s.maybeRetire(g, curr)
+			removed++
+			esc.Done(&s.retry)
+			break
+		}
+	}
+	g.Unpin()
+	b.Put()
+	return removed
+}
+
+// ContainsAll reports how many of the keys are in the set. Wait-free:
+// one pinned pass serves the whole sorted batch via finger-seeded
+// descents; each key's query linearizes individually at the load that
+// reached its level-0 position.
+func (s *VB) ContainsAll(keys []int64) int {
+	b := batch.Prep(keys)
+	ks := b.K
+	g := s.arena.Pin()
+	found := 0
+	var fingers [maxLevel]*vbNode
+	for _, v := range ks {
+		pred := s.head
+		for l := s.levels - 1; l >= 1; l-- {
+			pred = adoptVBFinger(pred, fingers[l], v)
+			curr := pred.next[l].Load()
+			for curr.val < v {
+				if curr.deleted.Load() {
+					curr = curr.next[l].Load() // route through, don't adopt
+					continue
+				}
+				pred = curr
+				curr = pred.next[l].Load()
+			}
+			fingers[l] = pred
+		}
+		pred = adoptVBFinger(pred, fingers[0], v)
+		curr := pred.next[0].Load()
+		for curr.val < v {
+			pred = curr
+			curr = curr.next[0].Load()
+		}
+		fingers[0] = pred
+		if curr.val == v && !curr.deleted.Load() {
+			found++
+		}
+	}
+	g.Unpin()
+	b.Put()
+	return found
+}
+
+// RangeScan returns the live keys in [lo, hi) in ascending order: a
+// log-time descent to lo, then a wait-free level-0 walk. Values along
+// the level-0 chain are strictly increasing even through nodes unlinked
+// mid-scan, so the result is sorted and duplicate-free by construction;
+// each reported (and skipped) key linearizes at the load that passed
+// its position.
+func (s *VB) RangeScan(lo, hi int64) []int64 {
+	if hi <= lo {
+		return nil
+	}
+	g := s.arena.Pin()
+	var out []int64
+	curr := s.descendTo(lo)
+	for curr.val < hi {
+		if !curr.deleted.Load() {
+			out = append(out, curr.val)
+		}
+		curr = curr.next[0].Load()
+	}
+	g.Unpin()
+	return out
+}
+
+// Ascend calls yield for every live key >= from in ascending order
+// until yield returns false or the list ends. The traversal is
+// wait-free; the epoch stays pinned for the duration, so yield should
+// be short.
+func (s *VB) Ascend(from int64, yield func(int64) bool) {
+	g := s.arena.Pin()
+	curr := s.descendTo(from)
+	for curr.val != MaxSentinel {
+		if !curr.deleted.Load() && !yield(curr.val) {
+			break
+		}
+		curr = curr.next[0].Load()
+	}
+	g.Unpin()
+}
+
+// descendTo returns the first level-0 node with val >= v, reached by a
+// wait-free index descent (no unlinking, deleted towers routed
+// through).
+func (s *VB) descendTo(v int64) *vbNode {
+	pred := s.head
+	for l := s.levels - 1; l >= 1; l-- {
+		curr := pred.next[l].Load()
+		for curr.val < v {
+			if curr.deleted.Load() {
+				curr = curr.next[l].Load()
+				continue
+			}
+			pred = curr
+			curr = pred.next[l].Load()
+		}
+	}
+	curr := pred.next[0].Load()
+	for curr.val < v {
+		curr = curr.next[0].Load()
+	}
+	return curr
+}
+
+// Load bulk-inserts keys with finger-seeded unsynchronized descents:
+// O(k + log n) on a fresh or dense load, towers and all. It takes no
+// locks and must only be used at quiescence (setup/population), before
+// the set is shared. Returns how many keys were absent.
+func (s *VB) Load(keys []int64) int {
+	b := batch.Prep(keys)
+	ks := b.K
+	g := s.arena.Pin()
+	added := 0
+	var fingers [maxLevel]*vbNode
+	for _, v := range ks {
+		preds, succs := s.findFrom(g, v, &fingers)
+		if succs[0].val == v {
+			continue
+		}
+		h := s.randomHeight()
+		n := s.newTower(g, v, h)
+		for l := 0; l < h; l++ {
+			n.next[l].Store(succs[l])
+		}
+		n.setLinked(0)
+		preds[0].next[0].Store(n)
+		for l := 1; l < h; l++ {
+			n.setLinked(l)
+			preds[l].next[l].Store(n)
+		}
+		n.idxDone.Store(true)
+		for l := 0; l < h; l++ {
+			fingers[l] = n
+		}
+		added++
+	}
+	g.Unpin()
+	b.Put()
+	return added
+}
+
+// ---- Lazy skip list ----
+
+// adoptLazyFinger is the Lazy twin of adoptVBFinger: a finger is
+// trusted while unmarked (marked towers may already be unlinked).
+func adoptLazyFinger(pred, f *lazyNode, v int64) *lazyNode {
+	if f != nil && f.val >= pred.val && f.val < v && !f.marked.Load() {
+		return f
+	}
+	return pred
+}
+
+// findFrom is Lazy's find() with finger search.
+func (s *Lazy) findFrom(v int64, fingers *[maxLevel]*lazyNode) (preds, succs [maxLevel]*lazyNode, lFound int) {
+	lFound = -1
+	pred := s.head
+	for l := s.levels - 1; l >= 0; l-- {
+		pred = adoptLazyFinger(pred, fingers[l], v)
+		curr := pred.next[l].Load()
+		for curr.val < v {
+			pred = curr
+			curr = pred.next[l].Load()
+		}
+		if lFound == -1 && curr.val == v {
+			lFound = l
+		}
+		preds[l], succs[l] = pred, curr
+		fingers[l] = pred
+	}
+	return preds, succs, lFound
+}
+
+// InsertAll adds every key of keys and returns how many were absent.
+// Each key runs the full Lazy insert protocol (lock every distinct
+// predecessor, validate, link) — only the descent is amortized.
+func (s *Lazy) InsertAll(keys []int64) int {
+	b := batch.Prep(keys)
+	ks := b.K
+	inserted := 0
+	var fingers [maxLevel]*lazyNode
+	for _, v := range ks {
+		if s.insertFrom(v, &fingers) {
+			inserted++
+		}
+	}
+	b.Put()
+	return inserted
+}
+
+// insertFrom is Insert with a finger-seeded descent.
+func (s *Lazy) insertFrom(v int64, fingers *[maxLevel]*lazyNode) bool {
+	esc := obs.Escalator{Budget: int(s.budget.Load()), HeadNative: true}
+	h := s.randomHeight()
+	for {
+		if fp := s.fps; failpoint.On(fp) {
+			fp.Do(failpoint.SiteSkipTraverse, v)
+		}
+		preds, succs, lFound := s.findFrom(v, fingers)
+		if lFound != -1 {
+			found := succs[lFound]
+			if !found.marked.Load() {
+				for !found.fullyLinked.Load() {
+					runtime.Gosched()
+				}
+				esc.Done(&s.retry)
+				return false
+			}
+			s.restart(&esc, v)
+			continue
+		}
+		if !s.lockPreds(&preds, &succs, h-1, nil) {
+			s.restart(&esc, v)
+			continue
+		}
+		if p := s.probes; obs.On(p) {
+			p.Inc(obs.EvNodeAlloc, v)
+			p.Inc(obs.EvSkipTowerHeight, int64(h))
+		}
+		//lint:ignore hotalloc the insert path must materialize the new tower; the Lazy skip list has no arena mode
+		n := &lazyNode{val: v, height: h}
+		for l := 0; l < h; l++ {
+			n.next[l].Store(succs[l])
+		}
+		for l := 0; l < h; l++ {
+			preds[l].next[l].Store(n)
+		}
+		n.fullyLinked.Store(true)
+		unlockPreds(&preds, h-1)
+		for l := 0; l < h; l++ {
+			fingers[l] = n
+		}
+		esc.Done(&s.retry)
+		return true
+	}
+}
+
+// RemoveAll deletes every key of keys and returns how many were
+// present. Each key runs the full Lazy remove protocol; only the
+// descent is amortized.
+func (s *Lazy) RemoveAll(keys []int64) int {
+	b := batch.Prep(keys)
+	ks := b.K
+	removed := 0
+	var fingers [maxLevel]*lazyNode
+	for _, v := range ks {
+		// Remove's retry state (the marked victim) spans find calls;
+		// reuse the single-key protocol, seeding only the first descent.
+		if s.removeFrom(v, &fingers) {
+			removed++
+		}
+	}
+	b.Put()
+	return removed
+}
+
+// removeFrom is Remove with a finger-seeded descent.
+func (s *Lazy) removeFrom(v int64, fingers *[maxLevel]*lazyNode) bool {
+	esc := obs.Escalator{Budget: int(s.budget.Load()), HeadNative: true}
+	var victim *lazyNode
+	marked := false
+	for {
+		if fp := s.fps; failpoint.On(fp) {
+			fp.Do(failpoint.SiteSkipTraverse, v)
+		}
+		preds, succs, lFound := s.findFrom(v, fingers)
+		if !marked {
+			if lFound == -1 {
+				esc.Done(&s.retry)
+				return false
+			}
+			victim = succs[lFound]
+			if !victim.fullyLinked.Load() ||
+				victim.marked.Load() ||
+				victim.height-1 != lFound {
+				if victim.marked.Load() {
+					esc.Done(&s.retry)
+					return false
+				}
+				s.restart(&esc, v)
+				continue
+			}
+			//lint:ignore locksafe the victim lock is intentionally held across retry iterations once marked and is released on the success path below
+			s.acquire(victim)
+			if victim.marked.Load() {
+				victim.lock.Unlock()
+				esc.Done(&s.retry)
+				return false
+			}
+			victim.marked.Store(true)
+			marked = true
+			if p := s.probes; obs.On(p) {
+				p.Inc(obs.EvLogicalDelete, v)
+			}
+		}
+		if !s.lockPreds(&preds, &succs, victim.height-1, victim) {
+			s.restart(&esc, v)
+			continue
+		}
+		if fp := s.fps; failpoint.On(fp) {
+			fp.Do(failpoint.SiteUnlink, v)
+		}
+		for l := victim.height - 1; l >= 0; l-- {
+			preds[l].next[l].Store(victim.next[l].Load())
+		}
+		victim.lock.Unlock()
+		unlockPreds(&preds, victim.height-1)
+		if p := s.probes; obs.On(p) {
+			p.Inc(obs.EvPhysicalUnlink, v)
+		}
+		esc.Done(&s.retry)
+		return true
+	}
+}
+
+// ContainsAll reports how many of the keys are in the set: wait-free
+// finger-seeded descents, Herlihy & Shavit's per-key verdict.
+func (s *Lazy) ContainsAll(keys []int64) int {
+	b := batch.Prep(keys)
+	ks := b.K
+	found := 0
+	var fingers [maxLevel]*lazyNode
+	for _, v := range ks {
+		_, succs, lFound := s.findFrom(v, &fingers)
+		if lFound != -1 &&
+			succs[lFound].fullyLinked.Load() &&
+			!succs[lFound].marked.Load() {
+			found++
+		}
+	}
+	b.Put()
+	return found
+}
+
+// RangeScan returns the live keys in [lo, hi) in ascending order: a
+// log-time descent, then a wait-free level-0 walk.
+func (s *Lazy) RangeScan(lo, hi int64) []int64 {
+	if hi <= lo {
+		return nil
+	}
+	var out []int64
+	curr := s.descendTo(lo)
+	for curr.val < hi {
+		if curr.fullyLinked.Load() && !curr.marked.Load() {
+			out = append(out, curr.val)
+		}
+		curr = curr.next[0].Load()
+	}
+	return out
+}
+
+// Ascend calls yield for every live key >= from in ascending order
+// until yield returns false or the list ends.
+func (s *Lazy) Ascend(from int64, yield func(int64) bool) {
+	curr := s.descendTo(from)
+	for curr.val != MaxSentinel {
+		if curr.fullyLinked.Load() && !curr.marked.Load() && !yield(curr.val) {
+			break
+		}
+		curr = curr.next[0].Load()
+	}
+}
+
+// descendTo returns the first level-0 node with val >= v.
+func (s *Lazy) descendTo(v int64) *lazyNode {
+	pred := s.head
+	for l := s.levels - 1; l >= 1; l-- {
+		curr := pred.next[l].Load()
+		for curr.val < v {
+			pred = curr
+			curr = pred.next[l].Load()
+		}
+	}
+	curr := pred.next[0].Load()
+	for curr.val < v {
+		curr = curr.next[0].Load()
+	}
+	return curr
+}
+
+// Load bulk-inserts keys with finger-seeded unsynchronized descents.
+// It takes no locks and must only be used at quiescence
+// (setup/population), before the set is shared. Returns how many keys
+// were absent.
+func (s *Lazy) Load(keys []int64) int {
+	b := batch.Prep(keys)
+	ks := b.K
+	added := 0
+	var fingers [maxLevel]*lazyNode
+	for _, v := range ks {
+		preds, succs, lFound := s.findFrom(v, &fingers)
+		if lFound != -1 {
+			continue
+		}
+		h := s.randomHeight()
+		//lint:ignore hotalloc bulk population materializes towers on the heap by design
+		n := &lazyNode{val: v, height: h}
+		for l := 0; l < h; l++ {
+			n.next[l].Store(succs[l])
+			preds[l].next[l].Store(n)
+		}
+		n.fullyLinked.Store(true)
+		for l := 0; l < h; l++ {
+			fingers[l] = n
+		}
+		added++
+	}
+	b.Put()
+	return added
+}
+
+// Guard against interface drift: both skip lists carry the full batch
+// surface (the root package and the shard façade assert these
+// structurally).
+type vbBatchSurface interface {
+	InsertAll([]int64) int
+	RemoveAll([]int64) int
+	ContainsAll([]int64) int
+	RangeScan(lo, hi int64) []int64
+	Ascend(from int64, yield func(int64) bool)
+	Load([]int64) int
+}
+
+var (
+	_ vbBatchSurface = (*VB)(nil)
+	_ vbBatchSurface = (*Lazy)(nil)
+)

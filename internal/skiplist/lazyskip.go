@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"listset/internal/failpoint"
+	"listset/internal/obs"
 	"listset/internal/trylock"
 )
 
@@ -15,9 +17,26 @@ import (
 // decides — the skip-list analogue of the Lazy list's discipline the
 // paper proves concurrency sub-optimal.
 type Lazy struct {
-	head *lazyNode
-	tail *lazyNode
-	seed atomic.Uint64
+	head   *lazyNode
+	tail   *lazyNode
+	seed   atomic.Uint64
+	levels int
+
+	// probes, when non-nil, receives contention events (internal/obs).
+	probes *obs.Probes
+	// fps, when non-nil, arms the chaos failpoints (internal/failpoint).
+	fps *failpoint.Set
+
+	// budget is the failed-validation retry budget K (0 = unbounded),
+	// atomic so the adaptive controller can retune it mid-run; retry
+	// aggregates what the escalators saw. Lazy's restart is always the
+	// full descent from head, so the ladder is head-native.
+	budget atomic.Int32
+	retry  obs.RetryCounter
+
+	// backoff, when non-nil, supplies the per-set spin bounds for
+	// contended predecessor-lock acquisitions; nil = package defaults.
+	backoff *trylock.Backoff
 }
 
 // lazyNode is a tower. marked is the logical-deletion flag;
@@ -32,11 +51,23 @@ type lazyNode struct {
 	lock        trylock.SpinLock
 }
 
-// NewLazy returns an empty Lazy skip list.
-func NewLazy() *Lazy {
+// NewLazy returns an empty Lazy skip list with DefaultLevels index
+// levels.
+func NewLazy() *Lazy { return NewLazyLevels(DefaultLevels) }
+
+// NewLazyLevels returns an empty Lazy skip list with the given number
+// of levels, clamped to [1, 20].
+func NewLazyLevels(levels int) *Lazy {
+	if levels < 1 {
+		levels = 1
+	}
+	if levels > maxLevel {
+		levels = maxLevel
+	}
 	s := &Lazy{
-		head: &lazyNode{val: MinSentinel, height: maxLevel},
-		tail: &lazyNode{val: MaxSentinel, height: maxLevel},
+		head:   &lazyNode{val: MinSentinel, height: maxLevel},
+		tail:   &lazyNode{val: MaxSentinel, height: maxLevel},
+		levels: levels,
 	}
 	for l := 0; l < maxLevel; l++ {
 		s.head.next[l].Store(s.tail)
@@ -47,14 +78,37 @@ func NewLazy() *Lazy {
 	return s
 }
 
+// Levels returns the working index height.
+func (s *Lazy) Levels() int { return s.levels }
+
+// SetProbes attaches (or with nil detaches) the contention-event
+// counters. Call it before sharing the set between goroutines.
+func (s *Lazy) SetProbes(p *obs.Probes) { s.probes = p }
+
+// SetFailpoints attaches (or with nil detaches) the fault-injection
+// layer. Call it before sharing the set between goroutines.
+func (s *Lazy) SetFailpoints(fp *failpoint.Set) { s.fps = fp }
+
+// SetRetryBudget sets the failed-validation retry budget K: past K
+// restarts an update backs off between attempts. 0 restores unbounded
+// retries.
+func (s *Lazy) SetRetryBudget(k int) { s.budget.Store(int32(k)) }
+
+// SetBackoff attaches (or with nil detaches) the per-set backoff policy
+// for contended predecessor-lock acquisitions.
+func (s *Lazy) SetBackoff(b *trylock.Backoff) { s.backoff = b }
+
+// RetryStats reports the aggregated restart/escalation tallies.
+func (s *Lazy) RetryStats() obs.RetryStats { return s.retry.Stats() }
+
 func (s *Lazy) randomHeight() int {
 	z := s.seed.Add(0x9E3779B97F4A7C15)
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	z ^= z >> 31
-	h := 1 + bits.TrailingZeros64(z|1<<(maxLevel-1))
-	if h > maxLevel {
-		h = maxLevel
+	h := 1 + bits.TrailingZeros64(z|1<<uint(s.levels-1))
+	if h > s.levels {
+		h = s.levels
 	}
 	return h
 }
@@ -64,7 +118,7 @@ func (s *Lazy) randomHeight() int {
 func (s *Lazy) find(v int64) (preds, succs [maxLevel]*lazyNode, lFound int) {
 	lFound = -1
 	pred := s.head
-	for l := maxLevel - 1; l >= 0; l-- {
+	for l := s.levels - 1; l >= 0; l-- {
 		curr := pred.next[l].Load()
 		for curr.val < v {
 			pred = curr
@@ -88,6 +142,18 @@ func (s *Lazy) Contains(v int64) bool {
 		!succs[lFound].marked.Load()
 }
 
+// acquire takes n's lock, counting a contended acquisition when probes
+// are attached.
+func (s *Lazy) acquire(n *lazyNode) {
+	if p := s.probes; obs.On(p) {
+		if n.lock.LockContendedWith(s.backoff) {
+			p.Inc(obs.EvTryLockContended, n.val)
+		}
+		return
+	}
+	n.lock.LockWith(s.backoff)
+}
+
 // lockPreds locks the distinct predecessors of levels [0, top] in
 // bottom-up order — which is decreasing-key order, the global order
 // that makes the algorithm deadlock-free — and validates every window;
@@ -97,26 +163,43 @@ func (s *Lazy) Contains(v int64) bool {
 // removal: windows onto it are validated by adjacency only (its mark is
 // the caller's own doing). For inserts victim is nil and a marked
 // successor invalidates the window.
-func lockPreds(preds, succs *[maxLevel]*lazyNode, top int, victim *lazyNode) bool {
+func (s *Lazy) lockPreds(preds, succs *[maxLevel]*lazyNode, top int, victim *lazyNode) bool {
 	var prevPred *lazyNode
 	locked := make([]*lazyNode, 0, top+1)
 	valid := true
+	deletedFail := false
 	for l := 0; valid && l <= top; l++ {
 		pred, succ := preds[l], succs[l]
 		if pred != prevPred {
 			//lint:ignore locksafe the acquired set intentionally survives the loop and the function: on success the caller holds every lock in `locked` and releases them with unlockPreds; on failure the loop below unlocks them all
-			pred.lock.Lock()
+			s.acquire(pred)
 			locked = append(locked, pred)
 			prevPred = pred
 		}
 		valid = !pred.marked.Load() && pred.next[l].Load() == succ &&
 			(succ == victim || !succ.marked.Load())
+		if !valid {
+			deletedFail = pred.marked.Load() || (succ != victim && succ.marked.Load())
+		}
+	}
+	// An injected validation failure exercises the full-height
+	// unlock-and-restart path, the expensive one the value-aware variant
+	// avoids.
+	if fp := s.fps; failpoint.On(fp) && valid && fp.Fail(failpoint.SiteLazyValidate, succs[0].val) {
+		valid, deletedFail = false, false
 	}
 	if valid {
 		return true
 	}
 	for _, p := range locked {
 		p.lock.Unlock()
+	}
+	if p := s.probes; obs.On(p) {
+		if deletedFail {
+			p.Inc(obs.EvValFailDeleted, succs[0].val)
+		} else {
+			p.Inc(obs.EvValFailSucc, succs[0].val)
+		}
 	}
 	return false
 }
@@ -132,10 +215,23 @@ func unlockPreds(preds *[maxLevel]*lazyNode, top int) {
 	}
 }
 
+// restart records one failed validation; the Lazy skip list always
+// restarts with a full descent from head.
+func (s *Lazy) restart(esc *obs.Escalator, v int64) {
+	esc.Failed(s.probes, v)
+	if p := s.probes; obs.On(p) {
+		p.Inc(obs.EvRestartHead, v)
+	}
+}
+
 // Insert adds v to the set and reports whether v was absent.
 func (s *Lazy) Insert(v int64) bool {
+	esc := obs.Escalator{Budget: int(s.budget.Load()), HeadNative: true}
 	h := s.randomHeight()
 	for {
+		if fp := s.fps; failpoint.On(fp) {
+			fp.Do(failpoint.SiteSkipTraverse, v)
+		}
 		preds, succs, lFound := s.find(v)
 		if lFound != -1 {
 			found := succs[lFound]
@@ -145,15 +241,22 @@ func (s *Lazy) Insert(v int64) bool {
 				for !found.fullyLinked.Load() {
 					runtime.Gosched()
 				}
+				esc.Done(&s.retry)
 				return false
 			}
 			// Found a marked tower mid-removal: retry until it is gone.
+			s.restart(&esc, v)
 			continue
 		}
-		if !lockPreds(&preds, &succs, h-1, nil) {
+		if !s.lockPreds(&preds, &succs, h-1, nil) {
+			s.restart(&esc, v)
 			continue
 		}
-		//lint:ignore hotalloc the insert path must materialize the new tower; the skip lists have no arena mode
+		if p := s.probes; obs.On(p) {
+			p.Inc(obs.EvNodeAlloc, v)
+			p.Inc(obs.EvSkipTowerHeight, int64(h))
+		}
+		//lint:ignore hotalloc the insert path must materialize the new tower; the Lazy skip list has no arena mode (vbskip-arena is the reclaiming variant)
 		n := &lazyNode{val: v, height: h}
 		for l := 0; l < h; l++ {
 			n.next[l].Store(succs[l])
@@ -163,18 +266,24 @@ func (s *Lazy) Insert(v int64) bool {
 		}
 		n.fullyLinked.Store(true) // linearization point
 		unlockPreds(&preds, h-1)
+		esc.Done(&s.retry)
 		return true
 	}
 }
 
 // Remove deletes v from the set and reports whether v was present.
 func (s *Lazy) Remove(v int64) bool {
+	esc := obs.Escalator{Budget: int(s.budget.Load()), HeadNative: true}
 	var victim *lazyNode
 	marked := false
 	for {
+		if fp := s.fps; failpoint.On(fp) {
+			fp.Do(failpoint.SiteSkipTraverse, v)
+		}
 		preds, succs, lFound := s.find(v)
 		if !marked {
 			if lFound == -1 {
+				esc.Done(&s.retry)
 				return false
 			}
 			victim = succs[lFound]
@@ -186,27 +295,44 @@ func (s *Lazy) Remove(v int64) bool {
 				// Harris analysis would call this an extra
 				// synchronization constraint).
 				if victim.marked.Load() {
+					esc.Done(&s.retry)
 					return false
 				}
+				s.restart(&esc, v)
 				continue
 			}
 			//lint:ignore locksafe the victim lock is intentionally held across retry iterations once marked (the `marked` flag guards re-locking) and is released on the success path below
-			victim.lock.Lock()
+			s.acquire(victim)
 			if victim.marked.Load() {
 				victim.lock.Unlock()
+				esc.Done(&s.retry)
 				return false
 			}
 			victim.marked.Store(true) // linearization point
 			marked = true
+			if p := s.probes; obs.On(p) {
+				p.Inc(obs.EvLogicalDelete, v)
+			}
 		}
-		if !lockPreds(&preds, &succs, victim.height-1, victim) {
+		if !s.lockPreds(&preds, &succs, victim.height-1, victim) {
+			s.restart(&esc, v)
 			continue
+		}
+		// The unlink runs under every predecessor lock and must not be
+		// skipped, so the site is Do-only: delays and pauses, never
+		// forced failure.
+		if fp := s.fps; failpoint.On(fp) {
+			fp.Do(failpoint.SiteUnlink, v)
 		}
 		for l := victim.height - 1; l >= 0; l-- {
 			preds[l].next[l].Store(victim.next[l].Load())
 		}
 		victim.lock.Unlock()
 		unlockPreds(&preds, victim.height-1)
+		if p := s.probes; obs.On(p) {
+			p.Inc(obs.EvPhysicalUnlink, v)
+		}
+		esc.Done(&s.retry)
 		return true
 	}
 }
@@ -234,3 +360,9 @@ func (s *Lazy) Snapshot() []int64 {
 	}
 	return out
 }
+
+var (
+	_ obs.Instrumented     = (*Lazy)(nil)
+	_ obs.RetryBudgeted    = (*Lazy)(nil)
+	_ failpoint.Injectable = (*Lazy)(nil)
+)

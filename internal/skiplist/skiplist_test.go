@@ -147,11 +147,11 @@ func TestVBFindWindows(t *testing.T) {
 	for _, v := range []int64{10, 20, 30} {
 		s.Insert(v)
 	}
-	preds, succs := s.find(20)
+	preds, succs := s.find(s.arena.Pin(), 20)
 	if preds[0].val >= 20 || succs[0].val != 20 {
 		t.Fatalf("level-0 window = (%d, %d)", preds[0].val, succs[0].val)
 	}
-	for l := 0; l < maxLevel; l++ {
+	for l := 0; l < s.levels; l++ {
 		if preds[l].val >= 20 {
 			t.Fatalf("preds[%d].val = %d, want < 20", l, preds[l].val)
 		}
@@ -283,7 +283,7 @@ func TestVBLevelInvariants(t *testing.T) {
 	// traversals. Run the quiescent cleanup that any traversal performs.
 	for pass := 0; pass < 2; pass++ {
 		for k := int64(0); k < 32; k++ {
-			s.find(k)
+			s.find(s.arena.Pin(), k)
 		}
 	}
 	level0 := map[*vbNode]bool{}

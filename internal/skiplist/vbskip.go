@@ -17,12 +17,22 @@
 //     (ch. 14.3), the established lock-based baseline, which locks every
 //     predecessor level before deciding anything — the skip-list
 //     analogue of the Lazy list's lock-then-validate discipline.
+//
+// Both are full citizens of the repository's cross-cutting layers: obs
+// probes at the decision points, chaos failpoints mirroring the flat
+// lists' sites, the bounded-retry escalation ladder, per-set backoff
+// policies, and (for VB) a height-classed arena with epoch-based
+// reclamation. DESIGN.md §15 holds the acceptance and reclamation
+// arguments.
 package skiplist
 
 import (
 	"math/bits"
 	"sync/atomic"
 
+	"listset/internal/failpoint"
+	"listset/internal/mem"
+	"listset/internal/obs"
 	"listset/internal/trylock"
 )
 
@@ -32,65 +42,263 @@ const (
 	MaxSentinel = 1<<63 - 1
 )
 
-// maxLevel is the tower height cap; 2^16 expected elements per head
-// slot is plenty for the benchmark ranges.
-const maxLevel = 16
+// maxLevel is the hard tower-height cap (the next-array size).
+// DefaultLevels is the default working height: 18 levels index ~e^18 ≈
+// 66M expected elements, the million-user key spaces the index exists
+// for; NewVBLevels tunes it per instance within [1, maxLevel].
+const (
+	maxLevel      = 20
+	DefaultLevels = 18
+)
 
-// vbNode is a tower. val is immutable; next[l] for l < height are the
-// per-level successor pointers; deleted and lock implement the VBL
-// protocol on level 0 (and guard this node's unlinking at every level).
+// vbNode is a tower. val is immutable while the node is reachable;
+// next[l] for l < height are the per-level successor pointers; deleted
+// and lock implement the VBL protocol on level 0 (and guard this node's
+// unlinking at every level).
+//
+// linked, idxDone and retired exist for the arena's sake: they let the
+// last unlinker prove a deleted tower unreachable (see maybeRetire).
+// linked is a bitmask of EVERY level the tower is published at,
+// level 0 included — the bit is set under the predecessor's lock
+// BEFORE the link is stored, so any unlink of that level (which must
+// lock the then-current predecessor) happens-after the set and the
+// clear can never be lost. Bit 0 matters most: deleted is set inside
+// the remover's critical section BEFORE the level-0 unlink store, so
+// without it a concurrent index unlinker clearing the last index bit
+// in that window would retire a tower still linked at level 0 — a
+// retire-before-unreachable that breaks the arena's grace-period
+// contract (the bucket is stamped before the node is unreachable, so
+// a reader pinned one epoch later can stand on the tower when it
+// recycles). Bit 0 is cleared by the remover only AFTER the unlink
+// store, restoring retire-happens-after-unreachable.
 type vbNode struct {
 	val     int64
 	height  int
 	next    [maxLevel]atomic.Pointer[vbNode]
 	deleted atomic.Bool
 	lock    trylock.SpinLock
+	linked  atomic.Uint32
+	idxDone atomic.Bool
+	retired atomic.Bool
 }
 
-// lockNextAt is the identity-validating value-aware try-lock at level l.
-func (n *vbNode) lockNextAt(l int, succ *vbNode) bool {
+// setLinked marks level l as published (CAS loop: Go 1.22 has no
+// atomic Or).
+func (n *vbNode) setLinked(l int) {
+	for {
+		old := n.linked.Load()
+		if n.linked.CompareAndSwap(old, old|1<<uint(l)) {
+			return
+		}
+	}
+}
+
+// clearLinked marks level l as unlinked again.
+func (n *vbNode) clearLinked(l int) {
+	for {
+		old := n.linked.Load()
+		if n.linked.CompareAndSwap(old, old&^(1<<uint(l))) {
+			return
+		}
+	}
+}
+
+// acquire takes n's lock, counting a contended acquisition when probes
+// are attached and drawing the contended path's spin bounds from the
+// list's backoff policy bo (nil = package defaults).
+func (n *vbNode) acquire(p *obs.Probes, bo *trylock.Backoff) {
+	if obs.On(p) {
+		if n.lock.LockContendedWith(bo) {
+			p.Inc(obs.EvTryLockContended, n.val)
+		}
+		return
+	}
+	n.lock.LockWith(bo)
+}
+
+// countIdentityFail classifies a failed identity validation for the
+// probe report. The re-read is racy — a borderline case may be
+// classified either way — which is fine for a counter.
+func (n *vbNode) countIdentityFail(p *obs.Probes) {
+	if n.deleted.Load() {
+		p.Inc(obs.EvValFailDeleted, n.val)
+	} else {
+		p.Inc(obs.EvValFailSucc, n.val)
+	}
+}
+
+// countValueFail classifies a failed value validation analogously.
+func (n *vbNode) countValueFail(p *obs.Probes) {
+	if n.deleted.Load() {
+		p.Inc(obs.EvValFailDeleted, n.val)
+	} else {
+		p.Inc(obs.EvValFailValue, n.val)
+	}
+}
+
+// lockNextAt is the identity-validating value-aware try-lock at level
+// l: lock-free pre-validation, acquire, revalidate under the lock.
+func (n *vbNode) lockNextAt(l int, succ *vbNode, p *obs.Probes, bo *trylock.Backoff) bool {
 	if n.deleted.Load() || n.next[l].Load() != succ {
+		if obs.On(p) {
+			n.countIdentityFail(p)
+		}
 		return false
 	}
-	n.lock.Lock()
+	n.acquire(p, bo)
 	if n.deleted.Load() || n.next[l].Load() != succ {
 		n.lock.Unlock()
+		if obs.On(p) {
+			n.countIdentityFail(p)
+		}
 		return false
 	}
 	return true
 }
 
-// lockNextAtValue is the value-validating try-lock on level 0.
-func (n *vbNode) lockNextAtValue(v int64) bool {
+// lockNextAtValue is the value-validating try-lock on level 0 — the
+// paper's central novelty, applied verbatim to the membership level.
+func (n *vbNode) lockNextAtValue(v int64, p *obs.Probes, bo *trylock.Backoff) bool {
 	if n.deleted.Load() || n.next[0].Load().val != v {
+		if obs.On(p) {
+			n.countValueFail(p)
+		}
 		return false
 	}
-	n.lock.Lock()
+	n.acquire(p, bo)
 	if n.deleted.Load() || n.next[0].Load().val != v {
 		n.lock.Unlock()
+		if obs.On(p) {
+			n.countValueFail(p)
+		}
 		return false
 	}
 	return true
+}
+
+// numTowerClasses is the number of arena size classes towers bucket
+// into by height: 1, 2-3, 4-7, >= 8. Roughly half of all towers are
+// height 1 and recycle within their own dense class; the rare tall
+// towers never have to wait behind them.
+const numTowerClasses = 4
+
+// towerClass maps a height to its arena size class.
+func towerClass(h int) int {
+	c := bits.Len(uint(h)) - 1
+	if c >= numTowerClasses {
+		c = numTowerClasses - 1
+	}
+	return c
 }
 
 // VB is the value-aware skip list.
 type VB struct {
-	head *vbNode
-	tail *vbNode
-	seed atomic.Uint64
+	head   *vbNode
+	tail   *vbNode
+	seed   atomic.Uint64
+	levels int
+
+	// probes, when non-nil, receives contention events (internal/obs).
+	probes *obs.Probes
+	// fps, when non-nil, arms the chaos failpoints (internal/failpoint).
+	fps *failpoint.Set
+	// arena, when non-nil, supplies towers from height-classed slabs and
+	// recycles unlinked towers after the epoch-based grace period
+	// (internal/mem). Nil delegates lifetimes to the GC.
+	arena *mem.Arena[vbNode]
+
+	// budget is the failed-validation retry budget K (0 = unbounded),
+	// atomic so the adaptive controller can retune it while operations
+	// are in flight; retry aggregates what the escalators saw.
+	budget atomic.Int32
+	retry  obs.RetryCounter
+
+	// backoff, when non-nil, supplies the per-set spin bounds for
+	// contended node-lock acquisitions; nil means package defaults.
+	backoff *trylock.Backoff
 }
 
-// NewVB returns an empty value-aware skip list.
-func NewVB() *VB {
+// NewVB returns an empty value-aware skip list with DefaultLevels
+// index levels.
+func NewVB() *VB { return newVB(DefaultLevels, nil) }
+
+// NewVBLevels returns an empty value-aware skip list with the given
+// number of levels, clamped to [1, 20]. One level is the flat VBL;
+// levels ~ log2 of the expected element count is the classic sizing.
+func NewVBLevels(levels int) *VB { return newVB(levels, nil) }
+
+// NewVBArena returns a value-aware skip list whose towers live in a
+// height-classed slab arena with epoch-based reclamation. Reuse is safe
+// for the same reason as the flat vbl-arena — the protocol is
+// lock-based and the per-operation epoch pin keeps every node an
+// operation discovered alive (and its val immutable) until the
+// operation unpins — see DESIGN.md §15.
+func NewVBArena() *VB {
+	return newVB(DefaultLevels, mem.New[vbNode](mem.Options{Classes: numTowerClasses}))
+}
+
+func newVB(levels int, arena *mem.Arena[vbNode]) *VB {
+	if levels < 1 {
+		levels = 1
+	}
+	if levels > maxLevel {
+		levels = maxLevel
+	}
 	s := &VB{
-		head: &vbNode{val: MinSentinel, height: maxLevel},
-		tail: &vbNode{val: MaxSentinel, height: maxLevel},
+		head:   &vbNode{val: MinSentinel, height: maxLevel},
+		tail:   &vbNode{val: MaxSentinel, height: maxLevel},
+		levels: levels,
+		arena:  arena,
 	}
 	for l := 0; l < maxLevel; l++ {
 		s.head.next[l].Store(s.tail)
 	}
 	s.seed.Store(0x9E3779B97F4A7C15)
 	return s
+}
+
+// Levels returns the working index height.
+func (s *VB) Levels() int { return s.levels }
+
+// SetProbes attaches (or with nil detaches) the contention-event
+// counters. Call it before sharing the set between goroutines.
+func (s *VB) SetProbes(p *obs.Probes) {
+	s.probes = p
+	if a := s.arena; a != nil {
+		a.SetProbes(p)
+	}
+}
+
+// SetFailpoints attaches (or with nil detaches) the fault-injection
+// layer. Call it before sharing the set between goroutines.
+func (s *VB) SetFailpoints(fp *failpoint.Set) {
+	s.fps = fp
+	if a := s.arena; a != nil {
+		a.SetFailpoints(fp)
+	}
+}
+
+// SetRetryBudget sets the failed-validation retry budget K. The skip
+// list's native restart is already the full descent from head, so the
+// ladder is head-native: past K restarts an operation backs off between
+// attempts. 0 restores unbounded retries.
+func (s *VB) SetRetryBudget(k int) { s.budget.Store(int32(k)) }
+
+// SetBackoff attaches (or with nil detaches) the per-set backoff policy
+// for contended node-lock acquisitions. Call before sharing the set;
+// retuning the attached policy's ceiling afterwards is safe.
+func (s *VB) SetBackoff(b *trylock.Backoff) { s.backoff = b }
+
+// RetryStats reports the aggregated restart/escalation tallies.
+func (s *VB) RetryStats() obs.RetryStats { return s.retry.Stats() }
+
+// ArenaStats reports the arena's reclamation counters; ok is false when
+// the set is GC-backed.
+func (s *VB) ArenaStats() (mem.Stats, bool) {
+	if s.arena == nil {
+		return mem.Stats{}, false
+	}
+	return s.arena.Stats(), true
 }
 
 // randomHeight draws a capped geometric(1/2) tower height.
@@ -101,11 +309,60 @@ func (s *VB) randomHeight() int {
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	z ^= z >> 31
-	h := 1 + bits.TrailingZeros64(z|1<<(maxLevel-1))
-	if h > maxLevel {
-		h = maxLevel
+	h := 1 + bits.TrailingZeros64(z|1<<uint(s.levels-1))
+	if h > s.levels {
+		h = s.levels
 	}
 	return h
+}
+
+// newTower materializes a tower of height h holding v: from the heap,
+// or recycled out of the arena's height class when one is attached. A
+// recycled tower's levels below h are re-stored by the caller before
+// the level-0 link publishes it; levels at or above h are never read,
+// because a node is only reachable at levels it was linked at.
+func (s *VB) newTower(g mem.Guard[vbNode], v int64, h int) *vbNode {
+	if p := s.probes; obs.On(p) {
+		p.Inc(obs.EvSkipTowerHeight, int64(h))
+	}
+	if !g.Active() {
+		if p := s.probes; obs.On(p) {
+			p.Inc(obs.EvNodeAlloc, v)
+		}
+		//lint:ignore hotalloc without an arena the insert path must materialize the new tower on the heap
+		return &vbNode{val: v, height: h}
+	}
+	n := g.GetClass(towerClass(h))
+	//lint:ignore valimmutable the tower is recycled: it is unpublished and fully re-initialized before the level-0 link publishes it
+	n.val = v
+	n.height = h
+	n.deleted.Store(false)
+	n.linked.Store(0)
+	n.idxDone.Store(false)
+	n.retired.Store(false)
+	return n
+}
+
+// maybeRetire retires a deleted tower into the arena's limbo once it is
+// provably unreachable for new traversals: the remover marked it
+// (deleted), the inserter finished its index maintenance (idxDone),
+// and every level it was published at — level 0 included — has been
+// unlinked again (linked == 0; the remover clears bit 0 only after
+// storing the level-0 unlink, so linked == 0 happens-after the tower
+// became unreachable). Each level is linked at most once per life —
+// only the inserter links it — and unlinked at most once, so the mask
+// is monotone toward zero after idxDone and the condition is stable;
+// the CAS makes the retirement exclusive among the remover, the
+// inserter and the opportunistic unlinkers who may all observe it. A
+// tower whose sweep transiently missed a level is simply never
+// retired — it leaks to its slab, which is safe, just not recycled.
+func (s *VB) maybeRetire(g mem.Guard[vbNode], n *vbNode) {
+	if !g.Active() || !n.deleted.Load() || !n.idxDone.Load() || n.linked.Load() != 0 {
+		return
+	}
+	if n.retired.CompareAndSwap(false, true) {
+		g.RetireClass(n, towerClass(n.height))
+	}
 }
 
 // find locates, at every level, the window preds[l].val < v <=
@@ -120,13 +377,13 @@ func (s *VB) randomHeight() int {
 //   - deleted towers encountered on upper levels are opportunistically
 //     detached (with a non-blocking try-lock, so navigation never
 //     waits).
-func (s *VB) find(v int64) (preds, succs [maxLevel]*vbNode) {
+func (s *VB) find(g mem.Guard[vbNode], v int64) (preds, succs [maxLevel]*vbNode) {
 	pred := s.head
-	for l := maxLevel - 1; l >= 0; l-- {
+	for l := s.levels - 1; l >= 0; l-- {
 		curr := pred.next[l].Load()
 		for curr.val < v {
 			if l > 0 && curr.deleted.Load() {
-				if s.tryUnlinkLevel(pred, curr, l) {
+				if s.tryUnlinkLevel(g, pred, curr, l) {
 					curr = pred.next[l].Load()
 				} else {
 					curr = curr.next[l].Load() // route through, don't adopt
@@ -142,8 +399,15 @@ func (s *VB) find(v int64) (preds, succs [maxLevel]*vbNode) {
 }
 
 // tryUnlinkLevel detaches the deleted tower curr from level l if pred's
-// lock is immediately available and the window still holds.
-func (s *VB) tryUnlinkLevel(pred, curr *vbNode, l int) bool {
+// lock is immediately available and the window still holds. An injected
+// SiteSkipIndexLink failure abandons the attempt like a lost try-lock
+// race.
+func (s *VB) tryUnlinkLevel(g mem.Guard[vbNode], pred, curr *vbNode, l int) bool {
+	if fp := s.fps; failpoint.On(fp) {
+		if fp.Fail(failpoint.SiteSkipIndexLink, curr.val) {
+			return false
+		}
+	}
 	if pred.deleted.Load() || pred.next[l].Load() != curr {
 		return false
 	}
@@ -155,6 +419,13 @@ func (s *VB) tryUnlinkLevel(pred, curr *vbNode, l int) bool {
 		pred.next[l].Store(curr.next[l].Load())
 	}
 	pred.lock.Unlock()
+	if ok {
+		curr.clearLinked(l)
+		if p := s.probes; obs.On(p) {
+			p.Inc(obs.EvSkipIndexUnlink, curr.val)
+		}
+		s.maybeRetire(g, curr)
+	}
 	return ok
 }
 
@@ -166,8 +437,9 @@ func (s *VB) tryUnlinkLevel(pred, curr *vbNode, l int) bool {
 // applies verbatim. Unlike the flat VBL the deletion mark must be
 // consulted, because index unlinking is deferred.
 func (s *VB) Contains(v int64) bool {
+	g := s.arena.Pin()
 	pred := s.head
-	for l := maxLevel - 1; l >= 1; l-- {
+	for l := s.levels - 1; l >= 1; l-- {
 		curr := pred.next[l].Load()
 		for curr.val < v {
 			if curr.deleted.Load() {
@@ -182,7 +454,20 @@ func (s *VB) Contains(v int64) bool {
 	for curr.val < v {
 		curr = curr.next[0].Load()
 	}
-	return curr.val == v && !curr.deleted.Load()
+	found := curr.val == v && !curr.deleted.Load()
+	g.Unpin()
+	return found
+}
+
+// restart records one failed level-0 validation. The skip list's native
+// restart locality is the head — the descent re-derives every level's
+// predecessor — so the escalation ladder is head-native and collapses
+// to backoff-at-K.
+func (s *VB) restart(esc *obs.Escalator, v int64) {
+	esc.Failed(s.probes, v)
+	if p := s.probes; obs.On(p) {
+		p.Inc(obs.EvSkipRestartL0, v)
+	}
 }
 
 // Insert adds v to the set and reports whether v was absent. The
@@ -190,54 +475,126 @@ func (s *VB) Contains(v int64) bool {
 // value-aware try-lock — exactly the flat VBL's insert — after which
 // the upper index levels are linked one try-lock at a time.
 func (s *VB) Insert(v int64) bool {
+	g := s.arena.Pin()
+	esc := obs.Escalator{Budget: int(s.budget.Load()), HeadNative: true}
+	// The speculative tower is allocated once and reused across failed
+	// validations; it is unpublished until the successful level-0 link,
+	// so no traversal can observe the reuse.
+	var n *vbNode
+	var h int
+	var preds, succs [maxLevel]*vbNode
 	for {
-		preds, succs := s.find(v)
+		if fp := s.fps; failpoint.On(fp) {
+			fp.Do(failpoint.SiteSkipTraverse, v)
+		}
+		preds, succs = s.find(g, v)
 		if succs[0].val == v {
+			if n != nil && g.Active() {
+				g.FreeClass(n, towerClass(h)) // never published: no grace period needed
+			}
+			esc.Done(&s.retry)
+			g.Unpin()
 			return false
 		}
-		h := s.randomHeight()
-		//lint:ignore hotalloc the insert path must materialize the new tower; the skip lists have no arena mode
-		n := &vbNode{val: v, height: h}
+		if n == nil {
+			h = s.randomHeight()
+			n = s.newTower(g, v, h)
+		}
 		for l := 0; l < h; l++ {
 			n.next[l].Store(succs[l])
 		}
-		if !preds[0].lockNextAt(0, succs[0]) {
-			continue
-		}
-		preds[0].next[0].Store(n)
-		preds[0].lock.Unlock()
-
-		// Index maintenance: link the upper levels best-effort. A level
-		// that cannot be linked after a re-find is skipped — the tower
-		// stays findable through level 0 regardless.
-		for l := 1; l < h; l++ {
-			for attempt := 0; ; attempt++ {
-				if n.deleted.Load() {
-					// A concurrent remove already claimed the node;
-					// linking more index levels would only create
-					// orphans.
-					return true
-				}
-				n.next[l].Store(succs[l])
-				if preds[l].lockNextAt(l, succs[l]) {
-					preds[l].next[l].Store(n)
-					preds[l].lock.Unlock()
-					break
-				}
-				if attempt >= 2 {
-					break // give up on this level; index stays sparse
-				}
-				preds, succs = s.find(v)
-				if succs[l] == n {
-					break // someone (a helper) already linked it
-				}
+		injected := false
+		if fp := s.fps; failpoint.On(fp) {
+			if injected = fp.Fail(failpoint.SiteSkipLockNextAt, v); injected {
+				s.countInjectedFail(obs.EvValFailSucc, v)
 			}
 		}
-		// If a remove raced us, sweep our own index entries.
-		if n.deleted.Load() {
-			s.sweep(n)
+		if injected || !preds[0].lockNextAt(0, succs[0], s.probes, s.backoff) {
+			s.restart(&esc, v)
+			continue
 		}
-		return true
+		n.setLinked(0)
+		preds[0].next[0].Store(n)
+		preds[0].lock.Unlock()
+		break
+	}
+
+	s.linkIndex(g, n, h, preds, succs)
+	esc.Done(&s.retry)
+	g.Unpin()
+	return true
+}
+
+// linkIndex links n's upper levels best-effort after the level-0 link
+// published the tower, then finishes the tower's lifecycle
+// bookkeeping. A level that cannot be linked after a re-find is
+// skipped — the tower stays findable through level 0 regardless. The
+// linked bit for a level is set under the predecessor's lock BEFORE
+// the link is stored, so the eventual unlink's clear always
+// happens-after it (see vbNode).
+func (s *VB) linkIndex(g mem.Guard[vbNode], n *vbNode, h int, preds, succs [maxLevel]*vbNode) {
+	v := n.val
+index:
+	for l := 1; l < h; l++ {
+		for attempt := 0; ; attempt++ {
+			if n.deleted.Load() {
+				// A concurrent remove already claimed the node; linking
+				// more index levels would only create orphans.
+				break index
+			}
+			n.next[l].Store(succs[l])
+			injected := false
+			if fp := s.fps; failpoint.On(fp) {
+				injected = fp.Fail(failpoint.SiteSkipIndexLink, v)
+			}
+			if !injected && preds[l].lockNextAt(l, succs[l], s.probes, s.backoff) {
+				n.setLinked(l)
+				preds[l].next[l].Store(n)
+				preds[l].lock.Unlock()
+				break
+			}
+			if p := s.probes; obs.On(p) {
+				p.Inc(obs.EvSkipIndexLinkRetry, v)
+			}
+			if attempt >= 2 {
+				// Give up: the index stays sparse at this level. Park the
+				// level's pointer on tail rather than leaving the last
+				// speculative succ frozen there: descents through a live
+				// tower read next[j] for every level below the adoption
+				// level, linked or not (bottom-up linking means any such
+				// level was processed — linked, or parked here), and once
+				// this insert unpins a frozen succ could be unlinked,
+				// retired and recycled under a later reader, whose
+				// mutated val would break the value-ordered navigation
+				// invariant (arena-only: the GC keeps a stale target's
+				// val immutable). tail is a terminal the walk treats as
+				// "drop a level", which is exactly what a sparse index
+				// level means.
+				n.next[l].Store(s.tail)
+				break
+			}
+			preds, succs = s.find(g, v)
+			if succs[l] == n {
+				break // someone (a helper) already linked it
+			}
+		}
+	}
+	n.idxDone.Store(true)
+	// If a remove raced us, sweep our own index entries; whoever of the
+	// racers observes the fully-unlinked state retires the tower.
+	if n.deleted.Load() {
+		s.sweep(g, n)
+		s.maybeRetire(g, n)
+	}
+}
+
+// countInjectedFail mirrors a chaos-injected validation failure into
+// the probe counters, so consumers of the valfail signal (the adaptive
+// controller, the flight recorder) see an injected storm exactly as
+// they would a real one.
+func (s *VB) countInjectedFail(ev obs.Event, v int64) {
+	if p := s.probes; obs.On(p) {
+		p.Inc(ev, v)
 	}
 }
 
@@ -247,43 +604,91 @@ func (s *VB) Insert(v int64) bool {
 // unlink); the index levels are detached afterwards, one try-lock at a
 // time.
 func (s *VB) Remove(v int64) bool {
+	g := s.arena.Pin()
+	esc := obs.Escalator{Budget: int(s.budget.Load()), HeadNative: true}
 	for {
-		preds, succs := s.find(v)
+		if fp := s.fps; failpoint.On(fp) {
+			fp.Do(failpoint.SiteSkipTraverse, v)
+		}
+		preds, succs := s.find(g, v)
 		if succs[0].val != v {
+			esc.Done(&s.retry)
+			g.Unpin()
 			return false
 		}
 		curr := succs[0]
 		next := curr.next[0].Load()
-		if !preds[0].lockNextAtValue(v) {
+		injected := false
+		if fp := s.fps; failpoint.On(fp) {
+			if injected = fp.Fail(failpoint.SiteSkipLockNextAt, v); injected {
+				s.countInjectedFail(obs.EvValFailValue, v)
+			}
+		}
+		if injected || !preds[0].lockNextAtValue(v, s.probes, s.backoff) {
+			s.restart(&esc, v)
 			continue
 		}
+		// Re-read the successor under pred's lock: it is the (possibly
+		// different) node holding v whose presence the value validation
+		// just established.
 		curr = preds[0].next[0].Load()
-		if !curr.lockNextAt(0, next) {
+		injected = false
+		if fp := s.fps; failpoint.On(fp) {
+			if injected = fp.Fail(failpoint.SiteSkipLockNextAt, v); injected {
+				s.countInjectedFail(obs.EvValFailSucc, v)
+			}
+		}
+		if injected || !curr.lockNextAt(0, next, s.probes, s.backoff) {
 			preds[0].lock.Unlock()
+			s.restart(&esc, v)
 			continue
+		}
+		// The level-0 unlink runs under both locks and must not be
+		// skipped, so the site is Do-only: delays and pauses, never
+		// forced failure.
+		if fp := s.fps; failpoint.On(fp) {
+			fp.Do(failpoint.SiteUnlink, v)
 		}
 		curr.deleted.Store(true) // logical deletion: v is out, now
 		preds[0].next[0].Store(next)
+		curr.clearLinked(0) // after the unlink store: linked==0 now implies unreachable
 		curr.lock.Unlock()
 		preds[0].lock.Unlock()
-
-		s.sweep(curr)
+		if p := s.probes; obs.On(p) {
+			p.Inc(obs.EvLogicalDelete, v)
+			p.Inc(obs.EvPhysicalUnlink, v)
+		}
+		s.sweep(g, curr)
+		s.maybeRetire(g, curr)
+		esc.Done(&s.retry)
+		g.Unpin()
 		return true
 	}
 }
 
 // sweep detaches a deleted tower from every index level, one
 // single-node lock at a time (never holding two locks, so no deadlock).
-func (s *VB) sweep(n *vbNode) {
+// An injected SiteSkipIndexLink failure abandons the level — membership
+// is unaffected, the orphan is collected by later traversals.
+func (s *VB) sweep(g mem.Guard[vbNode], n *vbNode) {
 	for l := n.height - 1; l >= 1; l-- {
 		for {
-			pred, linked := s.findPredAtLevel(n, l)
+			pred, linked := s.findPredAtLevel(g, n, l)
 			if !linked {
 				break // not (or no longer) linked at this level
 			}
-			if pred.lockNextAt(l, n) {
+			if fp := s.fps; failpoint.On(fp) {
+				if fp.Fail(failpoint.SiteSkipIndexLink, n.val) {
+					break
+				}
+			}
+			if pred.lockNextAt(l, n, s.probes, s.backoff) {
 				pred.next[l].Store(n.next[l].Load())
 				pred.lock.Unlock()
+				n.clearLinked(l)
+				if p := s.probes; obs.On(p) {
+					p.Inc(obs.EvSkipIndexUnlink, n.val)
+				}
 				break
 			}
 			// Window moved or pred deleted; re-locate and retry.
@@ -293,15 +698,28 @@ func (s *VB) sweep(n *vbNode) {
 
 // findPredAtLevel locates the node whose level-l successor is exactly
 // n, descending the index from the top (O(log n), not a level scan);
-// it reports false if n is not linked at level l. Under concurrent
-// mutation a linked tower can transiently be missed — sweep treats
-// that as "someone else's problem": traversals' opportunistic
-// unlinking eventually collects any such orphan.
-func (s *VB) findPredAtLevel(n *vbNode, l int) (*vbNode, bool) {
+// it reports false if n is not linked at level l. A deleted tower on
+// the walk is never adopted as pred — its lock can never be taken, so
+// a sweep that adopted it would spin forever once it is the last
+// active thread (the shard façade's pending-writer freeze-out makes
+// that state reachable). Instead the walk helps detach it, and when
+// the help fails (lost try-lock race, injected failure) it reports
+// false: sweep abandons the level and traversals' opportunistic
+// unlinking collects the orphan.
+func (s *VB) findPredAtLevel(g mem.Guard[vbNode], n *vbNode, l int) (*vbNode, bool) {
 	pred := s.head
-	for lev := maxLevel - 1; lev > l; lev-- {
+	for lev := s.levels - 1; lev > l; lev-- {
 		curr := pred.next[lev].Load()
 		for curr.val < n.val {
+			if curr.deleted.Load() {
+				// Route through without adopting: a deleted pred handed
+				// down to the level-l walk would be returned with its
+				// lock forever untakeable, and sweep's retry loop would
+				// spin on it (fatal when sweep is the only runnable
+				// thread — see the level-l rule below).
+				curr = curr.next[lev].Load()
+				continue
+			}
 			pred = curr
 			curr = pred.next[lev].Load()
 		}
@@ -316,6 +734,12 @@ func (s *VB) findPredAtLevel(n *vbNode, l int) (*vbNode, bool) {
 		if curr.val > n.val || curr == s.tail {
 			return nil, false
 		}
+		if curr.deleted.Load() {
+			if !s.tryUnlinkLevel(g, pred, curr, l) {
+				return nil, false
+			}
+			continue // re-read pred's level-l successor
+		}
 		pred = curr
 	}
 }
@@ -323,23 +747,33 @@ func (s *VB) findPredAtLevel(n *vbNode, l int) (*vbNode, bool) {
 // Len counts the live elements by a level-0 traversal; exact at
 // quiescence.
 func (s *VB) Len() int {
+	g := s.arena.Pin()
 	n := 0
 	for curr := s.head.next[0].Load(); curr.val != MaxSentinel; curr = curr.next[0].Load() {
 		if !curr.deleted.Load() {
 			n++
 		}
 	}
+	g.Unpin()
 	return n
 }
 
 // Snapshot returns the live elements in ascending order; exact at
 // quiescence.
 func (s *VB) Snapshot() []int64 {
+	g := s.arena.Pin()
 	var out []int64
 	for curr := s.head.next[0].Load(); curr.val != MaxSentinel; curr = curr.next[0].Load() {
 		if !curr.deleted.Load() {
 			out = append(out, curr.val)
 		}
 	}
+	g.Unpin()
 	return out
 }
+
+var (
+	_ obs.Instrumented     = (*VB)(nil)
+	_ obs.RetryBudgeted    = (*VB)(nil)
+	_ failpoint.Injectable = (*VB)(nil)
+)

@@ -145,6 +145,13 @@ func NewVBSkip() Set { return skiplist.NewVB() }
 // predecessor levels before deciding anything.
 func NewLazySkip() Set { return skiplist.NewLazy() }
 
+// NewVBSkipArena returns the value-aware skip list with arena-backed
+// tower lifetimes: towers are drawn from height-classed slabs
+// (internal/mem) and recycled after the epoch-based grace period once
+// provably unreachable at every level. Semantics are identical to
+// NewVBSkip; see DESIGN.md §15 for the reclamation argument.
+func NewVBSkipArena() Set { return skiplist.NewVBArena() }
+
 // NewCoarse returns the sequential list behind one global mutex — the
 // scalability floor.
 func NewCoarse() Set { return coarse.New() }
@@ -220,4 +227,38 @@ func NewHarrisSharded(shards int) Set {
 // NewHarrisShardedRange is NewHarrisSharded with an explicit focus range.
 func NewHarrisShardedRange(shards int, lo, hi int64) Set {
 	return shard.NewRange(shards, lo, hi, func() shard.Set { return harris.NewMarker() })
+}
+
+// NewVBSkipSharded returns the value-aware skip list behind the range
+// partitioner: S independent log-time indexes, each over 1/S of the
+// focus range — the composition the ROADMAP's large-range milestone
+// calls for, since both the traversal length AND the index height
+// shrink with the per-shard key count.
+func NewVBSkipSharded(shards int) Set {
+	return shard.New(shards, func() shard.Set { return skiplist.NewVB() })
+}
+
+// NewVBSkipShardedRange is NewVBSkipSharded with the focus range
+// [lo, hi) the partitioner splits evenly across shards.
+func NewVBSkipShardedRange(shards int, lo, hi int64) Set {
+	return shard.NewRange(shards, lo, hi, func() shard.Set { return skiplist.NewVB() })
+}
+
+// NewVBSkipShardedArenaRange is NewVBSkipShardedRange with a private
+// height-classed tower arena per shard.
+func NewVBSkipShardedArenaRange(shards int, lo, hi int64) Set {
+	return shard.NewRange(shards, lo, hi, func() shard.Set { return skiplist.NewVBArena() })
+}
+
+// NewLazySkipSharded returns the Lazy skip list behind the range
+// partitioner, so the sharding effect can be priced on the lock-based
+// skip baseline under identical routing.
+func NewLazySkipSharded(shards int) Set {
+	return shard.New(shards, func() shard.Set { return skiplist.NewLazy() })
+}
+
+// NewLazySkipShardedRange is NewLazySkipSharded with an explicit focus
+// range.
+func NewLazySkipShardedRange(shards int, lo, hi int64) Set {
+	return shard.NewRange(shards, lo, hi, func() shard.Set { return skiplist.NewLazy() })
 }

@@ -131,17 +131,27 @@ var impls = []Impl{
 		Desc:       "Algorithm 1 — sequential reference list (single goroutine only)",
 	},
 	{
-		Name:       "vbskip",
-		Aliases:    []string{"skiplist", "vb-skiplist"},
-		New:        NewVBSkip,
-		ThreadSafe: true,
-		Desc:       "value-aware skip list — §5 conjecture: VBL as the membership level",
+		Name:            "vbskip",
+		Aliases:         []string{"skiplist", "vb-skiplist"},
+		New:             NewVBSkip,
+		NewSharded:      NewVBSkipShardedRange,
+		NewArena:        NewVBSkipArena,
+		NewShardedArena: NewVBSkipShardedArenaRange,
+		ThreadSafe:      true,
+		Batch:           true,
+		Scan:            true,
+		BulkLoad:        true,
+		Desc:            "value-aware skip list — §5 conjecture: VBL as the membership level",
 	},
 	{
 		Name:       "lazyskip",
 		Aliases:    []string{"lazy-skiplist"},
 		New:        NewLazySkip,
+		NewSharded: NewLazySkipShardedRange,
 		ThreadSafe: true,
+		Batch:      true,
+		Scan:       true,
+		BulkLoad:   true,
 		Desc:       "LazySkipList (Herlihy & Shavit ch. 14.3) — lock-all-preds baseline",
 	},
 	{
@@ -224,6 +234,39 @@ var impls = []Impl{
 		BulkLoad:   true,
 		LockFree:   true,
 		Desc:       "Harris-Michael marker list behind the range partitioner (lock-free preserved)",
+	},
+	{
+		Name:       "vbskip-arena",
+		New:        NewVBSkipArena,
+		NewSharded: NewVBSkipShardedArenaRange,
+		NewArena:   NewVBSkipArena,
+		ThreadSafe: true,
+		Batch:      true,
+		Scan:       true,
+		BulkLoad:   true,
+		Desc:       "value-aware skip list with height-classed tower arenas and epoch recycling",
+	},
+	{
+		Name:            "vbskip-sharded",
+		Aliases:         []string{"skip-sharded"},
+		New:             func() Set { return NewVBSkipSharded(DefaultShards) },
+		NewSharded:      NewVBSkipShardedRange,
+		NewShardedArena: NewVBSkipShardedArenaRange,
+		ThreadSafe:      true,
+		Batch:           true,
+		Scan:            true,
+		BulkLoad:        true,
+		Desc:            "value-aware skip list behind the range partitioner (log-time per shard)",
+	},
+	{
+		Name:       "lazyskip-sharded",
+		New:        func() Set { return NewLazySkipSharded(DefaultShards) },
+		NewSharded: NewLazySkipShardedRange,
+		ThreadSafe: true,
+		Batch:      true,
+		Scan:       true,
+		BulkLoad:   true,
+		Desc:       "LazySkipList behind the range partitioner",
 	},
 }
 

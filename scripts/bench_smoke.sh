@@ -31,8 +31,9 @@ go build -o /tmp/listset-synchrobench ./cmd/synchrobench
 #   5 vbl-sharded 1  @ 20000   (façade overhead: within 10% of row 4)
 #   6 vbl-sharded 16 @ 20000   (O(n/S) payoff: >= 3x row 4)
 #   7 vbl GC       @ 20000, 100% updates   (arena gate baseline)
-#   8 vbl arena    @ 20000, 100% updates   (allocs/op <= 0.25x row 7,
-#                                           median >= 0.95x row 7)
+#   8 vbl arena    @ 20000, 100% updates   (allocs/op <= 0.25x row 7;
+#                                           throughput gated separately
+#                                           via interleaved pairs below)
 #   9 vbl traced   @ 2048   (flight recorder + interval streaming on:
 #                            exercises -trace/-stream and the report's
 #                            timeseries section end to end)
@@ -94,12 +95,10 @@ END {
   printf "bench_smoke: sharding gate ok — S=16 %.1fx flat, S=1 within %.1f%%\n", sharded / flat, 100 * rel
 }' "$out"
 
-# Arena gate: rows 7 (GC) and 8 (arena) run the same 100%-update cell,
-# so the MemStats deltas are comparable. The arena must cut allocs/op
-# to a quarter or better (measured: ~100x) without giving up more than
-# 5% median throughput.
+# Arena gate, allocation side: rows 7 (GC) and 8 (arena) run the same
+# 100%-update cell, so the MemStats deltas are comparable. The arena
+# must cut allocs/op to a quarter or better (measured: ~100x).
 awk -F': ' '
-/"median"/        { gsub(/,/, "", $2); m[mn++] = $2 }
 /"allocs_per_op"/ { gsub(/,/, "", $2); a[an++] = $2 }
 END {
   if (an != '"${#rows[@]}"') {
@@ -107,7 +106,6 @@ END {
     exit 1
   }
   gcAllocs = a[7]; arAllocs = a[8]
-  gcTput = m[7]; arTput = m[8]
   if (gcAllocs <= 0) {
     printf "bench_smoke: GC vbl reports %.4f allocs/op on a 100%%-update run; MemStats bracketing is broken\n", gcAllocs > "/dev/stderr"
     exit 1
@@ -116,12 +114,37 @@ END {
     printf "bench_smoke: arena vbl at %.4f allocs/op exceeds 0.25x GC vbl (%.4f allocs/op)\n", arAllocs, gcAllocs > "/dev/stderr"
     exit 1
   }
-  if (arTput < 0.95 * gcTput) {
-    printf "bench_smoke: arena vbl median %.0f ops/s is below 0.95x GC vbl (%.0f ops/s)\n", arTput, gcTput > "/dev/stderr"
+  printf "bench_smoke: arena alloc gate ok — %.4f vs %.4f allocs/op (%.1fx cut)\n", arAllocs, gcAllocs, gcAllocs / arAllocs
+}' "$out"
+
+# Arena gate, throughput side: the arena must not give up more than 5%
+# throughput against the GC build on the same cell. Rows 7 and 8 run
+# ~3s apart, so turbo and thermal drift bias a sequential comparison —
+# interleave best-of-3 GC/arena pairs instead, the same methodology the
+# trace-overhead gate below uses.
+acell="-impl vbl -range 20000 -threads 4 -update-ratio 100 -duration 600ms -warmup 200ms -runs 1 -quiet"
+best_gc=0
+best_ar=0
+for _ in 1 2 3; do
+  # -quiet prints "impl threads workload mean"; the mean is last.
+  # shellcheck disable=SC2086
+  gc=$(/tmp/listset-synchrobench $acell | awk '{ print $NF }')
+  # shellcheck disable=SC2086
+  ar=$(/tmp/listset-synchrobench $acell -arena | awk '{ print $NF }')
+  best_gc=$(awk -v a="$best_gc" -v b="$gc" 'BEGIN { print (b > a) ? b : a }')
+  best_ar=$(awk -v a="$best_ar" -v b="$ar" 'BEGIN { print (b > a) ? b : a }')
+done
+awk -v gc="$best_gc" -v ar="$best_ar" 'BEGIN {
+  if (gc <= 0 || ar <= 0) {
+    printf "bench_smoke: arena throughput gate got non-positive throughput (gc=%.0f arena=%.0f)\n", gc, ar > "/dev/stderr"
     exit 1
   }
-  printf "bench_smoke: arena gate ok — allocs/op %.4f vs %.4f (%.1fx cut), throughput %.2fx GC\n", arAllocs, gcAllocs, gcAllocs / arAllocs, arTput / gcTput
-}' "$out"
+  if (ar < 0.95 * gc) {
+    printf "bench_smoke: arena vbl best %.0f ops/s is below 0.95x GC vbl (best %.0f ops/s)\n", ar, gc > "/dev/stderr"
+    exit 1
+  }
+  printf "bench_smoke: arena throughput gate ok — %.2fx GC (best-of-3 interleaved)\n", ar / gc
+}'
 
 # Row 9 sanity: the traced row must have produced a non-empty trace
 # file and a timeseries section in its report.

@@ -22,16 +22,16 @@ go build -o "$bin" ./cmd/synchrobench
 # Shipped-suite rows: every implementation family that carries
 # failpoints, under the full shipped scenario set. The watchdog is far
 # above any healthy stall; it exists here to catch a real livelock.
-for impl in vbl lazy harris vbl-sharded; do
+for impl in vbl lazy harris vbl-sharded vbskip lazyskip vbskip-sharded; do
   echo "chaos_smoke: $impl under shipped scenarios"
   out=$("$bin" -impl "$impl" -threads 4 -update-ratio 40 -range 256 \
     -duration 300ms -warmup 50ms -runs 1 \
     -chaos shipped -retry-budget 4 -watchdog 30s -json)
-  echo "$out" | grep -q '"chaos"' || {
+  grep -q '"chaos"' <<<"$out" || {
     echo "chaos_smoke: $impl report lacks the chaos protocol section" >&2
     exit 1
   }
-  echo "$out" | grep -q '"retry"' || {
+  grep -q '"retry"' <<<"$out" || {
     echo "chaos_smoke: $impl report lacks the retry section" >&2
     exit 1
   }
@@ -42,16 +42,16 @@ done
 # periods and recycling churn run together under the watchdog. The
 # watchdog also guards the arena's liveness: a stuck epoch must degrade
 # to no-recycling, never to a stalled operation.
-for impl in vbl lazy; do
+for impl in vbl lazy vbskip; do
   echo "chaos_smoke: $impl -arena under shipped scenarios"
   out=$("$bin" -impl "$impl" -arena -threads 4 -update-ratio 40 -range 256 \
     -duration 300ms -warmup 50ms -runs 1 \
     -chaos shipped -retry-budget 4 -watchdog 30s -json)
-  echo "$out" | grep -q '"arena": true' || {
+  grep -q '"arena": true' <<<"$out" || {
     echo "chaos_smoke: $impl -arena report does not carry arena=true" >&2
     exit 1
   }
-  echo "$out" | grep -q '"epoch-advance:fail' || {
+  grep -q '"epoch-advance:fail' <<<"$out" || {
     echo "chaos_smoke: $impl -arena shipped suite does not arm the epoch-advance failpoint" >&2
     exit 1
   }
@@ -76,9 +76,9 @@ out=$("$bin" -impl vbl-sharded -shards 16 -threads 4 -update-ratio 60 \
   -range 256 -duration 150ms -warmup 0s -runs 1 \
   -chaos vbl-lock-next-at:fail:0.5 -retry-budget 8 -watchdog 5s \
   -adapt -adapt-interval 20ms -trace-depth 524288 -trace "$storm_trace" -json)
-echo "$out" | grep -q '"budget_tighten": [1-9]' || {
+grep -q '"budget_tighten": [1-9]' <<<"$out" || {
   echo "chaos_smoke: adaptive storm did not tighten the retry budget" >&2
-  echo "$out" | grep -A12 '"adapt"' | head -14 >&2
+  echo "$out" | grep -A12 '"adapt"' | head -14 >&2 || true
   exit 1
 }
 # Plain grep, not -q: under pipefail an early-exiting grep -q would
@@ -88,6 +88,21 @@ echo "$out" | grep -q '"budget_tighten": [1-9]' || {
   exit 1
 }
 rm -f "$storm_trace"
+
+# The same storm on the sharded skip list: the skip sites mirror their
+# injected failures into the valfail counters too, so the controller
+# must see a level-0 lock storm on the log-time structure exactly as a
+# flat-list one and tighten the budget without a watchdog fire.
+echo "chaos_smoke: adaptive skip storm (controller must tighten on vbskip-sharded)"
+out=$("$bin" -impl vbskip -shards 16 -threads 4 -update-ratio 60 \
+  -range 256 -duration 150ms -warmup 0s -runs 1 \
+  -chaos skip-lock-next-at:fail:0.5 -retry-budget 8 -watchdog 5s \
+  -adapt -adapt-interval 20ms -json)
+grep -q '"budget_tighten": [1-9]' <<<"$out" || {
+  echo "chaos_smoke: adaptive skip storm did not tighten the retry budget" >&2
+  echo "$out" | grep -A12 '"adapt"' | head -14 >&2 || true
+  exit 1
+}
 
 # Watchdog gate: a probability-1 validation failure livelocks every
 # update; the run must FAIL, quickly, with an error naming the
@@ -102,9 +117,9 @@ if [ "$rc" -eq 0 ]; then
   echo "chaos_smoke: seeded livelock exited 0; watchdog did not fire" >&2
   exit 1
 fi
-echo "$err" | grep -qi 'watchdog' || {
+grep -qi 'watchdog' <<<"$err" || {
   echo "chaos_smoke: livelock failed without naming the watchdog:" >&2
-  echo "$err" | head -5 >&2
+  head -5 <<<"$err" >&2
   exit 1
 }
 

@@ -33,10 +33,10 @@ step "unit tests"
 go test -count=1 ./...
 
 step "race gate (short stress, lock-based lists + arena reclamation)"
-go test -race -short -count=1 ./internal/core ./internal/lazy ./internal/harris ./internal/mem ./internal/trylock ./internal/obs ./internal/obs/trace ./internal/stats ./internal/failpoint ./internal/harness ./internal/batch ./internal/shard ./internal/workload ./internal/adapt
+go test -race -short -count=1 ./internal/core ./internal/lazy ./internal/harris ./internal/mem ./internal/trylock ./internal/obs ./internal/obs/trace ./internal/stats ./internal/failpoint ./internal/harness ./internal/batch ./internal/shard ./internal/workload ./internal/adapt ./internal/skiplist
 
 step "race gate (batch/scan conformance, root package)"
-go test -race -short -count=1 -run 'TestBatch|TestRangeScan|TestShardSeam|TestLoad|TestCapabilityFlags|FuzzBatchVsOracle' .
+go test -race -short -count=1 -run 'TestBatch|TestRangeScan|TestShardSeam|TestLoad|TestCapabilityFlags|FuzzBatchVsOracle|TestChaosSkipShardSeamFaults|FuzzSkipVsOracle' .
 
 step "benchmark smoke (probes + JSON report, end to end)"
 scripts/bench_smoke.sh
@@ -46,6 +46,9 @@ scripts/bench_batch.sh
 
 step "adaptive contention gate (controller vs static under skew)"
 scripts/bench_adapt.sh
+
+step "index dominance gate (log-time structures vs every list)"
+scripts/bench_index.sh
 
 step "chaos smoke (failpoints + retry ladder + watchdog, end to end)"
 scripts/chaos_smoke.sh

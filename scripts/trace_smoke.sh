@@ -47,9 +47,25 @@ echo "trace_smoke: live capture under shipped chaos scenarios"
   -chaos shipped -retry-budget 4 -watchdog 30s \
   -trace "$tmp/bench.trace" >/dev/null
 out=$("$cat" "$tmp/bench.trace")
-echo "$out" | grep -q 'records' || {
+grep -q 'records' <<<"$out" || {
   echo "trace_smoke: tracecat summary lacks a records line:" >&2
-  echo "$out" | head -5 >&2
+  head -5 <<<"$out" >&2
+  exit 1
+}
+
+# Leg 3b: the same live-capture round trip over the skip list, whose
+# probe stream carries the skip-specific events (tower heights, index
+# link retries, level-0 restarts) — the recorder and auditor must
+# handle the log-time structure's event mix exactly like a flat list's.
+echo "trace_smoke: live skip-list capture under shipped chaos scenarios"
+"$bin" -impl vbskip -threads 4 -update-ratio 40 -range 4096 \
+  -duration 300ms -warmup 50ms -runs 1 \
+  -chaos shipped -retry-budget 4 -watchdog 30s \
+  -trace "$tmp/skip.trace" >/dev/null
+out=$("$cat" -dump "$tmp/skip.trace")
+grep -q 'op_' <<<"$out" || {
+  echo "trace_smoke: skip-list dump shows no op spans:" >&2
+  head -5 <<<"$out" >&2
   exit 1
 }
 
@@ -79,7 +95,7 @@ if [ -z "$rows" ]; then
   echo "trace_smoke: streaming run emitted no schema-tagged rows" >&2
   exit 1
 fi
-echo "$rows" | grep -q '"stripes"' || {
+grep -q '"stripes"' <<<"$rows" || {
   echo "trace_smoke: stream rows lack the per-stripe heatmap" >&2
   exit 1
 }
